@@ -1,0 +1,236 @@
+package systolicdp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inner := RandomGraph(rng, 4, 3, 1, 10)
+	g := SingleSourceSink(inner)
+	base := ShortestPath(g)
+
+	mats := g.Cost
+	k := len(mats)
+	v := mats[k-1].Col(0)
+
+	d1, err := SolvePipelined(mats[:k-1], v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := SolveBroadcast(mats[:k-1], v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d1[0]-base.Cost) > 1e-9 || math.Abs(d2[0]-base.Cost) > 1e-9 {
+		t.Errorf("designs disagree with baseline: %v %v vs %v", d1[0], d2[0], base.Cost)
+	}
+}
+
+func TestFacadeSolveDispatch(t *testing.T) {
+	sol, err := Solve(&ChainOrderingProblem{Dims: []int{30, 35, 15, 5, 10, 20, 25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != 15125 {
+		t.Errorf("cost %v, want 15125", sol.Cost)
+	}
+	if sol.Class.String() != "polyadic-nonserial" {
+		t.Errorf("class %v", sol.Class)
+	}
+}
+
+func TestFacadeWorkloadAndFeedback(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p, err := Workload("traffic", rng, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveFeedback(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Path) != 5 {
+		t.Errorf("path length %d", len(res.Path))
+	}
+}
+
+func TestFacadeOptimalOrder(t *testing.T) {
+	cost, order, err := OptimalOrder([]int{5, 4, 6, 2, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 || order == "" {
+		t.Errorf("cost %v order %q", cost, order)
+	}
+}
+
+func TestFacadeParallelChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ms := make([]*Matrix, 6)
+	for i := range ms {
+		ms[i] = randomMatrix(rng, 3)
+	}
+	prod, err := ParallelChainProduct(ms, OptimalGranularity(len(ms)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prod.Rows != 3 || prod.Cols != 3 {
+		t.Errorf("product %dx%d", prod.Rows, prod.Cols)
+	}
+}
+
+func TestFacadeTableOneAndExperiments(t *testing.T) {
+	if len(TableOne()) != 4 {
+		t.Error("Table 1 must have 4 rows")
+	}
+	if got := Recommend(Class{Arity: Monadic, Structure: Serial}).Requirements; got != "systolic processing" {
+		t.Errorf("recommendation %q", got)
+	}
+	ids := ExperimentIDs()
+	if len(ids) != 10 {
+		t.Fatalf("%d experiment IDs", len(ids))
+	}
+	if _, err := RunExperiment("E99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	out, err := RunExperiment("E10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Error("empty experiment output")
+	}
+}
+
+func randomMatrix(rng *rand.Rand, n int) *Matrix {
+	m := &Matrix{Rows: n, Cols: n, Data: make([]float64, n*n)}
+	for i := range m.Data {
+		m.Data[i] = rng.Float64() * 10
+	}
+	return m
+}
+
+func TestFacadeBranchAndBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := RandomGraph(rng, 5, 4, 1, 10)
+	want := ShortestPath(g)
+	for _, workers := range []int{1, 4} {
+		cost, path, expanded, err := BranchAndBound(g, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(cost-want.Cost) > 1e-9 {
+			t.Errorf("workers=%d: cost %v, want %v", workers, cost, want.Cost)
+		}
+		if len(path) != g.Stages() || expanded <= 0 {
+			t.Errorf("workers=%d: path %v expanded %d", workers, path, expanded)
+		}
+	}
+}
+
+func TestFacadeMeshAndBST(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randomMatrix(rng, 4)
+	b := randomMatrix(rng, 4)
+	prod, err := MeshMultiply(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prod.Rows != 4 {
+		t.Error("bad product shape")
+	}
+	cost, root, left, right, err := OptimalBST(&BST{
+		P: []float64{0.15, 0.10, 0.05, 0.10, 0.20},
+		Q: []float64{0.05, 0.10, 0.05, 0.05, 0.05, 0.10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cost-2.75) > 1e-9 {
+		t.Errorf("BST cost %v, want 2.75", cost)
+	}
+	if root < 0 || len(left) != 5 || len(right) != 5 {
+		t.Error("bad BST tree")
+	}
+}
+
+func TestFacadeDataflowChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ms := make([]*Matrix, 5)
+	for i := range ms {
+		ms[i] = randomMatrix(rng, 3)
+	}
+	prod, ops, makespan, err := DataflowChainProduct(ms, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prod == nil || ops <= 0 || makespan <= 0 || makespan > ops {
+		t.Errorf("ops %v makespan %v", ops, makespan)
+	}
+}
+
+func TestFacadeStagedAndStream(t *testing.T) {
+	p := &StagedNodeValued{
+		Values: [][]float64{{1, 2}, {3, 5}, {2, 8}},
+		FK: func(k int, x, y float64) float64 {
+			return float64(k+1) * math.Abs(x-y)
+		},
+	}
+	res, err := SolveFeedbackStaged(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Path) != 3 {
+		t.Errorf("path %v", res.Path)
+	}
+	rng := rand.New(rand.NewSource(12))
+	probs := make([]StreamProblem, 3)
+	for i := range probs {
+		ms := []*Matrix{randomMatrix(rng, 3), randomMatrix(rng, 3)}
+		probs[i] = StreamProblem{Ms: ms, V: []float64{1, 2, 3}}
+	}
+	out, err := StreamPipelined(probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d results", len(out))
+	}
+	for i, pr := range probs {
+		want, err := SolvePipelined(pr.Ms, pr.V)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if math.Abs(out[i][j]-want[j]) > 1e-9 {
+				t.Errorf("problem %d entry %d: %v vs %v", i, j, out[i][j], want[j])
+			}
+		}
+	}
+}
+
+func TestFacadeEliminationOrder(t *testing.T) {
+	cost, order, err := OptimalEliminationOrder([]int{2, 3, 50, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 || len(order) != 3 {
+		t.Errorf("cost %d order %v", cost, order)
+	}
+}
+
+func TestFacadeDTW(t *testing.T) {
+	d, err := DTWDistance([]float64{0, 0, 1, 2, 3}, []float64{0, 1, 2, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("time-shifted series should align at 0, got %v", d)
+	}
+	if _, err := DTWDistance(nil, []float64{1}); err == nil {
+		t.Error("empty query accepted")
+	}
+}

@@ -1,0 +1,97 @@
+// Command dpgraph emits Graphviz DOT renderings of the paper's graph
+// structures for inspection and documentation:
+//
+//	dpgraph -kind chain -dims 5,4,6,2,7              # Figure 2 AND/OR-graph
+//	dpgraph -kind chain -dims 5,4,6,2,7 -serialize   # after Figure 8's dummies
+//	dpgraph -kind reduction -stages 5 -values 2 -p 2 # Figure 7 regular reduction
+//	dpgraph -kind obst -keys 4                       # OBST AND/OR-graph
+//
+// Pipe through `dot -Tsvg` to draw.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"systolicdp/internal/andor"
+	"systolicdp/internal/matchain"
+	"systolicdp/internal/multistage"
+	"systolicdp/internal/obst"
+)
+
+func main() {
+	kind := flag.String("kind", "chain", "graph kind: chain | reduction | obst")
+	dims := flag.String("dims", "5,4,6,2,7", "matrix-chain dimensions (kind=chain)")
+	stages := flag.Int("stages", 5, "graph stages (kind=reduction)")
+	values := flag.Int("values", 2, "nodes per stage (kind=reduction)")
+	p := flag.Int("p", 2, "partition arity (kind=reduction)")
+	keys := flag.Int("keys", 4, "key count (kind=obst)")
+	serialize := flag.Bool("serialize", false, "apply the Figure-8 serialisation first")
+	seed := flag.Int64("seed", 7, "instance seed")
+	flag.Parse()
+
+	if err := run(*kind, *dims, *stages, *values, *p, *keys, *serialize, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "dpgraph:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind, dims string, stages, values, p, keys int, serialize bool, seed int64) error {
+	var g *andor.Graph
+	var name string
+	switch kind {
+	case "chain":
+		var ds []int
+		for _, s := range strings.Split(dims, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("bad dimension %q: %v", s, err)
+			}
+			ds = append(ds, v)
+		}
+		var err error
+		g, err = matchain.BuildANDOR(ds)
+		if err != nil {
+			return err
+		}
+		name = "matrix-chain"
+	case "reduction":
+		rng := rand.New(rand.NewSource(seed))
+		ms := multistage.RandomUniform(rng, stages, values, 1, 10)
+		var err error
+		g, err = andor.BuildRegular(ms, p)
+		if err != nil {
+			return err
+		}
+		name = "regular-reduction"
+	case "obst":
+		rng := rand.New(rand.NewSource(seed))
+		prob := &obst.Problem{P: make([]float64, keys), Q: make([]float64, keys+1)}
+		for i := range prob.P {
+			prob.P[i] = rng.Float64()
+		}
+		for i := range prob.Q {
+			prob.Q[i] = rng.Float64() * 0.5
+		}
+		var err error
+		g, err = prob.BuildANDOR()
+		if err != nil {
+			return err
+		}
+		name = "obst"
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	if serialize {
+		var added int
+		g, added = g.Serialize()
+		fmt.Fprintf(os.Stderr, "serialised: +%d dummy nodes\n", added)
+		name += "-serialised"
+	}
+	fmt.Print(g.DOT(name))
+	return nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunAllKinds(t *testing.T) {
+	cases := []struct {
+		name      string
+		kind      string
+		serialize bool
+	}{
+		{"chain", "chain", false},
+		{"chain-serialized", "chain", true},
+		{"reduction", "reduction", false},
+		{"obst", "obst", false},
+		{"obst-serialized", "obst", true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := run(c.kind, "5,4,6,2,7", 5, 2, 2, 4, c.serialize, 7); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("martian", "", 0, 0, 0, 0, false, 7); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run("chain", "5,x", 0, 0, 0, 0, false, 7); err == nil {
+		t.Error("bad dims accepted")
+	}
+	if err := run("reduction", "", 4, 2, 2, 0, false, 7); err == nil {
+		t.Error("non-power stage count accepted") // 3 matrices, p=2
+	}
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunAllProblems(t *testing.T) {
+	cases := []struct {
+		name    string
+		problem string
+		design  int
+		dims    string
+	}{
+		{"table1", "table1", 0, ""},
+		{"graph-baseline", "graph", 0, ""},
+		{"graph-design1", "graph", 1, ""},
+		{"graph-design2", "graph", 2, ""},
+		{"traffic", "traffic", 0, ""},
+		{"circuit", "circuit", 0, ""},
+		{"fluid", "fluid", 0, ""},
+		{"scheduling", "scheduling", 0, ""},
+		{"chain", "chain", 0, "30,35,15,5,10,20,25"},
+		{"nonserial", "nonserial", 0, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := run(c.problem, 5, 3, c.design, c.dims, 7); err != nil {
+				t.Fatalf("run(%s): %v", c.problem, err)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", 5, 3, 0, "", 7); err == nil {
+		t.Error("unknown problem accepted")
+	}
+	if err := run("chain", 5, 3, 0, "", 7); err == nil {
+		t.Error("chain without dims accepted")
+	}
+	if err := run("chain", 5, 3, 0, "3,x,4", 7); err == nil {
+		t.Error("malformed dims accepted")
+	}
+	if err := run("graph", 5, 3, 9, "", 7); err == nil {
+		t.Error("unknown design accepted")
+	}
+}
+
+func TestRunSpec(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/p.json"
+	data := []byte(`{"problem":"chain","dims":[30,35,15,5,10,20,25]}`)
+	if err := writeFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSpec(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSpec(dir + "/missing.json"); err == nil {
+		t.Error("missing spec accepted")
+	}
+	bad := dir + "/bad.json"
+	if err := writeFile(bad, []byte(`{"problem":"martian"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSpec(bad); err == nil {
+		t.Error("bad spec accepted")
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func TestReportJSON(t *testing.T) {
+	asJSON = true
+	defer func() { asJSON = false }()
+	if err := run("chain", 5, 3, 0, "30,35,15,5,10,20,25", 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaybeDumpRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	dumpPath = dir + "/g.json"
+	defer func() { dumpPath = "" }()
+	if err := run("graph", 4, 3, 1, "", 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSpec(dumpPath); err != nil {
+		t.Fatalf("re-solving dumped spec: %v", err)
+	}
+	// Dump is rejected for workload problems.
+	if err := run("traffic", 4, 3, 0, "", 7); err == nil {
+		t.Error("dump of node-valued workload should fail")
+	}
+}

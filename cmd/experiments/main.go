@@ -1,0 +1,87 @@
+// Command experiments regenerates the paper's tables and figures (E1-E10,
+// indexed in DESIGN.md and recorded in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -id E4     # run one artifact
+//	experiments -list      # list artifact IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"systolicdp/internal/experiments"
+)
+
+func main() {
+	id := flag.String("id", "", "run a single experiment by ID (e.g. E4); empty runs all")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	ext := flag.Bool("extensions", false, "also run the extension experiments (X1-X5)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables (plot-ready, e.g. for Figure 6)")
+	htmlPath := flag.String("html", "", "write a self-contained HTML report to this path")
+	flag.Parse()
+
+	pool := experiments.All()
+	if *ext {
+		pool = experiments.AllWithExtensions()
+	}
+	if *list {
+		for _, e := range pool {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	run := pool
+	if *id != "" {
+		found := false
+		for _, e := range experiments.AllWithExtensions() {
+			if e.ID == *id {
+				run = []experiments.Experiment{e}
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *id)
+			os.Exit(1)
+		}
+	}
+	failed := 0
+	var tables []*experiments.Table
+	for _, e := range run {
+		tab, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		tables = append(tables, tab)
+		if *htmlPath != "" {
+			continue
+		}
+		if *csv {
+			fmt.Print(tab.RenderCSV())
+		} else {
+			fmt.Println(tab.Render())
+		}
+	}
+	if *htmlPath != "" {
+		page, err := experiments.RenderHTML(tables)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*htmlPath, []byte(page), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d tables)\n", *htmlPath, len(tables))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

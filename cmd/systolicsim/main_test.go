@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunAllDesigns(t *testing.T) {
+	cases := []struct {
+		name       string
+		design     int
+		goroutines bool
+		trace      bool
+	}{
+		{"design1-lockstep", 1, false, false},
+		{"design1-goroutines", 1, true, false},
+		{"design1-trace", 1, false, true},
+		{"design2-lockstep", 2, false, false},
+		{"design2-goroutines", 2, true, false},
+		{"design3-lockstep", 3, false, false},
+		{"design3-goroutines", 3, true, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := run(c.design, 5, 3, 42, c.trace, c.goroutines); err != nil {
+				t.Fatalf("design %d: %v", c.design, err)
+			}
+		})
+	}
+}
+
+func TestRunUnknownDesign(t *testing.T) {
+	if err := run(9, 5, 3, 42, false, false); err == nil {
+		t.Error("unknown design accepted")
+	}
+}

@@ -1,0 +1,29 @@
+// Package systolicdp is a Go reproduction of Wah & Li, "Systolic
+// Processing for Dynamic Programming Problems" (ICPP 1985 / Algorithmica).
+//
+// The paper classifies dynamic-programming formulations into four classes
+// and maps each to a parallel architecture:
+//
+//   - monadic-serial: solved as a string of (MIN,+) matrix products on one
+//     of three linear systolic arrays (Figures 3-5) — the pipelined array,
+//     the broadcast array, and the feedback array with path registers;
+//   - polyadic-serial: solved by parallel divide-and-conquer over the
+//     product tree, with the KT^2-optimal granularity K = Theta(N/log2 N)
+//     (Figure 6, Theorem 1, Proposition 1), or by searching a regular
+//     AND/OR-graph whose size u(p) is minimised by binary partitioning
+//     (Theorem 2);
+//   - monadic-nonserial: transformed into a serial problem by grouping
+//     variables (Section 6.1) and then run on the systolic arrays;
+//   - polyadic-nonserial: searched as an AND/OR-graph, optionally
+//     serialised with dummy nodes into a planar systolic structure
+//     (Propositions 2-3, the Guibas-Kung-Thompson array).
+//
+// The paper's VLSI processing elements are simulated: a deterministic
+// lock-step engine gives exact cycle accounting against the paper's closed
+// forms, and a goroutine-per-PE runner (channels as pipeline registers)
+// executes the same PE logic concurrently.
+//
+// This package is the public facade; the implementation lives under
+// internal/ (one package per subsystem — see DESIGN.md for the inventory
+// and EXPERIMENTS.md for the paper-vs-measured record).
+package systolicdp

@@ -1,0 +1,101 @@
+package systolicdp_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"systolicdp"
+)
+
+// ExampleSolve classifies a matrix-chain ordering problem and solves it
+// with the method Table 1 prescribes for polyadic-nonserial formulations.
+func ExampleSolve() {
+	sol, err := systolicdp.Solve(&systolicdp.ChainOrderingProblem{
+		Dims: []int{30, 35, 15, 5, 10, 20, 25},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sol.Class)
+	fmt.Println(sol.Cost)
+	fmt.Println(sol.Ordering)
+	// Output:
+	// polyadic-nonserial
+	// 15125
+	// ((M1 (M2 M3)) ((M4 M5) M6))
+}
+
+// ExampleSolvePipelined evaluates a two-matrix (MIN,+) string on the
+// Design-1 pipelined systolic array.
+func ExampleSolvePipelined() {
+	a := &systolicdp.Matrix{Rows: 2, Cols: 2, Data: []float64{1, 5, 2, 0}}
+	b := &systolicdp.Matrix{Rows: 2, Cols: 2, Data: []float64{3, 1, 4, 2}}
+	out, err := systolicdp.SolvePipelined([]*systolicdp.Matrix{a, b}, []float64{0, 0})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out)
+	// Output:
+	// [2 2]
+}
+
+// ExampleSolveFeedback solves a node-valued serial problem — the form of
+// equation (4) — on the Design-3 feedback array, recovering the optimal
+// assignment from the path registers.
+func ExampleSolveFeedback() {
+	p := &systolicdp.NodeValued{
+		Values: [][]float64{{0, 10}, {4, 6}, {5, 9}},
+		F: func(x, y float64) float64 {
+			if x > y {
+				return x - y
+			}
+			return y - x
+		},
+	}
+	res, err := systolicdp.SolveFeedback(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Cost)
+	fmt.Println(res.Path)
+	// Output:
+	// 5
+	// [0 0 0]
+}
+
+// ExampleTableOne prints the architecture Table 1 prescribes for each of
+// the paper's four formulation classes.
+func ExampleTableOne() {
+	for _, r := range systolicdp.TableOne() {
+		fmt.Printf("%s: %s\n", r.Class, r.Requirements)
+	}
+	// Output:
+	// monadic-serial: systolic processing
+	// polyadic-serial: loose coupling for fine grain; tight coupling for coarse grain
+	// monadic-nonserial: systolic processing
+	// polyadic-nonserial: dataflow or systolic processing
+}
+
+// ExampleBranchAndBound shows the Section-1 equivalence: branch-and-bound
+// with the dominance test finds the DP optimum.
+func ExampleBranchAndBound() {
+	rng := rand.New(rand.NewSource(3))
+	g := systolicdp.RandomGraph(rng, 5, 4, 1, 10)
+	cost, _, _, err := systolicdp.BranchAndBound(g, 1)
+	if err != nil {
+		panic(err)
+	}
+	base := systolicdp.ShortestPath(g)
+	fmt.Println(math.Abs(cost-base.Cost) < 1e-9)
+	// Output:
+	// true
+}
+
+// ExampleOptimalGranularity reports the KT^2-optimal processor count for
+// multiplying a string of 4096 matrices (Theorem 1 and Figure 6).
+func ExampleOptimalGranularity() {
+	fmt.Println(systolicdp.OptimalGranularity(4096))
+	// Output:
+	// 341
+}

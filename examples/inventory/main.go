@@ -1,0 +1,121 @@
+// Inventory control: one of the "practical sequentially controlled
+// systems" (with Kalman filtering and multistage production) that Section
+// 3.2 names as applications of the matrix-string systolic arrays. Periods
+// are stages, stock levels are states, and the edge cost from stock s to
+// stock s' in period t is the ordering + holding cost of covering that
+// period's demand. The problem is monadic-serial, solved here on both
+// Design 1 (pipelined) and Design 2 (broadcast) and cross-checked against
+// the sequential DP baseline with plan reconstruction.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"systolicdp"
+
+	"systolicdp/internal/matrix"
+	"systolicdp/internal/multistage"
+	"systolicdp/internal/semiring"
+)
+
+const (
+	periods   = 8    // planning horizon
+	maxStock  = 9    // stock levels 0..maxStock
+	orderCost = 12.0 // fixed cost per order placed
+	unitCost  = 2.0  // per unit ordered
+	holdCost  = 1.0  // per unit held per period
+	initStock = 2
+)
+
+// demand per period.
+var demand = []int{3, 2, 5, 1, 4, 6, 2, 3}
+
+func main() {
+	m := maxStock + 1
+	inf := math.Inf(1)
+
+	// Transition cost from stock s (before ordering) to stock s' (after
+	// satisfying demand d): order q = s' + d - s.
+	edge := func(s, next, d int) float64 {
+		q := next + d - s
+		if q < 0 {
+			return inf // cannot sell back
+		}
+		c := unitCost*float64(q) + holdCost*float64(next)
+		if q > 0 {
+			c += orderCost
+		}
+		return c
+	}
+
+	// Build the matrix string: a 1 x m row from the fixed initial stock,
+	// then (periods-1) full m x m period matrices; the final period's
+	// costs become the initial vector of the array, requiring zero
+	// terminal stock.
+	var ms []*matrix.Matrix
+	first := matrix.New(1, m, inf)
+	for next := 0; next < m; next++ {
+		first.Set(0, next, edge(initStock, next, demand[0]))
+	}
+	ms = append(ms, first)
+	for t := 1; t < periods-1; t++ {
+		mt := matrix.New(m, m, inf)
+		for s := 0; s < m; s++ {
+			for next := 0; next < m; next++ {
+				mt.Set(s, next, edge(s, next, demand[t]))
+			}
+		}
+		ms = append(ms, mt)
+	}
+	v := make([]float64, m)
+	for s := 0; s < m; s++ {
+		v[s] = edge(s, 0, demand[periods-1]) // must end with empty shelves
+	}
+
+	d1, err := systolicdp.SolvePipelined(ms, v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d2, err := systolicdp.SolveBroadcast(ms, v)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline DP over the same graph, with plan reconstruction.
+	g := &multistage.Graph{StageSizes: []int{1}, Cost: ms}
+	for range ms {
+		g.StageSizes = append(g.StageSizes, m)
+	}
+	last := matrix.New(m, 1, 0)
+	for s := 0; s < m; s++ {
+		last.Set(s, 0, v[s])
+	}
+	g.Cost = append(g.Cost, last)
+	g.StageSizes = append(g.StageSizes, 1)
+	if err := g.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	best := multistage.SolveOptimal(semiring.MinPlus{}, g)
+
+	fmt.Printf("%d periods, demand %v, initial stock %d\n", periods, demand, initStock)
+	fmt.Printf("design 1 (pipelined): %.1f\n", d1[0])
+	fmt.Printf("design 2 (broadcast): %.1f\n", d2[0])
+	fmt.Printf("baseline DP:          %.1f\n", best.Cost)
+	if math.Abs(d1[0]-best.Cost) > 1e-9 || math.Abs(d2[0]-best.Cost) > 1e-9 {
+		log.Fatal("systolic arrays disagree with the baseline")
+	}
+
+	fmt.Println("\noptimal plan (stock after each period):")
+	stock := initStock
+	for t := 0; t < periods; t++ {
+		next := 0
+		if t < periods-1 {
+			next = best.Nodes[t+1]
+		}
+		order := next + demand[t] - stock
+		fmt.Printf("  period %d: demand %d, order %2d, carry %d\n", t+1, demand[t], order, next)
+		stock = next
+	}
+}

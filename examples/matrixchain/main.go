@@ -1,0 +1,84 @@
+// Matrix-chain ordering: the paper's running polyadic-nonserial example
+// (equation (6), Figure 2). Finds the optimal parenthesisation, inspects
+// the AND/OR-graph and its Figure-8 serialisation, compares the
+// broadcast-bus and systolic timing models of Propositions 2-3, and then
+// multiplies the chain in the optimal order with the Section-4
+// divide-and-conquer scheduler.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"systolicdp"
+
+	"systolicdp/internal/matchain"
+	"systolicdp/internal/semiring"
+)
+
+func main() {
+	// The classic instance plus a larger random one.
+	dims := []int{30, 35, 15, 5, 10, 20, 25}
+	n := len(dims) - 1
+
+	cost, order, err := systolicdp.OptimalOrder(dims)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chain of %d matrices, dims %v\n", n, dims)
+	fmt.Printf("optimal cost:  %.0f scalar multiplications\n", cost)
+	fmt.Printf("optimal order: %s\n", order)
+
+	// The AND/OR-graph of Figure 2 and its serialisation (Figure 8).
+	g, err := matchain.BuildANDOR(dims)
+	if err != nil {
+		log.Fatal(err)
+	}
+	leaves, ands, ors := g.Count()
+	fmt.Printf("\nFigure 2 AND/OR-graph: %d leaves, %d AND, %d OR; serial: %v\n",
+		leaves, ands, ors, g.IsSerial())
+	sg, dummies := g.Serialize()
+	fmt.Printf("after Figure 8 serialisation: +%d dummy nodes; serial: %v\n", dummies, sg.IsSerial())
+	vals, err := sg.Evaluate(semiring.MinPlus{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serialised graph optimum: %.0f (unchanged)\n", vals[sg.Roots[0]])
+
+	// Propositions 2-3: completion times of the two parallel designs.
+	bus, err := matchain.SimulateBus(dims)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := matchain.SimulateSystolic(dims)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbroadcast-bus design:  T_d = %g steps on %d processors (Prop 2: N = %d)\n",
+		bus.Completion, bus.Processors, n)
+	fmt.Printf("serialised systolic:   T_p = %g steps (Prop 3: 2N = %d)\n", sys.Completion, 2*n)
+
+	// Finally, multiply an actual chain in parallel: random (MIN,+)
+	// matrices stand in for the numeric payload.
+	rng := rand.New(rand.NewSource(42))
+	ms := make([]*systolicdp.Matrix, 32)
+	for i := range ms {
+		ms[i] = randomMatrix(rng, 8)
+	}
+	k := systolicdp.OptimalGranularity(len(ms))
+	prod, err := systolicdp.ParallelChainProduct(ms, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmultiplied a 32-matrix (MIN,+) chain on K = %d workers (N/log2 N); product is %dx%d\n",
+		k, prod.Rows, prod.Cols)
+}
+
+func randomMatrix(rng *rand.Rand, n int) *systolicdp.Matrix {
+	m := &systolicdp.Matrix{Rows: n, Cols: n, Data: make([]float64, n*n)}
+	for i := range m.Data {
+		m.Data[i] = rng.Float64() * 10
+	}
+	return m
+}

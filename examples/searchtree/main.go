@@ -1,0 +1,85 @@
+// Optimal binary search tree: the second polyadic DP example Section 2.1
+// of the paper names. Builds the optimal tree for a word-frequency table,
+// compares the O(n^3) polyadic DP with Knuth's O(n^2) speedup, and maps
+// the problem's AND/OR-graph (the same shape as Figure 2) onto the
+// systolic engine after Figure-8 serialisation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"systolicdp"
+
+	"systolicdp/internal/obst"
+	"systolicdp/internal/semiring"
+)
+
+func main() {
+	// A small keyword-lookup table: keys in sorted order with access
+	// weights, and gap weights for misses between them.
+	keys := []string{"break", "case", "chan", "const", "defer", "func", "go", "if", "range", "return"}
+	p := &systolicdp.BST{
+		P: []float64{4, 10, 2, 6, 3, 22, 8, 25, 9, 18},
+		Q: []float64{1, 2, 1, 1, 2, 3, 2, 4, 2, 3, 1},
+	}
+
+	cost, root, left, right, err := systolicdp.OptimalBST(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d keys, total weight %g\n", len(keys), total(p))
+	fmt.Printf("optimal expected search cost: %g comparisons (weighted)\n", cost)
+	fmt.Printf("root: %q\n\n", keys[root])
+	printTree(keys, left, right, root, 0)
+
+	// Ablation: the full polyadic DP vs Knuth's monotone-root window.
+	full, err := p.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fast, err := p.SolveKnuth()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nO(n^3) DP inner iterations:  %d\n", full.Inner)
+	fmt.Printf("Knuth O(n^2) inner iterations: %d (%.1fx fewer)\n",
+		fast.Inner, float64(full.Inner)/float64(fast.Inner))
+
+	// The problem's AND/OR-graph, serialised and run on the engine.
+	g, err := p.BuildANDOR()
+	if err != nil {
+		log.Fatal(err)
+	}
+	leaves, ands, ors := g.Count()
+	sg, dummies := g.Serialize()
+	res, err := sg.MapSystolic(semiring.MinPlus{}, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAND/OR-graph: %d leaves, %d AND, %d OR; +%d dummies to serialise\n",
+		leaves, ands, ors, dummies)
+	fmt.Printf("systolic evaluation: %g in %d wavefront cycles on %d PEs\n",
+		res.RootValues[0], res.Cycles, res.Processors)
+}
+
+func total(p *obst.Problem) float64 {
+	t := 0.0
+	for _, v := range p.P {
+		t += v
+	}
+	for _, v := range p.Q {
+		t += v
+	}
+	return t
+}
+
+func printTree(keys []string, left, right []int, k, depth int) {
+	if k < 0 {
+		return
+	}
+	printTree(keys, left, right, right[k], depth+1)
+	fmt.Printf("%s%s\n", strings.Repeat("      ", depth), keys[k])
+	printTree(keys, left, right, left[k], depth+1)
+}

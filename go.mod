@@ -1,0 +1,3 @@
+module systolicdp
+
+go 1.22

@@ -1,0 +1,263 @@
+package systolicdp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"systolicdp/internal/andor"
+	"systolicdp/internal/bcastarray"
+	"systolicdp/internal/bnb"
+	"systolicdp/internal/dnc"
+	"systolicdp/internal/fbarray"
+	"systolicdp/internal/matchain"
+	"systolicdp/internal/matrix"
+	"systolicdp/internal/mesh"
+	"systolicdp/internal/multistage"
+	"systolicdp/internal/obst"
+	"systolicdp/internal/pipearray"
+	"systolicdp/internal/semiring"
+)
+
+// TestEverySolverAgreesOnOneGraph runs a single multistage instance
+// through every shortest-path machine in the repository and demands one
+// answer: the cross-cutting invariant behind the whole paper.
+func TestEverySolverAgreesOnOneGraph(t *testing.T) {
+	s := semiring.MinPlus{}
+	rng := rand.New(rand.NewSource(1985))
+	const n, m = 8, 3 // N = 8 stage-to-stage matrices after wrapping: power of 2 for AND/OR
+	inner := multistage.RandomUniform(rng, n, m, 1, 10)
+
+	want := multistage.SolveOptimal(s, inner).Cost
+	results := map[string]float64{}
+
+	// Forward and backward functional equations (eqs 1-2).
+	results["forward"] = semiring.Fold(s, multistage.SolveForward(s, inner))
+	results["backward"] = semiring.Fold(s, multistage.SolveBackward(s, inner))
+	results["bruteforce"] = multistage.BruteForce(s, inner).Cost
+
+	// Designs 1-2 on the wrapped single-source/sink string.
+	g := multistage.SingleSourceSink(s, inner)
+	mats := g.Matrices()
+	k := len(mats)
+	v := mats[k-1].Col(0)
+	d1, err := pipearray.Solve(mats[:k-1], v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results["design1"] = d1[0]
+	d2, err := bcastarray.Solve(mats[:k-1], v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results["design2"] = d2[0]
+
+	// Divide-and-conquer product of the full string (eq 15), three ways:
+	// serial, balanced tree, scheduled workers, and 2D meshes per product.
+	full := matrix.ChainMat(s, mats)
+	results["chainmat"] = full.At(0, 0)
+	results["chaintree"] = matrix.ChainMatTree(s, mats).At(0, 0)
+	par, err := dnc.ParallelChain(s, mats, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results["dnc"] = par.Product.At(0, 0)
+
+	// AND/OR-graph reductions (Theorem 2's graphs) with p = 2 and 4,
+	// bottom-up, top-down, parallel, and mapped onto the systolic engine.
+	// The inner graph has 7 cost matrices; wrap once more to 8 = 2^3.
+	paddedSizes := append([]int{m}, inner.StageSizes...)
+	pad := matrix.Zeros(s, m, m)
+	for i := 0; i < m; i++ {
+		pad.Set(i, i, s.One())
+	}
+	padded := &multistage.Graph{
+		StageSizes: paddedSizes,
+		Cost:       append([]*matrix.Matrix{pad}, inner.Cost...),
+	}
+	if err := padded.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 8} { // N = 8: powers of 2 and 8 divide evenly
+		got, err := andor.SolveRegular(s, padded, p)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		results[fmt.Sprintf("andor-p%d", p)] = got
+		ao, err := andor.BuildRegular(padded, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		down, _, err := ao.EvaluateTopDown(s, ao.Roots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[fmt.Sprintf("andor-topdown-p%d", p)] = semiring.Fold(s, rootVals(down, ao.Roots))
+		parv, _, err := ao.EvaluateParallel(s, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[fmt.Sprintf("andor-parallel-p%d", p)] = semiring.Fold(s, rootVals(parv, ao.Roots))
+		sys, err := ao.MapSystolic(s, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[fmt.Sprintf("andor-systolic-p%d", p)] = semiring.Fold(s, sys.RootValues)
+	}
+
+	// Branch-and-bound with dominance = DP (Section 1).
+	bb, err := bnb.Solve(inner, bnb.Options{Dominance: true, Bound: bnb.NewBoundStageMin(inner)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results["bnb"] = bb.Cost
+
+	// Mesh-based evaluation: fold the chain with 2D systolic products.
+	acc := matrix.Identity(s, m)
+	for _, c := range inner.Cost {
+		acc, err = mesh.Mul(s, acc, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	best := s.Zero()
+	for _, x := range acc.Data {
+		best = s.Add(best, x)
+	}
+	results["mesh-chain"] = best
+
+	for name, got := range results {
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s: %v, want %v", name, got, want)
+		}
+	}
+}
+
+func rootVals(vals []float64, roots []int) []float64 {
+	out := make([]float64, len(roots))
+	for i, r := range roots {
+		out[i] = vals[r]
+	}
+	return out
+}
+
+// TestChainOrderingConsistency runs one matrix chain through every
+// ordering machine: sequential DP, wavefront, bus and systolic timing
+// simulations, the AND/OR-graph, and the dataflow executor.
+func TestChainOrderingConsistency(t *testing.T) {
+	s := semiring.MinPlus{}
+	rng := rand.New(rand.NewSource(1986))
+	dims := []int{7, 3, 12, 2, 9, 4, 11, 6}
+	tab, err := matchain.DP(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tab.OptimalCost()
+
+	wf, err := matchain.Wavefront(dims, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf.OptimalCost() != want {
+		t.Errorf("wavefront %v, want %v", wf.OptimalCost(), want)
+	}
+	bus, err := matchain.SimulateBus(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bus.Cost != want {
+		t.Errorf("bus %v, want %v", bus.Cost, want)
+	}
+	sys, err := matchain.SimulateSystolic(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Cost != want {
+		t.Errorf("systolic %v, want %v", sys.Cost, want)
+	}
+	g, err := matchain.BuildANDOR(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := g.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[g.Roots[0]] != want {
+		t.Errorf("AND/OR %v, want %v", vals[g.Roots[0]], want)
+	}
+	// The serialised graph on the systolic engine (Figure 8 end-to-end).
+	sg, _ := g.Serialize()
+	mres, err := sg.MapSystolic(s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres.RootValues[0] != want {
+		t.Errorf("mapped systolic %v, want %v", mres.RootValues[0], want)
+	}
+	// The dataflow executor's op count equals the DP optimum.
+	ms := make([]*matrix.Matrix, len(dims)-1)
+	for i := range ms {
+		ms[i] = matrix.Random(rng, dims[i], dims[i+1], 0, 10)
+	}
+	_, st, err := dnc.DataflowChain(s, ms, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.TotalOps-want) > 1e-9 {
+		t.Errorf("dataflow ops %v, want %v", st.TotalOps, want)
+	}
+}
+
+// TestOBSTAndChainShareMachinery checks that the OBST AND/OR-graph (the
+// paper's other polyadic example) serialises and maps onto the engine
+// like the matrix-chain graph.
+func TestOBSTAndChainShareMachinery(t *testing.T) {
+	s := semiring.MinPlus{}
+	p := &obst.Problem{
+		P: []float64{0.15, 0.10, 0.05, 0.10, 0.20},
+		Q: []float64{0.05, 0.10, 0.05, 0.05, 0.05, 0.10},
+	}
+	tab, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := p.BuildANDOR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, added := g.Serialize()
+	if added == 0 {
+		t.Error("OBST graph should need dummy nodes")
+	}
+	res, err := sg.MapSystolic(s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.RootValues[0]-tab.OptimalCost()) > 1e-9 {
+		t.Errorf("mapped OBST %v, want %v", res.RootValues[0], tab.OptimalCost())
+	}
+}
+
+// TestDesign3EndToEndOnAllWorkloads runs the full monadic-serial pipeline
+// (workload -> Design 3 -> path) for each Section 2.2 domain and verifies
+// costs and paths against the expanded-graph solver.
+func TestDesign3EndToEndOnAllWorkloads(t *testing.T) {
+	s := semiring.MinPlus{}
+	rng := rand.New(rand.NewSource(1987))
+	for _, name := range []string{"traffic", "circuit", "fluid", "scheduling"} {
+		p, err := Workload(name, rng, 7, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fbarray.Solve(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := multistage.SolveOptimal(s, p.Expand())
+		if math.Abs(res.Cost-want.Cost) > 1e-9 {
+			t.Errorf("%s: Design 3 %v, graph solver %v", name, res.Cost, want.Cost)
+		}
+	}
+}

@@ -1,0 +1,424 @@
+// Package andor implements the AND/OR-graph machinery of Sections 5 and
+// 6.2 of the paper. A polyadic DP problem is the search for a minimum-cost
+// solution tree in an AND/OR-graph (Martelli & Montanari): AND-nodes sum
+// their children (subproblem composition), OR-nodes take the minimum
+// (alternative selection). The package provides:
+//
+//   - a DAG representation with levelled nodes and bottom-up evaluation
+//     (sequential and level-synchronous parallel);
+//   - the regular p-ary AND/OR-graph that reduces an (N+1)-stage graph to a
+//     single stage (Figure 7), with the node-count formula u(p) of
+//     equation (32) that Theorem 2 minimises at p = 2;
+//   - the serialisation transform of Section 6.2: dummy pass-through nodes
+//     are inserted so that every arc connects adjacent levels, making the
+//     graph mappable onto a planar systolic array (Figure 8).
+package andor
+
+import (
+	"fmt"
+	"math"
+
+	"systolicdp/internal/multistage"
+	"systolicdp/internal/semiring"
+)
+
+// Kind classifies a node.
+type Kind int
+
+// Node kinds: leaves carry input costs, AND-nodes add (subproblem
+// composition), OR-nodes compare (alternative selection).
+const (
+	Leaf Kind = iota
+	And
+	Or
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Leaf:
+		return "leaf"
+	case And:
+		return "and"
+	case Or:
+		return "or"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Node is one AND/OR-graph node. Children must have smaller IDs than their
+// parent (the graphs are built bottom-up), Level 0 holds the leaves.
+// Extra is an additive constant folded into an AND-node's sum — the
+// r_{i-1}*r_k*r_j term of the matrix-chain recurrence rides there.
+type Node struct {
+	ID       int
+	Kind     Kind
+	Level    int
+	Children []int
+	Value    float64 // leaf input value
+	Extra    float64 // additive constant for AND-nodes
+	Dummy    bool    // inserted by Serialize
+}
+
+// Graph is a levelled AND/OR DAG.
+type Graph struct {
+	Nodes []Node
+	Roots []int
+}
+
+// AddLeaf appends a leaf with the given value at level 0 and returns its ID.
+func (g *Graph) AddLeaf(v float64) int {
+	id := len(g.Nodes)
+	g.Nodes = append(g.Nodes, Node{ID: id, Kind: Leaf, Level: 0, Value: v})
+	return id
+}
+
+// AddNode appends an AND or OR node and returns its ID. The level is set
+// to one more than the highest child level.
+func (g *Graph) AddNode(kind Kind, children []int, extra float64) int {
+	id := len(g.Nodes)
+	level := 0
+	for _, c := range children {
+		if l := g.Nodes[c].Level + 1; l > level {
+			level = l
+		}
+	}
+	g.Nodes = append(g.Nodes, Node{
+		ID: id, Kind: kind, Level: level,
+		Children: append([]int(nil), children...), Extra: extra,
+	})
+	return id
+}
+
+// Validate checks the DAG invariants: children precede parents, leaves
+// have no children, AND/OR nodes have at least one child, and roots exist.
+func (g *Graph) Validate() error {
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case Leaf:
+			if len(n.Children) != 0 {
+				return fmt.Errorf("andor: leaf %d has children", n.ID)
+			}
+		case And, Or:
+			if len(n.Children) == 0 {
+				return fmt.Errorf("andor: %s node %d has no children", n.Kind, n.ID)
+			}
+			for _, c := range n.Children {
+				if c < 0 || c >= n.ID {
+					return fmt.Errorf("andor: node %d has out-of-order child %d", n.ID, c)
+				}
+			}
+		default:
+			return fmt.Errorf("andor: node %d has unknown kind %d", n.ID, int(n.Kind))
+		}
+	}
+	for _, r := range g.Roots {
+		if r < 0 || r >= len(g.Nodes) {
+			return fmt.Errorf("andor: root %d out of range", r)
+		}
+	}
+	return nil
+}
+
+// Height returns the number of levels above the leaves (the paper's
+// 2*log_p(N) for the regular reduction graph).
+func (g *Graph) Height() int {
+	h := 0
+	for _, n := range g.Nodes {
+		if n.Level > h {
+			h = n.Level
+		}
+	}
+	return h
+}
+
+// Count reports the number of leaves, AND-nodes and OR-nodes (dummy
+// pass-throughs count with their kind).
+func (g *Graph) Count() (leaves, ands, ors int) {
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case Leaf:
+			leaves++
+		case And:
+			ands++
+		case Or:
+			ors++
+		}
+	}
+	return leaves, ands, ors
+}
+
+// Evaluate computes every node's value bottom-up under a comparative
+// semiring (Add folds OR-children, Mul accumulates AND-children) and
+// returns the value vector indexed by node ID. For (MIN,+) an AND-node is
+// the sum of its children plus Extra, an OR-node the minimum of its
+// children — the paper's additive AND/OR-graphs.
+func (g *Graph) Evaluate(s semiring.Comparative) ([]float64, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	val := make([]float64, len(g.Nodes))
+	for i, n := range g.Nodes {
+		switch n.Kind {
+		case Leaf:
+			val[i] = n.Value
+		case And:
+			acc := s.One()
+			for _, c := range n.Children {
+				acc = s.Mul(acc, val[c])
+			}
+			val[i] = s.Mul(acc, n.Extra)
+		case Or:
+			acc := s.Zero()
+			for _, c := range n.Children {
+				acc = s.Add(acc, val[c])
+			}
+			val[i] = acc
+		}
+	}
+	return val, nil
+}
+
+// Serialize returns a copy of g in which every arc spans exactly one
+// level: an arc from a node at level L to a child at level l < L-1 is
+// routed through L-1-l dummy pass-through nodes (single-child OR nodes),
+// the dotted-line nodes of Figure 8. The evaluation result is unchanged;
+// the second return value counts the dummies added (the "redundant
+// hardware" the transformation costs).
+func (g *Graph) Serialize() (*Graph, int) {
+	out := &Graph{Nodes: append([]Node(nil), g.Nodes...), Roots: append([]int(nil), g.Roots...)}
+	// dummyAt[level][orig] is the ID of the dummy chain node lifting orig
+	// to the given level; chains are shared among parents, as in the
+	// paper's figure.
+	dummyAt := make(map[[2]int]int)
+	added := 0
+	var lift func(orig, toLevel int) int
+	lift = func(orig, toLevel int) int {
+		if out.Nodes[orig].Level >= toLevel {
+			return orig
+		}
+		key := [2]int{toLevel, orig}
+		if id, ok := dummyAt[key]; ok {
+			return id
+		}
+		below := lift(orig, toLevel-1)
+		id := len(out.Nodes)
+		out.Nodes = append(out.Nodes, Node{
+			ID: id, Kind: Or, Level: toLevel, Children: []int{below}, Dummy: true,
+		})
+		dummyAt[key] = id
+		added++
+		return id
+	}
+	// Iterate over the original nodes only; dummies appended on the fly.
+	orig := len(out.Nodes)
+	for i := 0; i < orig; i++ {
+		n := &out.Nodes[i]
+		if n.Kind == Leaf {
+			continue
+		}
+		for ci, c := range n.Children {
+			if out.Nodes[c].Level < n.Level-1 {
+				n.Children[ci] = lift(c, n.Level-1)
+			}
+		}
+	}
+	// Serialize breaks the children-precede-parents invariant (dummies get
+	// higher IDs); re-normalise by topological renumbering.
+	return out.renumber(), added
+}
+
+// renumber rewrites the graph so node IDs are a topological order
+// (children precede parents), preserving levels and roots.
+func (g *Graph) renumber() *Graph {
+	order := make([]int, 0, len(g.Nodes))
+	state := make([]int, len(g.Nodes)) // 0 unvisited, 1 in progress, 2 done
+	var visit func(int)
+	visit = func(id int) {
+		if state[id] != 0 {
+			return
+		}
+		state[id] = 1
+		for _, c := range g.Nodes[id].Children {
+			visit(c)
+		}
+		state[id] = 2
+		order = append(order, id)
+	}
+	for id := range g.Nodes {
+		visit(id)
+	}
+	remap := make([]int, len(g.Nodes))
+	for newID, oldID := range order {
+		remap[oldID] = newID
+	}
+	out := &Graph{Nodes: make([]Node, len(g.Nodes))}
+	for _, oldID := range order {
+		n := g.Nodes[oldID]
+		nn := n
+		nn.ID = remap[oldID]
+		nn.Children = make([]int, len(n.Children))
+		for i, c := range n.Children {
+			nn.Children[i] = remap[c]
+		}
+		out.Nodes[nn.ID] = nn
+	}
+	out.Roots = make([]int, len(g.Roots))
+	for i, r := range g.Roots {
+		out.Roots[i] = remap[r]
+	}
+	return out
+}
+
+// IsSerial reports whether every arc connects adjacent levels — the
+// structural property that makes a DP formulation serial (Section 2.2).
+func (g *Graph) IsSerial() bool {
+	for _, n := range g.Nodes {
+		for _, c := range n.Children {
+			if g.Nodes[c].Level != n.Level-1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// UP evaluates equation (32), the total number of nodes in the regular
+// AND/OR-graph reducing an (N+1)-stage problem with partition p and m
+// values per stage:
+//
+//	u(p) = (N-1)/(p-1) * m^(p+1) + (N*p-1)/(p-1) * m^2
+//
+// N must be a power of p for the graph to exist; the formula itself is
+// evaluated for any arguments.
+func UP(n, p, m int) float64 {
+	nf, pf, mf := float64(n), float64(p), float64(m)
+	return (nf-1)/(pf-1)*math.Pow(mf, pf+1) + (nf*pf-1)/(pf-1)*mf*mf
+}
+
+// IsPowerOf reports whether n == p^q for some integer q >= 1.
+func IsPowerOf(n, p int) bool {
+	if n < p || p < 2 {
+		return n == p
+	}
+	for n > 1 {
+		if n%p != 0 {
+			return false
+		}
+		n /= p
+	}
+	return true
+}
+
+// BuildRegular constructs the regular AND/OR-graph of Figure 7: the
+// reduction of an (N+1)-stage graph g (N = p^q stage-to-stage cost
+// matrices, m nodes per stage) to a single stage using p-ary partitions.
+// The roots are the m^2 top-level OR-nodes, ordered (a, b) row-major:
+// root a*m+b evaluates to the optimal cost from node a of stage 0 to node
+// b of stage N.
+func BuildRegular(g *multistage.Graph, p int) (*Graph, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if p < 2 {
+		return nil, fmt.Errorf("andor: partition p must be >= 2, have %d", p)
+	}
+	n := g.Stages() - 1
+	m := g.StageSizes[0]
+	for _, sz := range g.StageSizes {
+		if sz != m {
+			return nil, fmt.Errorf("andor: BuildRegular needs a uniform graph")
+		}
+	}
+	if !IsPowerOf(n, p) {
+		return nil, fmt.Errorf("andor: N=%d is not a power of p=%d", n, p)
+	}
+	out := &Graph{}
+	// seg[k] holds the m^2 node IDs (row-major) of the current cost matrix
+	// for segment k.
+	segs := make([][]int, n)
+	for k := 0; k < n; k++ {
+		ids := make([]int, m*m)
+		for a := 0; a < m; a++ {
+			for b := 0; b < m; b++ {
+				ids[a*m+b] = out.AddLeaf(g.Cost[k].At(a, b))
+			}
+		}
+		segs[k] = ids
+	}
+	// interior enumerates the m^(p-1) choices of p-1 interior nodes.
+	for len(segs) > 1 {
+		next := make([][]int, 0, len(segs)/p)
+		for s := 0; s+p <= len(segs); s += p {
+			group := segs[s : s+p]
+			ids := make([]int, m*m)
+			for a := 0; a < m; a++ {
+				for b := 0; b < m; b++ {
+					// One OR-node with m^(p-1) AND-children.
+					ands := make([]int, 0, intPow(m, p-1))
+					interior := make([]int, p-1)
+					for {
+						// AND-node: the path a -> interior... -> b through
+						// the p segments.
+						children := make([]int, p)
+						prev := a
+						for seg := 0; seg < p; seg++ {
+							nxt := b
+							if seg < p-1 {
+								nxt = interior[seg]
+							}
+							children[seg] = group[seg][prev*m+nxt]
+							prev = nxt
+						}
+						ands = append(ands, out.AddNode(And, children, 0))
+						// Increment the mixed-radix interior counter.
+						i := 0
+						for ; i < p-1; i++ {
+							interior[i]++
+							if interior[i] < m {
+								break
+							}
+							interior[i] = 0
+						}
+						if i == p-1 {
+							break
+						}
+					}
+					ids[a*m+b] = out.AddNode(Or, ands, 0)
+				}
+			}
+			next = append(next, ids)
+		}
+		segs = next
+	}
+	out.Roots = segs[0]
+	return out, nil
+}
+
+func intPow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}
+
+// SolveRegular builds the p-ary reduction graph, evaluates it, and returns
+// the overall optimum (the fold of the m^2 roots under the semiring) —
+// comparable with multistage.SolveOptimal.
+func SolveRegular(s semiring.Comparative, g *multistage.Graph, p int) (float64, error) {
+	ao, err := BuildRegular(g, p)
+	if err != nil {
+		return 0, err
+	}
+	vals, err := ao.Evaluate(s)
+	if err != nil {
+		return 0, err
+	}
+	acc := s.Zero()
+	for _, r := range ao.Roots {
+		acc = s.Add(acc, vals[r])
+	}
+	return acc, nil
+}

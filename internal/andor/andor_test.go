@@ -1,0 +1,349 @@
+package andor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"systolicdp/internal/matrix"
+	"systolicdp/internal/multistage"
+	"systolicdp/internal/semiring"
+)
+
+var mp = semiring.MinPlus{}
+
+func TestAddAndEvaluateSmall(t *testing.T) {
+	// min( 1+2, 4 ) = 3.
+	g := &Graph{}
+	l1 := g.AddLeaf(1)
+	l2 := g.AddLeaf(2)
+	l3 := g.AddLeaf(4)
+	and := g.AddNode(And, []int{l1, l2}, 0)
+	or := g.AddNode(Or, []int{and, l3}, 0)
+	g.Roots = []int{or}
+	vals, err := g.Evaluate(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[or] != 3 {
+		t.Errorf("root = %v, want 3", vals[or])
+	}
+	if g.Height() != 2 {
+		t.Errorf("height = %d, want 2", g.Height())
+	}
+}
+
+func TestAndExtra(t *testing.T) {
+	// The matrix-chain additive constant: AND sums children plus Extra.
+	g := &Graph{}
+	l1 := g.AddLeaf(1)
+	l2 := g.AddLeaf(2)
+	and := g.AddNode(And, []int{l1, l2}, 10)
+	g.Roots = []int{and}
+	vals, err := g.Evaluate(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[and] != 13 {
+		t.Errorf("and = %v, want 13", vals[and])
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	g := &Graph{Nodes: []Node{{ID: 0, Kind: And}}}
+	if err := g.Validate(); err == nil {
+		t.Error("childless AND accepted")
+	}
+	g = &Graph{Nodes: []Node{{ID: 0, Kind: Leaf, Children: []int{0}}}}
+	if err := g.Validate(); err == nil {
+		t.Error("leaf with children accepted")
+	}
+	g = &Graph{Nodes: []Node{{ID: 0, Kind: Or, Children: []int{3}}}}
+	if err := g.Validate(); err == nil {
+		t.Error("forward child reference accepted")
+	}
+	g = &Graph{Nodes: []Node{{ID: 0, Kind: Leaf}}, Roots: []int{5}}
+	if err := g.Validate(); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+}
+
+func TestUPFormulaEquation32(t *testing.T) {
+	// Spot values computed by hand from equation (32).
+	// N=2, p=2, m=2: (1/1)*2^3 + (3/1)*4 = 8 + 12 = 20.
+	if got := UP(2, 2, 2); got != 20 {
+		t.Errorf("UP(2,2,2) = %v, want 20", got)
+	}
+	// N=4, p=2, m=3: 3*81/... (4-1)/1*3^3 + (8-1)/1*9 = 81 + 63 = 144.
+	if got := UP(4, 2, 3); got != 144 {
+		t.Errorf("UP(4,2,3) = %v, want 144", got)
+	}
+}
+
+func TestBuildRegularCountsMatchUP(t *testing.T) {
+	// The constructed graph's node count must equal equation (32).
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ n, p, m int }{
+		{2, 2, 2}, {4, 2, 2}, {4, 2, 3}, {8, 2, 2}, {4, 4, 2}, {9, 3, 2}, {16, 4, 2},
+	} {
+		g := multistage.RandomUniform(rng, tc.n+1, tc.m, 1, 10)
+		ao, err := BuildRegular(g, tc.p)
+		if err != nil {
+			t.Fatalf("n=%d p=%d m=%d: %v", tc.n, tc.p, tc.m, err)
+		}
+		leaves, ands, ors := ao.Count()
+		total := leaves + ands + ors
+		if want := UP(tc.n, tc.p, tc.m); float64(total) != want {
+			t.Errorf("n=%d p=%d m=%d: total %d, u(p) %v (leaves %d ands %d ors %d)",
+				tc.n, tc.p, tc.m, total, want, leaves, ands, ors)
+		}
+		// Height is 2*log_p(N).
+		if want := 2 * int(math.Round(math.Log(float64(tc.n))/math.Log(float64(tc.p)))); ao.Height() != want {
+			t.Errorf("n=%d p=%d: height %d, want %d", tc.n, tc.p, ao.Height(), want)
+		}
+	}
+}
+
+func TestTheorem2BinaryPartitionMinimal(t *testing.T) {
+	// Theorem 2: p = 2 minimises u(p) for m >= 2 (and m >= 3 strictly per
+	// the derivative condition; check the full inventory for N=16).
+	n := 16
+	for _, m := range []int{2, 3, 5, 8} {
+		u2 := UP(n, 2, m)
+		for _, p := range []int{4, 8, 16} {
+			if up := UP(n, p, m); up < u2 {
+				t.Errorf("m=%d: u(%d)=%v < u(2)=%v, Theorem 2 violated", m, p, up, u2)
+			}
+		}
+		// Strict growth for m >= 3.
+		if m >= 3 {
+			if UP(n, 4, m) <= u2 {
+				t.Errorf("m=%d: u(4) should strictly exceed u(2)", m)
+			}
+		}
+	}
+}
+
+func TestSolveRegularMatchesOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, tc := range []struct{ n, p, m int }{
+		{2, 2, 3}, {4, 2, 2}, {4, 2, 4}, {8, 2, 3}, {4, 4, 3}, {9, 3, 2}, {16, 2, 2},
+	} {
+		g := multistage.RandomUniform(rng, tc.n+1, tc.m, 0, 20)
+		got, err := SolveRegular(mp, g, tc.p)
+		if err != nil {
+			t.Fatalf("n=%d p=%d m=%d: %v", tc.n, tc.p, tc.m, err)
+		}
+		want := multistage.SolveOptimal(mp, g).Cost
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("n=%d p=%d m=%d: AND/OR %v, optimal %v", tc.n, tc.p, tc.m, got, want)
+		}
+	}
+}
+
+func TestRootsAreAllPairsCosts(t *testing.T) {
+	// Root a*m+b must equal the optimal a->b cost, f3(V_0, V_N) of
+	// equation (15).
+	rng := rand.New(rand.NewSource(3))
+	m := 3
+	g := multistage.RandomUniform(rng, 5, m, 0, 10) // N = 4
+	ao, err := BuildRegular(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := ao.Evaluate(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: min-plus product of the four cost matrices.
+	prod := matrix.ChainMat(mp, g.Cost)
+	for a := 0; a < m; a++ {
+		for b := 0; b < m; b++ {
+			if got, want := vals[ao.Roots[a*m+b]], prod.At(a, b); math.Abs(got-want) > 1e-9 {
+				t.Errorf("root (%d,%d): %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestBuildRegularErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := multistage.RandomUniform(rng, 4, 2, 0, 10) // N = 3, not a power of 2
+	if _, err := BuildRegular(g, 2); err == nil {
+		t.Error("N not a power of p accepted")
+	}
+	if _, err := BuildRegular(multistage.RandomUniform(rng, 5, 2, 0, 10), 1); err == nil {
+		t.Error("p=1 accepted")
+	}
+	ragged := multistage.Random(rng, []int{2, 3, 2}, 0, 10)
+	if _, err := BuildRegular(ragged, 2); err == nil {
+		t.Error("non-uniform graph accepted")
+	}
+}
+
+func TestSerializeMakesSerial(t *testing.T) {
+	// Build a deliberately nonserial graph: a root at level 3 with one
+	// child at level 0 (like m_{1,3}*m_{4,4} in Figure 2).
+	g := &Graph{}
+	l0 := g.AddLeaf(5)
+	l1 := g.AddLeaf(7)
+	a1 := g.AddNode(And, []int{l0, l1}, 0) // level 1
+	o1 := g.AddNode(Or, []int{a1}, 0)      // level 2
+	top := g.AddNode(And, []int{o1, l0}, 0)
+	g.Roots = []int{top}
+	if g.IsSerial() {
+		t.Fatal("test graph should be nonserial")
+	}
+	before, err := g.Evaluate(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, added := g.Serialize()
+	if !sg.IsSerial() {
+		t.Error("Serialize did not produce a serial graph")
+	}
+	if added != 2 {
+		t.Errorf("added %d dummies, want 2 (lift leaf from level 0 to 2)", added)
+	}
+	after, err := sg.Evaluate(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(before[g.Roots[0]]-after[sg.Roots[0]]) > 1e-9 {
+		t.Errorf("serialisation changed the result: %v vs %v", before[g.Roots[0]], after[sg.Roots[0]])
+	}
+}
+
+func TestSerializeSharesDummyChains(t *testing.T) {
+	// Two parents needing the same lifted child must share one chain.
+	g := &Graph{}
+	l0 := g.AddLeaf(5)
+	l1 := g.AddLeaf(7)
+	a1 := g.AddNode(And, []int{l0, l1}, 0)
+	o1 := g.AddNode(Or, []int{a1}, 0)
+	t1 := g.AddNode(And, []int{o1, l0}, 0)
+	t2 := g.AddNode(And, []int{o1, l0}, 0)
+	g.Roots = []int{t1, t2}
+	_, added := g.Serialize()
+	if added != 2 {
+		t.Errorf("added %d dummies, want 2 shared", added)
+	}
+}
+
+func TestSerializeIdempotentOnSerialGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := multistage.RandomUniform(rng, 5, 2, 0, 10)
+	ao, err := BuildRegular(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ao.IsSerial() {
+		t.Fatal("regular reduction graph should be serial already")
+	}
+	_, added := ao.Serialize()
+	if added != 0 {
+		t.Errorf("serial graph gained %d dummies", added)
+	}
+}
+
+func TestEvaluateParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := multistage.RandomUniform(rng, 9, 3, 0, 10) // N = 8
+	ao, err := BuildRegular(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := ao.Evaluate(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 16} {
+		par, st, err := ao.EvaluateParallel(mp, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seq {
+			if math.Abs(seq[i]-par[i]) > 1e-9 {
+				t.Fatalf("workers=%d: node %d: %v vs %v", workers, i, seq[i], par[i])
+			}
+		}
+		if st.Levels != ao.Height() {
+			t.Errorf("levels %d != height %d", st.Levels, ao.Height())
+		}
+		leaves, ands, ors := ao.Count()
+		if st.NodeSteps != ands+ors {
+			t.Errorf("node steps %d, want %d", st.NodeSteps, ands+ors)
+		}
+		_ = leaves
+	}
+	if _, _, err := ao.EvaluateParallel(mp, 0); err == nil {
+		t.Error("workers=0 accepted")
+	}
+}
+
+func TestPropertySerializePreservesValues(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random layered DAG with arbitrary-level arcs.
+		g := &Graph{}
+		var pool []int
+		for i := 0; i < 4+rng.Intn(4); i++ {
+			pool = append(pool, g.AddLeaf(float64(rng.Intn(50))))
+		}
+		for i := 0; i < 8+rng.Intn(8); i++ {
+			nc := 1 + rng.Intn(3)
+			children := make([]int, nc)
+			for j := range children {
+				children[j] = pool[rng.Intn(len(pool))]
+			}
+			kind := Or
+			if rng.Intn(2) == 0 {
+				kind = And
+			}
+			pool = append(pool, g.AddNode(kind, children, 0))
+		}
+		root := pool[len(pool)-1]
+		g.Roots = []int{root}
+		before, err := g.Evaluate(mp)
+		if err != nil {
+			return false
+		}
+		sg, _ := g.Serialize()
+		if !sg.IsSerial() {
+			return false
+		}
+		after, err := sg.Evaluate(mp)
+		if err != nil {
+			return false
+		}
+		return math.Abs(before[root]-after[sg.Roots[0]]) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsPowerOf(t *testing.T) {
+	cases := []struct {
+		n, p int
+		want bool
+	}{
+		{8, 2, true}, {9, 3, true}, {16, 4, true}, {6, 2, false},
+		{2, 2, true}, {1, 2, false}, {27, 3, true}, {12, 3, false},
+	}
+	for _, c := range cases {
+		if got := IsPowerOf(c.n, c.p); got != c.want {
+			t.Errorf("IsPowerOf(%d,%d) = %v, want %v", c.n, c.p, got, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Leaf.String() != "leaf" || And.String() != "and" || Or.String() != "or" {
+		t.Error("Kind.String wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind must still render")
+	}
+}

@@ -1,0 +1,119 @@
+package andor
+
+import (
+	"fmt"
+	"strings"
+
+	"systolicdp/internal/semiring"
+)
+
+// DOT renders the AND/OR-graph in Graphviz format for inspection —
+// AND-nodes as boxes, OR-nodes as diamonds, leaves as circles, dummy
+// pass-throughs dashed, ranked by level so the drawing mirrors the
+// paper's Figures 2, 7 and 8.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=BT;\n  node [fontsize=10];\n")
+	byLevel := map[int][]int{}
+	maxLevel := 0
+	for _, n := range g.Nodes {
+		byLevel[n.Level] = append(byLevel[n.Level], n.ID)
+		if n.Level > maxLevel {
+			maxLevel = n.Level
+		}
+	}
+	roots := map[int]bool{}
+	for _, r := range g.Roots {
+		roots[r] = true
+	}
+	for level := 0; level <= maxLevel; level++ {
+		if len(byLevel[level]) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  { rank=same;")
+		for _, id := range byLevel[level] {
+			fmt.Fprintf(&b, " n%d;", id)
+		}
+		b.WriteString(" }\n")
+	}
+	for _, n := range g.Nodes {
+		attrs := []string{}
+		switch n.Kind {
+		case Leaf:
+			attrs = append(attrs, "shape=circle", fmt.Sprintf("label=\"%g\"", n.Value))
+		case And:
+			label := "AND"
+			if n.Extra != 0 {
+				label = fmt.Sprintf("AND +%g", n.Extra)
+			}
+			attrs = append(attrs, "shape=box", fmt.Sprintf("label=%q", label))
+		case Or:
+			attrs = append(attrs, "shape=diamond", "label=\"OR\"")
+		}
+		if n.Dummy {
+			attrs = append(attrs, "style=dashed", "label=\"\"")
+		}
+		if roots[n.ID] {
+			attrs = append(attrs, "penwidth=2")
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", n.ID, strings.Join(attrs, ", "))
+	}
+	for _, n := range g.Nodes {
+		for _, c := range n.Children {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", c, n.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// DOTWithSolution renders the graph with the minimum-cost solution tree
+// rooted at `root` highlighted: chosen nodes and arcs drawn bold red,
+// exactly the "minimal-cost solution tree" picture of Martelli &
+// Montanari that Section 5 builds on.
+func (g *Graph) DOTWithSolution(name string, s semiring.Comparative, root int) (string, error) {
+	st, err := g.ExtractSolution(s, root)
+	if err != nil {
+		return "", err
+	}
+	inTree := map[int]bool{}
+	for _, id := range st.Nodes {
+		inTree[id] = true
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=BT;\n  node [fontsize=10];\n", name)
+	for _, n := range g.Nodes {
+		shape := "circle"
+		label := fmt.Sprintf("%g", n.Value)
+		switch n.Kind {
+		case And:
+			shape, label = "box", "AND"
+			if n.Extra != 0 {
+				label = fmt.Sprintf("AND +%g", n.Extra)
+			}
+		case Or:
+			shape, label = "diamond", "OR"
+		}
+		attrs := fmt.Sprintf("shape=%s, label=%q", shape, label)
+		if inTree[n.ID] {
+			attrs += ", color=red, penwidth=2"
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", n.ID, attrs)
+	}
+	for _, n := range g.Nodes {
+		for _, c := range n.Children {
+			attrs := ""
+			chosen := inTree[n.ID] && inTree[c]
+			if n.Kind == Or {
+				chosen = chosen && st.Chosen[n.ID] == c
+			}
+			if chosen {
+				attrs = " [color=red, penwidth=2]"
+			}
+			fmt.Fprintf(&b, "  n%d -> n%d%s;\n", c, n.ID, attrs)
+		}
+	}
+	fmt.Fprintf(&b, "  label=\"solution value %g\";\n}\n", st.Value)
+	return b.String(), nil
+}

@@ -1,0 +1,78 @@
+package andor
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTRendersAllElements(t *testing.T) {
+	g := &Graph{}
+	l1 := g.AddLeaf(3)
+	l2 := g.AddLeaf(4)
+	and := g.AddNode(And, []int{l1, l2}, 7)
+	or := g.AddNode(Or, []int{and}, 0)
+	g.Roots = []int{or}
+	sg, _ := g.Serialize()
+	out := sg.DOT("test")
+	for _, want := range []string{
+		"digraph \"test\"", "shape=circle", "shape=box", "shape=diamond",
+		"AND +7", "rank=same", "->", "penwidth=2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Edge count equals the number of child links.
+	edges := 0
+	for _, n := range sg.Nodes {
+		edges += len(n.Children)
+	}
+	if got := strings.Count(out, "->"); got != edges {
+		t.Errorf("%d edges rendered, want %d", got, edges)
+	}
+}
+
+func TestDOTDashedDummies(t *testing.T) {
+	g := &Graph{}
+	l0 := g.AddLeaf(5)
+	l1 := g.AddLeaf(7)
+	a1 := g.AddNode(And, []int{l0, l1}, 0)
+	o1 := g.AddNode(Or, []int{a1}, 0)
+	top := g.AddNode(And, []int{o1, l0}, 0)
+	g.Roots = []int{top}
+	sg, added := g.Serialize()
+	if added == 0 {
+		t.Fatal("expected dummies")
+	}
+	if got := strings.Count(sg.DOT("x"), "style=dashed"); got != added {
+		t.Errorf("%d dashed nodes, want %d", got, added)
+	}
+}
+
+func TestDOTWithSolutionHighlights(t *testing.T) {
+	g := &Graph{}
+	l1 := g.AddLeaf(1)
+	l2 := g.AddLeaf(9)
+	or := g.AddNode(Or, []int{l1, l2}, 0)
+	g.Roots = []int{or}
+	out, err := g.DOTWithSolution("sol", mp, or)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "color=red") {
+		t.Error("no highlighted nodes")
+	}
+	if !strings.Contains(out, "solution value 1") {
+		t.Errorf("solution label missing:\n%s", out)
+	}
+	// The chosen arc (leaf 1 -> or) must be red; the rejected one not.
+	if !strings.Contains(out, "n0 -> n2 [color=red") {
+		t.Error("chosen arc not highlighted")
+	}
+	if strings.Contains(out, "n1 -> n2 [color=red") {
+		t.Error("rejected arc highlighted")
+	}
+	if _, err := g.DOTWithSolution("x", mp, 99); err == nil {
+		t.Error("bad root accepted")
+	}
+}

@@ -1,0 +1,37 @@
+package andor_test
+
+import (
+	"fmt"
+
+	"systolicdp/internal/andor"
+)
+
+// ExampleUP evaluates the node-count formula of equation (32), showing
+// Theorem 2's preference for binary partitions.
+func ExampleUP() {
+	for _, p := range []int{2, 4, 16} {
+		fmt.Println(p, andor.UP(16, p, 3))
+	}
+	// Output:
+	// 2 684
+	// 4 1404
+	// 16 1.29140316e+08
+}
+
+// ExampleGraph_Serialize shows the Figure-8 transformation: a nonserial
+// graph gains dummy pass-through nodes until every arc spans one level.
+func ExampleGraph_Serialize() {
+	g := &andor.Graph{}
+	l0 := g.AddLeaf(5)
+	l1 := g.AddLeaf(7)
+	and := g.AddNode(andor.And, []int{l0, l1}, 0)
+	or := g.AddNode(andor.Or, []int{and}, 0)
+	top := g.AddNode(andor.And, []int{or, l0}, 0) // arc spans two levels
+	g.Roots = []int{top}
+	fmt.Println(g.IsSerial())
+	sg, added := g.Serialize()
+	fmt.Println(sg.IsSerial(), added)
+	// Output:
+	// false
+	// true 2
+}

@@ -1,0 +1,108 @@
+package andor
+
+import (
+	"fmt"
+	"math"
+)
+
+// The closing argument of Section 5: for irregular multistage graphs
+// (stage sizes m_1..m_k not all equal), the number of comparisons in the
+// AND/OR-graph depends on the order in which interior stages are
+// eliminated, and binary partitioning still wins — using a 3-arc AND-node
+// over stages (m1,m2,m3,m4) costs m1*m2*m3*m4 comparisons, while
+// eliminating one stage at a time costs m1*m3*(m2+m4) or m2*m4*(m1+m3).
+// Choosing the best binary elimination order is itself the secondary
+// optimization problem: it has exactly the matrix-chain-ordering
+// recurrence over the stage-size vector.
+
+// TriReductionCost returns the comparison count of eliminating stages 2
+// and 3 of a four-stage segment (sizes m1..m4) with a single 3-arc
+// AND-node: m1*m2*m3*m4.
+func TriReductionCost(m1, m2, m3, m4 int) int { return m1 * m2 * m3 * m4 }
+
+// BinaryReductionCost returns the cheaper of the two binary elimination
+// orders for the same segment — stage 2 first (m1*m2*m3 + m1*m3*m4) or
+// stage 3 first (m2*m3*m4 + m1*m2*m4) — along with which stage to
+// eliminate first (2 or 3). The paper states the folded form
+// m1*m3*(m2+m4) and m2*m4*(m1+m3).
+func BinaryReductionCost(m1, m2, m3, m4 int) (cost int, first int) {
+	via2 := m1 * m3 * (m2 + m4) // eliminate stage 2, then stage 3
+	via3 := m2 * m4 * (m1 + m3) // eliminate stage 3, then stage 2
+	if via2 <= via3 {
+		return via2, 2
+	}
+	return via3, 3
+}
+
+// EliminationOrder computes the optimal binary elimination order for an
+// irregular multistage graph with the given stage sizes: the interior
+// stages are removed one at a time, eliminating stage of size m_k between
+// current neighbours of sizes m_i and m_j at a cost of m_i*m_k*m_j
+// comparisons. The recurrence is the matrix-chain DP of equation (6) with
+// the stage sizes as dimensions. It returns the minimum total comparison
+// count and the elimination sequence (indices into sizes, in order).
+func EliminationOrder(sizes []int) (int, []int, error) {
+	n := len(sizes)
+	if n < 2 {
+		return 0, nil, fmt.Errorf("andor: need at least 2 stages, have %d", n)
+	}
+	for i, m := range sizes {
+		if m < 1 {
+			return 0, nil, fmt.Errorf("andor: stage %d has size %d", i, m)
+		}
+	}
+	if n == 2 {
+		return 0, nil, nil
+	}
+	// cost[i][j]: optimal comparisons to eliminate all stages strictly
+	// between i and j; split[i][j]: the last stage eliminated.
+	cost := make([][]float64, n)
+	split := make([][]int, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		split[i] = make([]int, n)
+	}
+	for span := 2; span < n; span++ {
+		for i := 0; i+span < n; i++ {
+			j := i + span
+			best, arg := math.Inf(1), -1
+			for k := i + 1; k < j; k++ {
+				c := cost[i][k] + cost[k][j] + float64(sizes[i]*sizes[k]*sizes[j])
+				if c < best {
+					best, arg = c, k
+				}
+			}
+			cost[i][j] = best
+			split[i][j] = arg
+		}
+	}
+	var order []int
+	var rec func(i, j int)
+	rec = func(i, j int) {
+		if j-i < 2 {
+			return
+		}
+		k := split[i][j]
+		rec(i, k)
+		rec(k, j)
+		order = append(order, k) // k eliminated after its sub-segments
+	}
+	rec(0, n-1)
+	return int(cost[0][n-1]), order, nil
+}
+
+// NaiveEliminationCost is the left-to-right elimination baseline: remove
+// interior stages in index order.
+func NaiveEliminationCost(sizes []int) (int, error) {
+	n := len(sizes)
+	if n < 2 {
+		return 0, fmt.Errorf("andor: need at least 2 stages, have %d", n)
+	}
+	// Eliminating stage k merges it into the frontier from stage 0, so
+	// each step costs m_0 * m_k * m_{k+1}.
+	total := 0
+	for k := 1; k+1 < n; k++ {
+		total += sizes[0] * sizes[k] * sizes[k+1]
+	}
+	return total, nil
+}

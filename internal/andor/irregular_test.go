@@ -1,0 +1,161 @@
+package andor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryBeatsTriReduction(t *testing.T) {
+	// The paper: 3-arc AND-nodes need more comparisons whenever all
+	// m_i >= 2.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		m1, m2, m3, m4 := 2+rng.Intn(8), 2+rng.Intn(8), 2+rng.Intn(8), 2+rng.Intn(8)
+		tri := TriReductionCost(m1, m2, m3, m4)
+		bin, first := BinaryReductionCost(m1, m2, m3, m4)
+		if bin > tri {
+			t.Fatalf("binary %d > ternary %d for (%d,%d,%d,%d)", bin, tri, m1, m2, m3, m4)
+		}
+		if first != 2 && first != 3 {
+			t.Fatalf("first = %d", first)
+		}
+	}
+}
+
+func TestBinaryReductionPicksCheaperOrder(t *testing.T) {
+	// Asymmetric sizes force a specific order: with a huge stage 2 it
+	// must go first.
+	cost, first := BinaryReductionCost(2, 100, 2, 2)
+	if first != 2 {
+		t.Errorf("first = %d, want 2 (eliminate the huge stage early)", first)
+	}
+	if want := 2 * 2 * (100 + 2); cost != want {
+		t.Errorf("cost = %d, want %d", cost, want)
+	}
+	_, first = BinaryReductionCost(2, 2, 100, 2)
+	if first != 3 {
+		t.Errorf("first = %d, want 3", first)
+	}
+}
+
+func TestEliminationOrderMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(5)
+		sizes := make([]int, n)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Intn(6)
+		}
+		got, order, err := EliminationOrder(sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteEliminate(sizes)
+		if got != want {
+			t.Fatalf("trial %d sizes %v: DP %d, brute %d", trial, sizes, got, want)
+		}
+		// The order must contain each interior stage exactly once and
+		// replaying it must cost exactly `got`.
+		if replay := replayOrder(sizes, order); replay != got {
+			t.Fatalf("trial %d: replaying order costs %d, want %d", trial, replay, got)
+		}
+	}
+}
+
+// bruteEliminate tries every elimination sequence.
+func bruteEliminate(sizes []int) int {
+	var rec func(cur []int) int
+	rec = func(cur []int) int {
+		if len(cur) == 2 {
+			return 0
+		}
+		best := 1 << 60
+		for k := 1; k+1 < len(cur); k++ {
+			c := cur[k-1] * cur[k] * cur[k+1]
+			next := append(append([]int(nil), cur[:k]...), cur[k+1:]...)
+			if total := c + rec(next); total < best {
+				best = total
+			}
+		}
+		return best
+	}
+	return rec(sizes)
+}
+
+// replayOrder applies the elimination sequence and accumulates costs.
+func replayOrder(sizes []int, order []int) int {
+	alive := make([]bool, len(sizes))
+	for i := range alive {
+		alive[i] = true
+	}
+	total := 0
+	for _, k := range order {
+		li, ri := -1, -1
+		for i := k - 1; i >= 0; i-- {
+			if alive[i] {
+				li = i
+				break
+			}
+		}
+		for i := k + 1; i < len(sizes); i++ {
+			if alive[i] {
+				ri = i
+				break
+			}
+		}
+		total += sizes[li] * sizes[k] * sizes[ri]
+		alive[k] = false
+	}
+	return total
+}
+
+func TestEliminationOrderOptimalVsNaive(t *testing.T) {
+	// A graph with one huge interior stage: the optimal order removes it
+	// first, the naive left-to-right order pays for it repeatedly... in
+	// this formulation naive differs once sizes are skewed.
+	sizes := []int{2, 3, 50, 3, 2}
+	opt, _, err := EliminationOrder(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := bruteEliminate(sizes); opt != want {
+		t.Fatalf("opt %d != brute %d", opt, want)
+	}
+	naive, err := NaiveEliminationCost(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt > naive {
+		t.Errorf("optimal order %d worse than naive %d", opt, naive)
+	}
+}
+
+func TestEliminationOrderEdgeCases(t *testing.T) {
+	if _, _, err := EliminationOrder([]int{3}); err == nil {
+		t.Error("single stage accepted")
+	}
+	if _, _, err := EliminationOrder([]int{3, 0, 2}); err == nil {
+		t.Error("zero-size stage accepted")
+	}
+	c, order, err := EliminationOrder([]int{4, 7})
+	if err != nil || c != 0 || len(order) != 0 {
+		t.Errorf("two-stage graph: %d %v %v", c, order, err)
+	}
+}
+
+func TestPropertyEliminationOrderIsOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		sizes := make([]int, n)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Intn(5)
+		}
+		got, _, err := EliminationOrder(sizes)
+		return err == nil && got == bruteEliminate(sizes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

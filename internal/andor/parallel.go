@@ -1,0 +1,87 @@
+package andor
+
+import (
+	"fmt"
+	"sync"
+
+	"systolicdp/internal/semiring"
+)
+
+// ParallelStats reports a level-synchronous parallel evaluation.
+type ParallelStats struct {
+	Levels    int // parallel steps (one per level above the leaves)
+	Workers   int
+	MaxWidth  int // widest level (nodes evaluated concurrently at peak)
+	NodeSteps int // total node evaluations (equals non-leaf node count)
+}
+
+// EvaluateParallel computes node values level by level, evaluating each
+// level's nodes concurrently on the given number of worker goroutines —
+// the bottom-up parallel AND/OR-tree search of Section 6.2. Results equal
+// Evaluate; the returned stats expose the graph's parallel profile (the
+// number of levels is the critical-path length 2*log_p N for the regular
+// reduction graph).
+func (g *Graph) EvaluateParallel(s semiring.Comparative, workers int) ([]float64, *ParallelStats, error) {
+	if workers < 1 {
+		return nil, nil, fmt.Errorf("andor: need workers >= 1, have %d", workers)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, nil, err
+	}
+	byLevel := make(map[int][]int)
+	maxLevel := 0
+	for _, n := range g.Nodes {
+		byLevel[n.Level] = append(byLevel[n.Level], n.ID)
+		if n.Level > maxLevel {
+			maxLevel = n.Level
+		}
+	}
+	val := make([]float64, len(g.Nodes))
+	for _, id := range byLevel[0] {
+		n := g.Nodes[id]
+		if n.Kind == Leaf {
+			val[id] = n.Value
+		}
+	}
+	st := &ParallelStats{Levels: maxLevel, Workers: workers}
+	for level := 1; level <= maxLevel; level++ {
+		ids := byLevel[level]
+		if len(ids) > st.MaxWidth {
+			st.MaxWidth = len(ids)
+		}
+		st.NodeSteps += len(ids)
+		var wg sync.WaitGroup
+		chunk := (len(ids) + workers - 1) / workers
+		for w := 0; w < workers && w*chunk < len(ids); w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > len(ids) {
+				hi = len(ids)
+			}
+			wg.Add(1)
+			go func(ids []int) {
+				defer wg.Done()
+				for _, id := range ids {
+					n := g.Nodes[id]
+					switch n.Kind {
+					case And:
+						acc := s.One()
+						for _, c := range n.Children {
+							acc = s.Mul(acc, val[c])
+						}
+						val[id] = s.Mul(acc, n.Extra)
+					case Or:
+						acc := s.Zero()
+						for _, c := range n.Children {
+							acc = s.Add(acc, val[c])
+						}
+						val[id] = acc
+					case Leaf:
+						val[id] = n.Value
+					}
+				}
+			}(ids[lo:hi])
+		}
+		wg.Wait()
+	}
+	return val, st, nil
+}

@@ -1,0 +1,175 @@
+package andor
+
+import (
+	"fmt"
+
+	"systolicdp/internal/multistage"
+	"systolicdp/internal/semiring"
+)
+
+// Martelli & Montanari's equivalence is constructive: the minimum-cost
+// solution tree of the reduction graph IS the optimal path. Index records
+// the problem coordinates of every node built by BuildRegularIndexed so a
+// solution tree can be decoded back into a multistage path.
+
+// nodeMeta locates one AND/OR node in the reduction: the stage span
+// [Lo, Hi] it covers, its endpoint node indices (A in stage Lo, B in
+// stage Hi), and — for AND nodes — the p-1 cut stages with the interior
+// node indices chosen at them.
+type nodeMeta struct {
+	Lo, Hi   int
+	A, B     int
+	Cuts     []int // cut stages (AND nodes)
+	Interior []int // chosen node index at each cut (AND nodes)
+}
+
+// Index maps node IDs of a regular reduction graph back to problem
+// coordinates.
+type Index struct {
+	P, N, M int
+	meta    []nodeMeta
+}
+
+// BuildRegularIndexed is BuildRegular plus an Index for path decoding.
+func BuildRegularIndexed(g *multistage.Graph, p int) (*Graph, *Index, error) {
+	if err := g.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if p < 2 {
+		return nil, nil, fmt.Errorf("andor: partition p must be >= 2, have %d", p)
+	}
+	n := g.Stages() - 1
+	m := g.StageSizes[0]
+	for _, sz := range g.StageSizes {
+		if sz != m {
+			return nil, nil, fmt.Errorf("andor: BuildRegularIndexed needs a uniform graph")
+		}
+	}
+	if !IsPowerOf(n, p) {
+		return nil, nil, fmt.Errorf("andor: N=%d is not a power of p=%d", n, p)
+	}
+	out := &Graph{}
+	idx := &Index{P: p, N: n, M: m}
+	note := func(id int, mt nodeMeta) {
+		for len(idx.meta) <= id {
+			idx.meta = append(idx.meta, nodeMeta{})
+		}
+		idx.meta[id] = mt
+	}
+	type seg struct {
+		lo, hi int
+		ids    []int
+	}
+	segs := make([]seg, n)
+	for k := 0; k < n; k++ {
+		ids := make([]int, m*m)
+		for a := 0; a < m; a++ {
+			for b := 0; b < m; b++ {
+				id := out.AddLeaf(g.Cost[k].At(a, b))
+				ids[a*m+b] = id
+				note(id, nodeMeta{Lo: k, Hi: k + 1, A: a, B: b})
+			}
+		}
+		segs[k] = seg{lo: k, hi: k + 1, ids: ids}
+	}
+	for len(segs) > 1 {
+		next := make([]seg, 0, len(segs)/p)
+		for s := 0; s+p <= len(segs); s += p {
+			group := segs[s : s+p]
+			lo, hi := group[0].lo, group[p-1].hi
+			cuts := make([]int, p-1)
+			for c := 0; c < p-1; c++ {
+				cuts[c] = group[c].hi
+			}
+			ids := make([]int, m*m)
+			for a := 0; a < m; a++ {
+				for b := 0; b < m; b++ {
+					ands := make([]int, 0, intPow(m, p-1))
+					interior := make([]int, p-1)
+					for {
+						children := make([]int, p)
+						prev := a
+						for sg := 0; sg < p; sg++ {
+							nxt := b
+							if sg < p-1 {
+								nxt = interior[sg]
+							}
+							children[sg] = group[sg].ids[prev*m+nxt]
+							prev = nxt
+						}
+						id := out.AddNode(And, children, 0)
+						note(id, nodeMeta{
+							Lo: lo, Hi: hi, A: a, B: b,
+							Cuts:     append([]int(nil), cuts...),
+							Interior: append([]int(nil), interior...),
+						})
+						ands = append(ands, id)
+						i := 0
+						for ; i < p-1; i++ {
+							interior[i]++
+							if interior[i] < m {
+								break
+							}
+							interior[i] = 0
+						}
+						if i == p-1 {
+							break
+						}
+					}
+					id := out.AddNode(Or, ands, 0)
+					note(id, nodeMeta{Lo: lo, Hi: hi, A: a, B: b})
+					ids[a*m+b] = id
+				}
+			}
+			next = append(next, seg{lo: lo, hi: hi, ids: ids})
+		}
+		segs = next
+	}
+	out.Roots = segs[0].ids
+	return out, idx, nil
+}
+
+// PathBetween evaluates the indexed graph, extracts the minimum-cost
+// solution tree rooted at endpoints (a, b), and decodes it into the
+// optimal node sequence path[0..N] with path[0] = a and path[N] = b,
+// together with its cost.
+func PathBetween(s semiring.Comparative, g *Graph, idx *Index, a, b int) ([]int, float64, error) {
+	if a < 0 || a >= idx.M || b < 0 || b >= idx.M {
+		return nil, 0, fmt.Errorf("andor: endpoints (%d,%d) out of range m=%d", a, b, idx.M)
+	}
+	root := g.Roots[a*idx.M+b]
+	st, err := g.ExtractSolution(s, root)
+	if err != nil {
+		return nil, 0, err
+	}
+	path := make([]int, idx.N+1)
+	for i := range path {
+		path[i] = -1
+	}
+	path[0], path[idx.N] = a, b
+	// Walk the solution tree: at each OR node follow the chosen AND
+	// child, whose interior assignments pin the cut stages.
+	var walk func(id int)
+	walk = func(id int) {
+		n := g.Nodes[id]
+		switch n.Kind {
+		case Or:
+			walk(st.Chosen[id])
+		case And:
+			mt := idx.meta[id]
+			for c, stage := range mt.Cuts {
+				path[stage] = mt.Interior[c]
+			}
+			for _, child := range n.Children {
+				walk(child)
+			}
+		}
+	}
+	walk(root)
+	for i, v := range path {
+		if v < 0 {
+			return nil, 0, fmt.Errorf("andor: stage %d unresolved in solution tree", i)
+		}
+	}
+	return path, st.Value, nil
+}

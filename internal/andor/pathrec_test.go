@@ -1,0 +1,124 @@
+package andor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"systolicdp/internal/matrix"
+	"systolicdp/internal/multistage"
+	"systolicdp/internal/semiring"
+)
+
+func TestBuildRegularIndexedSameGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := multistage.RandomUniform(rng, 5, 3, 0, 10)
+	plain, err := BuildRegular(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, idx, err := BuildRegularIndexed(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Nodes) != len(indexed.Nodes) {
+		t.Fatalf("node counts differ: %d vs %d", len(plain.Nodes), len(indexed.Nodes))
+	}
+	pv, err := plain.Evaluate(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := indexed.Evaluate(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pv {
+		if pv[i] != iv[i] {
+			t.Fatalf("node %d: %v vs %v", i, pv[i], iv[i])
+		}
+	}
+	if idx.N != 4 || idx.M != 3 || idx.P != 2 {
+		t.Errorf("index header %+v", idx)
+	}
+}
+
+func TestPathBetweenMatchesBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, tc := range []struct{ n, p, m int }{{4, 2, 3}, {8, 2, 2}, {9, 3, 2}, {4, 4, 2}} {
+		g := multistage.RandomUniform(rng, tc.n+1, tc.m, 0, 20)
+		ao, idx, err := BuildRegularIndexed(g, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prod := matrix.ChainMat(mp, g.Cost)
+		for a := 0; a < tc.m; a++ {
+			for b := 0; b < tc.m; b++ {
+				path, cost, err := PathBetween(mp, ao, idx, a, b)
+				if err != nil {
+					t.Fatalf("n=%d p=%d (%d,%d): %v", tc.n, tc.p, a, b, err)
+				}
+				if math.Abs(cost-prod.At(a, b)) > 1e-9 {
+					t.Fatalf("n=%d p=%d (%d,%d): cost %v, want %v", tc.n, tc.p, a, b, cost, prod.At(a, b))
+				}
+				// The decoded path must be consistent and attain the cost.
+				if path[0] != a || path[len(path)-1] != b {
+					t.Fatalf("endpoints %v, want %d..%d", path, a, b)
+				}
+				c, err := g.CostOf(mp, path)
+				if err != nil {
+					t.Fatalf("invalid path %v: %v", path, err)
+				}
+				if math.Abs(c-cost) > 1e-9 {
+					t.Fatalf("path cost %v != solution value %v (path %v)", c, cost, path)
+				}
+			}
+		}
+	}
+}
+
+func TestPathBetweenErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := multistage.RandomUniform(rng, 3, 2, 0, 10)
+	ao, idx, err := BuildRegularIndexed(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := PathBetween(mp, ao, idx, 5, 0); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+}
+
+func TestBuildRegularIndexedErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, _, err := BuildRegularIndexed(multistage.RandomUniform(rng, 4, 2, 0, 1), 2); err == nil {
+		t.Error("non-power N accepted") // 3 matrices
+	}
+	if _, _, err := BuildRegularIndexed(multistage.RandomUniform(rng, 5, 2, 0, 1), 1); err == nil {
+		t.Error("p=1 accepted")
+	}
+}
+
+func TestPropertyPathBetweenOptimal(t *testing.T) {
+	s := semiring.MinPlus{}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(2)
+		g := multistage.RandomUniform(rng, 5, m, 0, 30) // N = 4
+		ao, idx, err := BuildRegularIndexed(g, 2)
+		if err != nil {
+			return false
+		}
+		prod := matrix.ChainMat(s, g.Cost)
+		a, b := rng.Intn(m), rng.Intn(m)
+		path, cost, err := PathBetween(s, ao, idx, a, b)
+		if err != nil {
+			return false
+		}
+		c, err := g.CostOf(s, path)
+		return err == nil && math.Abs(cost-prod.At(a, b)) < 1e-9 && math.Abs(c-cost) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

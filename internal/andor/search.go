@@ -1,0 +1,142 @@
+package andor
+
+import (
+	"fmt"
+
+	"systolicdp/internal/semiring"
+)
+
+// Section 5 recalls Martelli & Montanari's result that a polyadic DP
+// problem is the search for a minimum-cost solution tree in an additive
+// AND/OR-graph, searchable top-down or bottom-up (Nilsson's AO* is the
+// heuristic top-down variant). Evaluate is the bottom-up search; this
+// file adds the memoized top-down search and solution-tree extraction.
+
+// EvaluateTopDown computes the values of the given roots by memoized
+// top-down recursion, visiting only nodes reachable from them. It returns
+// the value vector (entries for unvisited nodes are unspecified) and the
+// number of nodes visited — on graphs with unreachable or shared
+// substructure the visit count is smaller than the node count, which is
+// the practical argument for top-down search.
+func (g *Graph) EvaluateTopDown(s semiring.Comparative, roots []int) ([]float64, int, error) {
+	if err := g.Validate(); err != nil {
+		return nil, 0, err
+	}
+	val := make([]float64, len(g.Nodes))
+	done := make([]bool, len(g.Nodes))
+	visited := 0
+	var rec func(id int) float64
+	rec = func(id int) float64 {
+		if done[id] {
+			return val[id]
+		}
+		done[id] = true
+		visited++
+		n := g.Nodes[id]
+		switch n.Kind {
+		case Leaf:
+			val[id] = n.Value
+		case And:
+			acc := s.One()
+			for _, c := range n.Children {
+				acc = s.Mul(acc, rec(c))
+			}
+			val[id] = s.Mul(acc, n.Extra)
+		case Or:
+			acc := s.Zero()
+			for _, c := range n.Children {
+				acc = s.Add(acc, rec(c))
+			}
+			val[id] = acc
+		}
+		return val[id]
+	}
+	for _, r := range roots {
+		if r < 0 || r >= len(g.Nodes) {
+			return nil, 0, fmt.Errorf("andor: root %d out of range", r)
+		}
+		rec(r)
+	}
+	return val, visited, nil
+}
+
+// SolutionTree is the minimum-cost solution tree rooted at one root: the
+// subgraph that keeps every child of an AND-node but exactly one (best)
+// child of each OR-node.
+type SolutionTree struct {
+	Root   int
+	Value  float64
+	Chosen map[int]int // OR-node ID -> selected child ID
+	Nodes  []int       // all node IDs in the tree, root last
+}
+
+// ExtractSolution evaluates the graph bottom-up and extracts the solution
+// tree under root: at each OR-node the Better-optimal child is selected
+// (ties to the smallest child ID). The extracted tree's recomputed value
+// equals the root's value — the paper's minimal-cost solution tree.
+func (g *Graph) ExtractSolution(s semiring.Comparative, root int) (*SolutionTree, error) {
+	vals, err := g.Evaluate(s)
+	if err != nil {
+		return nil, err
+	}
+	if root < 0 || root >= len(g.Nodes) {
+		return nil, fmt.Errorf("andor: root %d out of range", root)
+	}
+	st := &SolutionTree{Root: root, Value: vals[root], Chosen: map[int]int{}}
+	seen := map[int]bool{}
+	var rec func(id int)
+	rec = func(id int) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		n := g.Nodes[id]
+		switch n.Kind {
+		case And:
+			for _, c := range n.Children {
+				rec(c)
+			}
+		case Or:
+			best, arg := s.Zero(), -1
+			for _, c := range n.Children {
+				if arg == -1 || s.Better(vals[c], best) {
+					best, arg = vals[c], c
+				}
+			}
+			st.Chosen[id] = arg
+			rec(arg)
+		}
+		st.Nodes = append(st.Nodes, id)
+	}
+	rec(root)
+	return st, nil
+}
+
+// Recompute re-evaluates the solution tree from its leaves, ignoring
+// unchosen OR-children; used to verify extraction consistency.
+func (st *SolutionTree) Recompute(s semiring.Comparative, g *Graph) float64 {
+	memo := map[int]float64{}
+	var rec func(id int) float64
+	rec = func(id int) float64 {
+		if v, ok := memo[id]; ok {
+			return v
+		}
+		n := g.Nodes[id]
+		var v float64
+		switch n.Kind {
+		case Leaf:
+			v = n.Value
+		case And:
+			acc := s.One()
+			for _, c := range n.Children {
+				acc = s.Mul(acc, rec(c))
+			}
+			v = s.Mul(acc, n.Extra)
+		case Or:
+			v = rec(st.Chosen[id])
+		}
+		memo[id] = v
+		return v
+	}
+	return rec(st.Root)
+}

@@ -1,0 +1,141 @@
+package andor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"systolicdp/internal/multistage"
+)
+
+func TestTopDownMatchesBottomUp(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := multistage.RandomUniform(rng, 9, 3, 0, 10)
+	ao, err := BuildRegular(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := ao.Evaluate(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down, visited, err := ao.EvaluateTopDown(mp, ao.Roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ao.Roots {
+		if math.Abs(up[r]-down[r]) > 1e-9 {
+			t.Errorf("root %d: bottom-up %v, top-down %v", r, up[r], down[r])
+		}
+	}
+	if visited != len(ao.Nodes) {
+		// The regular graph is fully shared: all nodes reachable.
+		t.Errorf("visited %d of %d nodes", visited, len(ao.Nodes))
+	}
+}
+
+func TestTopDownSkipsUnreachable(t *testing.T) {
+	g := &Graph{}
+	l1 := g.AddLeaf(1)
+	l2 := g.AddLeaf(2)
+	g.AddLeaf(99) // unreachable
+	or := g.AddNode(Or, []int{l1, l2}, 0)
+	g.Roots = []int{or}
+	_, visited, err := g.EvaluateTopDown(mp, g.Roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited != 3 {
+		t.Errorf("visited %d nodes, want 3 (unreachable leaf skipped)", visited)
+	}
+}
+
+func TestTopDownSingleRootVisitsSubgraph(t *testing.T) {
+	// With m^2 roots, evaluating one root must visit fewer nodes than the
+	// whole graph.
+	rng := rand.New(rand.NewSource(2))
+	g := multistage.RandomUniform(rng, 5, 3, 0, 10)
+	ao, err := BuildRegular(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, visited, err := ao.EvaluateTopDown(mp, ao.Roots[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited >= len(ao.Nodes) {
+		t.Errorf("single root visited all %d nodes", len(ao.Nodes))
+	}
+}
+
+func TestTopDownErrors(t *testing.T) {
+	g := &Graph{}
+	g.AddLeaf(1)
+	if _, _, err := g.EvaluateTopDown(mp, []int{5}); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+}
+
+func TestExtractSolutionConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		g := multistage.RandomUniform(rng, 5, 3, 0, 20)
+		ao, err := BuildRegular(g, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, root := range ao.Roots {
+			st, err := ao.ExtractSolution(mp, root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := st.Recompute(mp, ao); math.Abs(got-st.Value) > 1e-9 {
+				t.Fatalf("trial %d root %d: recomputed %v != value %v", trial, root, got, st.Value)
+			}
+			// Every OR node in the tree must have a chosen child that is
+			// one of its children.
+			for orID, chosen := range st.Chosen {
+				ok := false
+				for _, c := range ao.Nodes[orID].Children {
+					if c == chosen {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Fatalf("chosen child %d not a child of OR %d", chosen, orID)
+				}
+			}
+		}
+	}
+}
+
+func TestExtractSolutionPathMatchesGraphPath(t *testing.T) {
+	// The solution tree's value at root (a,b) equals the optimal a->b
+	// path cost from the baseline solver.
+	rng := rand.New(rand.NewSource(4))
+	m := 2
+	g := multistage.RandomUniform(rng, 5, m, 0, 10)
+	ao, err := BuildRegular(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ao.ExtractSolution(mp, ao.Roots[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := ao.Evaluate(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.Value-vals[ao.Roots[0]]) > 1e-9 {
+		t.Errorf("solution value %v != root value %v", st.Value, vals[ao.Roots[0]])
+	}
+}
+
+func TestExtractSolutionErrors(t *testing.T) {
+	g := &Graph{}
+	g.AddLeaf(1)
+	if _, err := g.ExtractSolution(mp, 9); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+}

@@ -1,0 +1,170 @@
+package andor
+
+import (
+	"fmt"
+	"math"
+
+	"systolicdp/internal/semiring"
+	"systolicdp/internal/systolic"
+)
+
+// Section 5 states that "the mapping of a regular AND/OR-graph onto a
+// systolic array is straightforward", and Section 6.2 gives the recipe:
+// serialise the graph (all arcs between adjacent levels, Figure 8), then
+// assign one processor per node with wires along the arcs and let values
+// ripple one level per cycle. MapSystolic implements exactly that on the
+// shared engine; completion takes Height() cycles, the wavefront bound
+// behind Proposition 3.
+
+// multiPE evaluates one AND/OR node once all child tokens arrive (they
+// arrive together, since the graph is serial) and then emits its value
+// every cycle, like a latched output register; its fan-in matches the
+// node's child count.
+type multiPE struct {
+	s     semiring.Comparative
+	kind  Kind
+	extra float64
+	n     int
+	value float64
+	fired bool
+}
+
+func (p *multiPE) NumIn() int  { return p.n }
+func (p *multiPE) NumOut() int { return 1 }
+func (p *multiPE) Reset()      { p.fired = false; p.value = 0 }
+
+func (p *multiPE) Step(in []systolic.Token) ([]systolic.Token, bool) {
+	if p.fired {
+		return []systolic.Token{{V: p.value, Valid: true}}, false
+	}
+	for _, t := range in {
+		if !t.Valid {
+			return []systolic.Token{systolic.Bubble()}, false
+		}
+	}
+	switch p.kind {
+	case And:
+		acc := p.s.One()
+		for _, t := range in {
+			acc = p.s.Mul(acc, t.V)
+		}
+		p.value = p.s.Mul(acc, p.extra)
+	case Or:
+		acc := p.s.Zero()
+		for _, t := range in {
+			acc = p.s.Add(acc, t.V)
+		}
+		p.value = acc
+	}
+	p.fired = true
+	return []systolic.Token{{V: p.value, Valid: true}}, true
+}
+
+// SystolicResult reports a MapSystolic run.
+type SystolicResult struct {
+	RootValues []float64 // value per root, in Roots order
+	Cycles     int       // cycles until the last root fired (= Height)
+	Processors int       // non-leaf PEs instantiated
+}
+
+// MapSystolic maps a *serial* AND/OR-graph (every arc spanning one level;
+// call Serialize first if needed) onto the engine — one PE per non-leaf
+// node, one wire per arc, leaves as external sources — and runs it to
+// completion on the lock-step or goroutine runner. The returned root
+// values equal Evaluate's, and Cycles equals the graph height: one level
+// of the wavefront per cycle, the hardware picture behind the 2N bound of
+// Proposition 3.
+func (g *Graph) MapSystolic(s semiring.Comparative, goroutines bool) (*SystolicResult, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if !g.IsSerial() {
+		return nil, fmt.Errorf("andor: MapSystolic requires a serial graph; call Serialize first")
+	}
+	net := &systolic.Array{}
+	// peIdx[nodeID] = engine PE index for non-leaf nodes.
+	peIdx := make([]int, len(g.Nodes))
+	for i := range peIdx {
+		peIdx[i] = -1
+	}
+	var pes []*multiPE
+	for _, n := range g.Nodes {
+		if n.Kind == Leaf {
+			continue
+		}
+		p := &multiPE{s: s, kind: n.Kind, extra: n.Extra, n: len(n.Children)}
+		peIdx[n.ID] = len(net.PEs)
+		net.PEs = append(net.PEs, p)
+		pes = append(pes, p)
+	}
+	// Wires: child -> parent port. Leaves become sources that emit their
+	// value from cycle 0 onward.
+	for _, n := range g.Nodes {
+		if n.Kind == Leaf {
+			continue
+		}
+		for port, c := range n.Children {
+			child := g.Nodes[c]
+			if child.Kind == Leaf {
+				v := child.Value
+				net.Wires = append(net.Wires, systolic.Wire{
+					From:   systolic.Endpoint{PE: systolic.External, Port: 0},
+					To:     systolic.Endpoint{PE: peIdx[n.ID], Port: port},
+					Source: func(int) systolic.Token { return systolic.Token{V: v, Valid: true} },
+				})
+			} else {
+				net.Wires = append(net.Wires, systolic.Wire{
+					From: systolic.Endpoint{PE: peIdx[c], Port: 0},
+					To:   systolic.Endpoint{PE: peIdx[n.ID], Port: port},
+					Init: systolic.Bubble(),
+				})
+			}
+		}
+	}
+	// Root sinks.
+	sinkWires := make([]int, len(g.Roots))
+	for ri, r := range g.Roots {
+		if g.Nodes[r].Kind == Leaf {
+			sinkWires[ri] = -1
+			continue
+		}
+		sinkWires[ri] = len(net.Wires)
+		net.Wires = append(net.Wires, systolic.Wire{
+			From: systolic.Endpoint{PE: peIdx[r], Port: 0},
+			To:   systolic.Endpoint{PE: systolic.External, Port: 0},
+		})
+	}
+	cycles := g.Height() + 1
+	var res *systolic.Result
+	var err error
+	if goroutines {
+		res, err = net.RunGoroutines(cycles)
+	} else {
+		res, err = net.RunLockstep(cycles, nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &SystolicResult{Processors: len(pes), RootValues: make([]float64, len(g.Roots))}
+	for ri, r := range g.Roots {
+		if sinkWires[ri] < 0 {
+			out.RootValues[ri] = g.Nodes[r].Value
+			continue
+		}
+		found := false
+		for _, rec := range res.Sunk[sinkWires[ri]] {
+			if rec.Token.Valid && !math.IsNaN(rec.Token.V) {
+				out.RootValues[ri] = rec.Token.V
+				if rec.Cycle+1 > out.Cycles {
+					out.Cycles = rec.Cycle + 1
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("andor: root %d never fired in %d cycles", r, cycles)
+		}
+	}
+	return out, nil
+}

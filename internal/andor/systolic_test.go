@@ -1,0 +1,129 @@
+package andor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"systolicdp/internal/multistage"
+)
+
+func TestMapSystolicRegularGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ n, p, m int }{{4, 2, 2}, {8, 2, 3}, {9, 3, 2}, {16, 4, 2}} {
+		g := multistage.RandomUniform(rng, tc.n+1, tc.m, 0, 10)
+		ao, err := BuildRegular(g, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ao.Evaluate(mp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ao.MapSystolic(mp, false)
+		if err != nil {
+			t.Fatalf("n=%d p=%d: %v", tc.n, tc.p, err)
+		}
+		for ri, r := range ao.Roots {
+			if math.Abs(res.RootValues[ri]-want[r]) > 1e-9 {
+				t.Errorf("n=%d p=%d root %d: systolic %v, evaluate %v", tc.n, tc.p, ri, res.RootValues[ri], want[r])
+			}
+		}
+		// One level of the wavefront per cycle: completion == height.
+		if res.Cycles != ao.Height() {
+			t.Errorf("n=%d p=%d: cycles %d, height %d", tc.n, tc.p, res.Cycles, ao.Height())
+		}
+		_, ands, ors := ao.Count()
+		if res.Processors != ands+ors {
+			t.Errorf("n=%d p=%d: %d PEs, want %d", tc.n, tc.p, res.Processors, ands+ors)
+		}
+	}
+}
+
+func TestMapSystolicGoroutinesMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := multistage.RandomUniform(rng, 5, 3, 0, 10)
+	ao, err := BuildRegular(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock, err := ao.MapSystolic(mp, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goro, err := ao.MapSystolic(mp, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lock.RootValues {
+		if lock.RootValues[i] != goro.RootValues[i] {
+			t.Errorf("root %d: %v vs %v", i, lock.RootValues[i], goro.RootValues[i])
+		}
+	}
+	if lock.Cycles != goro.Cycles {
+		t.Errorf("cycles: %d vs %d", lock.Cycles, goro.Cycles)
+	}
+}
+
+func TestMapSystolicRejectsNonserial(t *testing.T) {
+	g := &Graph{}
+	l0 := g.AddLeaf(5)
+	l1 := g.AddLeaf(7)
+	a1 := g.AddNode(And, []int{l0, l1}, 0)
+	o1 := g.AddNode(Or, []int{a1}, 0)
+	top := g.AddNode(And, []int{o1, l0}, 0) // skips a level
+	g.Roots = []int{top}
+	if _, err := g.MapSystolic(mp, false); err == nil {
+		t.Fatal("nonserial graph accepted")
+	}
+	// After serialisation it must map and agree with Evaluate.
+	sg, _ := g.Serialize()
+	want, err := sg.Evaluate(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sg.MapSystolic(mp, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.RootValues[0]-want[sg.Roots[0]]) > 1e-9 {
+		t.Errorf("systolic %v, evaluate %v", res.RootValues[0], want[sg.Roots[0]])
+	}
+}
+
+func TestMapSystolicLeafRoot(t *testing.T) {
+	g := &Graph{}
+	l := g.AddLeaf(42)
+	or := g.AddNode(Or, []int{l}, 0)
+	g.Roots = []int{l, or}
+	res, err := g.MapSystolic(mp, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RootValues[0] != 42 || res.RootValues[1] != 42 {
+		t.Errorf("root values %v", res.RootValues)
+	}
+}
+
+func TestMapSystolicSerializedMatrixChainShape(t *testing.T) {
+	// End-to-end §6.2: build the Figure-2-style graph for OBST-shaped
+	// data via the regular reduction, serialise, map, and check the
+	// wavefront picture: cycles == serialised height.
+	rng := rand.New(rand.NewSource(3))
+	g := multistage.RandomUniform(rng, 9, 2, 0, 10)
+	ao, err := BuildRegular(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, added := ao.Serialize()
+	if added != 0 {
+		t.Fatalf("regular graph should already be serial, added %d", added)
+	}
+	res, err := sg.MapSystolic(mp, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != sg.Height() {
+		t.Errorf("cycles %d != height %d", res.Cycles, sg.Height())
+	}
+}

@@ -1,0 +1,208 @@
+package bcastarray
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"systolicdp/internal/matrix"
+	"systolicdp/internal/metrics"
+	"systolicdp/internal/multistage"
+	"systolicdp/internal/pipearray"
+	"systolicdp/internal/semiring"
+)
+
+var mp = semiring.MinPlus{}
+
+func randomChain(rng *rand.Rand, k, m int) ([]*matrix.Matrix, []float64) {
+	ms := make([]*matrix.Matrix, k)
+	for i := range ms {
+		ms[i] = matrix.Random(rng, m, m, 0, 10)
+	}
+	v := make([]float64, m)
+	for i := range v {
+		v[i] = rng.Float64() * 10
+	}
+	return ms, v
+}
+
+func almostEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.IsInf(a[i], 1) && math.IsInf(b[i], 1) {
+			continue
+		}
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMatchesBaselineAcrossShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []int{1, 2, 3, 5, 8} {
+		for _, m := range []int{1, 2, 3, 6} {
+			ms, v := randomChain(rng, k, m)
+			got, err := Solve(ms, v)
+			if err != nil {
+				t.Fatalf("k=%d m=%d: %v", k, m, err)
+			}
+			if want := ReferenceSolve(ms, v); !almostEqual(got, want) {
+				t.Errorf("k=%d m=%d: got %v, want %v", k, m, got, want)
+			}
+		}
+	}
+}
+
+func TestGoroutinesMatchLockstep(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 8; trial++ {
+		ms, v := randomChain(rng, 1+rng.Intn(6), 1+rng.Intn(6))
+		a, err := New(ms, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lout, lbusy := a.RunLockstep()
+		gout, gbusy := a.RunGoroutines()
+		if !almostEqual(lout, gout) {
+			t.Errorf("trial %d: lockstep %v != goroutines %v", trial, lout, gout)
+		}
+		for i := range lbusy {
+			if lbusy[i] != gbusy[i] {
+				t.Errorf("trial %d: busy[%d] %d vs %d", trial, i, lbusy[i], gbusy[i])
+			}
+		}
+	}
+}
+
+func TestAgreesWithDesign1(t *testing.T) {
+	// Designs 1 and 2 compute the same matrix string; their results must
+	// be identical even though the data movement differs.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 6; trial++ {
+		ms, v := randomChain(rng, 2+rng.Intn(4), 2+rng.Intn(4))
+		d2, err := Solve(ms, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1, err := pipearray.Solve(ms, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(d1, d2) {
+			t.Errorf("trial %d: design1 %v != design2 %v", trial, d1, d2)
+		}
+	}
+}
+
+func TestGraphOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	inner := multistage.RandomUniform(rng, 4, 3, 1, 10)
+	g := multistage.SingleSourceSink(mp, inner)
+	mats := g.Matrices()
+	k := len(mats)
+	v := mats[k-1].Col(0)
+	got, err := Solve(mats[:k-1], v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := multistage.SolveOptimal(mp, g)
+	if len(got) != 1 || math.Abs(got[0]-want.Cost) > 1e-9 {
+		t.Errorf("array %v, optimal %v", got, want.Cost)
+	}
+}
+
+func TestIterationCountNoSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ms, v := randomChain(rng, 4, 5)
+	a, err := New(ms, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Iterations() != 20 || a.WallCycles() != 20 {
+		t.Errorf("iterations=%d wall=%d, want 20/20 (broadcast has no skew)", a.Iterations(), a.WallCycles())
+	}
+	_, busy := a.RunLockstep()
+	for i, b := range busy {
+		if b != 20 {
+			t.Errorf("PE %d busy %d, want 20", i, b)
+		}
+	}
+}
+
+func TestPUMatchesEquation9(t *testing.T) {
+	// With wall = K*m = (N-1)*m and serial = (N-2)m^2+m, the measured PU
+	// exceeds eq (9) by exactly the paper's extra input phase; check both
+	// the formula relationship and convergence to 1.
+	for _, tc := range []struct{ n, m int }{{8, 4}, {32, 8}, {128, 16}} {
+		k := tc.n - 1
+		wall := k * tc.m
+		serial := metrics.SerialItersGraph(tc.n, tc.m)
+		pu := metrics.PU(serial, wall, tc.m)
+		eq9 := metrics.PUEq9(tc.n, tc.m)
+		if pu < eq9-1e-9 || pu-eq9 > 2.0/float64(tc.n) {
+			t.Errorf("N=%d m=%d: PU %.4f vs eq(9) %.4f", tc.n, tc.m, pu, eq9)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New(nil, []float64{1}); err == nil {
+		t.Error("empty string accepted")
+	}
+	if _, err := New([]*matrix.Matrix{matrix.New(2, 2, 0)}, nil); err == nil {
+		t.Error("empty vector accepted")
+	}
+	if _, err := New([]*matrix.Matrix{matrix.New(3, 2, 0)}, []float64{1, 2}); err == nil {
+		t.Error("oversized first matrix accepted")
+	}
+	if _, err := New([]*matrix.Matrix{matrix.New(2, 2, 0), matrix.New(1, 2, 0)}, []float64{1, 2}); err == nil {
+		t.Error("degenerate inner matrix accepted")
+	}
+}
+
+func TestDegenerateFirstMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	row := matrix.Random(rng, 1, 4, 0, 5)
+	mid := matrix.Random(rng, 4, 4, 0, 5)
+	v := []float64{1, 2, 3, 4}
+	got, err := Solve([]*matrix.Matrix{row, mid}, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ReferenceSolve([]*matrix.Matrix{row, mid}, v)
+	if len(got) != 1 || !almostEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestInputWordsPerCycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ms, v := randomChain(rng, 2, 5)
+	a, err := New(ms, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.InputWordsPerCycle(); got != 6 {
+		t.Errorf("InputWordsPerCycle = %d, want 6", got)
+	}
+}
+
+func TestPropertyMatchesBaseline(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ms, v := randomChain(rng, 1+rng.Intn(6), 1+rng.Intn(6))
+		got, err := Solve(ms, v)
+		if err != nil {
+			return false
+		}
+		return almostEqual(got, ReferenceSolve(ms, v))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,30 @@
+package bcastarray
+
+import (
+	"math/rand"
+	"testing"
+
+	"systolicdp/internal/matrix"
+	"systolicdp/internal/semiring"
+)
+
+func TestMaxPlusMatchesBaseline(t *testing.T) {
+	s := semiring.MaxPlus{}
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ k, m int }{{1, 3}, {2, 4}, {4, 3}} {
+		ms, v := randomChain(rng, tc.k, tc.m)
+		a, err := NewSemiring(s, ms, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := a.RunLockstep()
+		want := matrix.ChainVec(s, ms, v)
+		if !almostEqual(got, want) {
+			t.Errorf("k=%d m=%d: got %v, want %v", tc.k, tc.m, got, want)
+		}
+		goro, _ := a.RunGoroutines()
+		if !almostEqual(goro, want) {
+			t.Errorf("k=%d m=%d: goroutines %v, want %v", tc.k, tc.m, goro, want)
+		}
+	}
+}

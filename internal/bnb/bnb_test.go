@@ -1,0 +1,166 @@
+package bnb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"systolicdp/internal/multistage"
+	"systolicdp/internal/semiring"
+)
+
+var mp = semiring.MinPlus{}
+
+func TestSolveMatchesDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		g := multistage.RandomUniform(rng, 3+rng.Intn(5), 2+rng.Intn(4), 0, 20)
+		want := multistage.SolveOptimal(mp, g)
+		for _, opt := range []Options{
+			{},
+			{Dominance: true},
+			{Bound: NewBoundStageMin(g)},
+			{Dominance: true, Bound: NewBoundStageMin(g)},
+			{Dominance: true, Bound: NewBoundExact(g)},
+		} {
+			res, err := Solve(g, opt)
+			if err != nil {
+				t.Fatalf("trial %d %+v: %v", trial, opt, err)
+			}
+			if math.Abs(res.Cost-want.Cost) > 1e-9 {
+				t.Fatalf("trial %d %+v: cost %v, want %v", trial, opt, res.Cost, want.Cost)
+			}
+			c, err := g.CostOf(mp, res.Path)
+			if err != nil || math.Abs(c-res.Cost) > 1e-9 {
+				t.Fatalf("trial %d: path invalid (%v) or cost %v != %v", trial, err, c, res.Cost)
+			}
+		}
+	}
+}
+
+func TestDominanceCollapsesToDPStateCount(t *testing.T) {
+	// The dominance test is Bellman's principle: expansions with it are
+	// bounded by the number of DP states (N*m), while without it the
+	// OR-tree grows exponentially.
+	rng := rand.New(rand.NewSource(2))
+	n, m := 8, 4
+	g := multistage.RandomUniform(rng, n, m, 0, 10)
+	with, err := Solve(g, Options{Dominance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Solve(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Expanded > n*m {
+		t.Errorf("with dominance expanded %d > N*m = %d", with.Expanded, n*m)
+	}
+	if without.Expanded <= with.Expanded {
+		t.Errorf("without dominance expanded %d <= with %d", without.Expanded, with.Expanded)
+	}
+}
+
+func TestExactBoundExpandsMinimally(t *testing.T) {
+	// With the perfect heuristic, best-first expands only nodes on
+	// optimal paths: at most N per optimum (ties aside).
+	rng := rand.New(rand.NewSource(3))
+	g := multistage.RandomUniform(rng, 10, 5, 0.1, 10)
+	exact, err := Solve(g, Options{Bound: NewBoundExact(g), Dominance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Solve(g, Options{Bound: NewBoundStageMin(g), Dominance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Expanded > loose.Expanded {
+		t.Errorf("exact bound expanded %d > stage-min bound %d", exact.Expanded, loose.Expanded)
+	}
+	if exact.Expanded > 2*g.Stages() {
+		t.Errorf("exact bound expanded %d nodes, want ~N = %d", exact.Expanded, g.Stages())
+	}
+}
+
+func TestBoundsAreAdmissible(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := multistage.RandomUniform(rng, 6, 4, 0, 10)
+	exact := NewBoundExact(g)
+	smin := NewBoundStageMin(g)
+	for k := 0; k < g.Stages(); k++ {
+		for i := 0; i < g.StageSizes[k]; i++ {
+			if smin(g, k, i) > exact(g, k, i)+1e-9 {
+				t.Errorf("stage-min bound exceeds true cost-to-go at (%d,%d)", k, i)
+			}
+		}
+	}
+	// BoundStageMin (uncached) agrees with the precomputed version.
+	if math.Abs(BoundStageMin(g, 2, 0)-smin(g, 2, 0)) > 1e-9 {
+		t.Error("cached and direct stage-min bounds disagree")
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		g := multistage.RandomUniform(rng, 4+rng.Intn(4), 2+rng.Intn(4), 0, 15)
+		want := multistage.SolveOptimal(mp, g)
+		for _, workers := range []int{2, 4, 8} {
+			res, err := Solve(g, Options{Dominance: true, Bound: NewBoundStageMin(g), Workers: workers})
+			if err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, workers, err)
+			}
+			if math.Abs(res.Cost-want.Cost) > 1e-9 {
+				t.Fatalf("trial %d workers %d: %v, want %v", trial, workers, res.Cost, want.Cost)
+			}
+			c, err := g.CostOf(mp, res.Path)
+			if err != nil || math.Abs(c-res.Cost) > 1e-9 {
+				t.Fatalf("trial %d: bad path", trial)
+			}
+		}
+	}
+}
+
+func TestInfeasibleGraph(t *testing.T) {
+	g := multistage.RandomUniform(rand.New(rand.NewSource(6)), 3, 2, 0, 1)
+	for _, m := range g.Cost {
+		for i := range m.Data {
+			m.Data[i] = math.Inf(1)
+		}
+	}
+	if _, err := Solve(g, Options{}); err == nil {
+		t.Error("infeasible graph returned a path")
+	}
+	if _, err := Solve(g, Options{Workers: 3}); err == nil {
+		t.Error("parallel: infeasible graph returned a path")
+	}
+}
+
+func TestInvalidGraph(t *testing.T) {
+	if _, err := Solve(&multistage.Graph{StageSizes: []int{2}}, Options{}); err == nil {
+		t.Error("invalid graph accepted")
+	}
+}
+
+func TestPropertyAllConfigurationsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := multistage.RandomUniform(rng, 3+rng.Intn(4), 1+rng.Intn(4), 0, 25)
+		want := multistage.SolveOptimal(mp, g).Cost
+		for _, opt := range []Options{
+			{Dominance: true},
+			{Dominance: true, Bound: NewBoundStageMin(g)},
+			{Dominance: true, Bound: NewBoundStageMin(g), Workers: 3},
+		} {
+			res, err := Solve(g, opt)
+			if err != nil || math.Abs(res.Cost-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,232 @@
+// Package control implements quantized discrete-time optimal control —
+// the "practical sequentially controlled systems, such as Kalman
+// filtering, inventory systems, and multistage production processes" that
+// Section 3.2 names as the natural extension of the matrix-string systolic
+// arrays, where each stage carries many quantized values.
+//
+// The plant is x_{t+1} = A*x_t + B*u_t with state and control restricted
+// to quantized grids; the objective is the LQ tracking cost
+//
+//	sum_t [ Qw*(x_t - ref_t)^2 + Rw*u_t^2 ]
+//
+// Quantized DP turns this into a multistage shortest-path problem: stage t
+// holds the state grid, and the edge (x, x') costs the cheapest quantized
+// control that steers x to x'. The resulting stage matrices feed Designs
+// 1-2 directly, and ToStaged targets the Design-3 feedback array with
+// per-stage F units (the general, subscripted form of Figure 5).
+package control
+
+import (
+	"fmt"
+	"math"
+
+	"systolicdp/internal/matrix"
+	"systolicdp/internal/multistage"
+	"systolicdp/internal/semiring"
+)
+
+// System is a quantized scalar control problem.
+type System struct {
+	A, B     float64   // dynamics x' = A*x + B*u
+	Qw, Rw   float64   // tracking and control-effort weights
+	Ref      []float64 // reference trajectory ref_0..ref_T (T+1 values)
+	States   []float64 // quantized state grid (ascending)
+	Controls []float64 // quantized control grid
+	X0       float64   // initial state (snapped to the grid)
+}
+
+// Validate checks the configuration.
+func (s *System) Validate() error {
+	if len(s.Ref) < 2 {
+		return fmt.Errorf("control: need a reference of at least 2 points, have %d", len(s.Ref))
+	}
+	if len(s.States) == 0 || len(s.Controls) == 0 {
+		return fmt.Errorf("control: empty state or control grid")
+	}
+	if s.Qw < 0 || s.Rw < 0 {
+		return fmt.Errorf("control: negative weights")
+	}
+	for i := 1; i < len(s.States); i++ {
+		if s.States[i] <= s.States[i-1] {
+			return fmt.Errorf("control: state grid not strictly ascending at %d", i)
+		}
+	}
+	return nil
+}
+
+// Horizon returns T, the number of control steps.
+func (s *System) Horizon() int { return len(s.Ref) - 1 }
+
+// snap returns the index of the grid point nearest to x.
+func snap(grid []float64, x float64) int {
+	best, arg := math.Inf(1), 0
+	for i, g := range grid {
+		if d := math.Abs(g - x); d < best {
+			best, arg = d, i
+		}
+	}
+	return arg
+}
+
+// stageCost is the running cost charged when leaving state x at time t
+// with control u.
+func (s *System) stageCost(t int, x, u float64) float64 {
+	e := x - s.Ref[t]
+	return s.Qw*e*e + s.Rw*u*u
+}
+
+// Graph expands the system into a multistage graph: stage 0 is the
+// (snapped) initial state alone, stages 1..T the full state grid. The
+// edge (x, x') at step t costs the cheapest control whose successor snaps
+// to x' (+inf if no control reaches it); a terminal tracking cost on x_T
+// is folded into the last stage's edges.
+func (s *System) Graph() (*multistage.Graph, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	inf := math.Inf(1)
+	tN := s.Horizon()
+	m := len(s.States)
+	x0 := snap(s.States, s.X0)
+	g := &multistage.Graph{StageSizes: []int{1}}
+	for t := 1; t <= tN; t++ {
+		g.StageSizes = append(g.StageSizes, m)
+	}
+	for t := 0; t < tN; t++ {
+		rows := m
+		if t == 0 {
+			rows = 1
+		}
+		c := matrix.New(rows, m, inf)
+		for ri := 0; ri < rows; ri++ {
+			si := ri
+			if t == 0 {
+				si = x0
+			}
+			x := s.States[si]
+			for _, u := range s.Controls {
+				next := s.A*x + s.B*u
+				ni := snap(s.States, next)
+				cost := s.stageCost(t, x, u)
+				if t == tN-1 {
+					// Terminal tracking cost on the final state.
+					e := s.States[ni] - s.Ref[tN]
+					cost += s.Qw * e * e
+				}
+				if cost < c.At(ri, ni) {
+					c.Set(ri, ni, cost)
+				}
+			}
+		}
+		g.Cost = append(g.Cost, c)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Trajectory is an optimal quantized plan.
+type Trajectory struct {
+	Cost     float64
+	States   []float64 // x_0..x_T on the grid
+	Controls []float64 // u_0..u_{T-1}, the cheapest control per transition
+}
+
+// Solve computes the optimal quantized trajectory with the sequential DP
+// baseline and recovers the control sequence.
+func (s *System) Solve() (*Trajectory, error) {
+	g, err := s.Graph()
+	if err != nil {
+		return nil, err
+	}
+	mp := semiring.MinPlus{}
+	best := multistage.SolveOptimal(mp, g)
+	tr := &Trajectory{Cost: best.Cost}
+	x0 := snap(s.States, s.X0)
+	tr.States = append(tr.States, s.States[x0])
+	prev := x0
+	for t := 1; t < len(best.Nodes); t++ {
+		ni := best.Nodes[t]
+		tr.States = append(tr.States, s.States[ni])
+		// Recover the cheapest control achieving this transition.
+		bu, bc := math.NaN(), math.Inf(1)
+		for _, u := range s.Controls {
+			if snap(s.States, s.A*s.States[prev]+s.B*u) == ni {
+				if c := s.stageCost(t-1, s.States[prev], u); c < bc {
+					bu, bc = u, c
+				}
+			}
+		}
+		tr.Controls = append(tr.Controls, bu)
+		prev = ni
+	}
+	return tr, nil
+}
+
+// MatrixString returns the graph's cost matrices arranged for Designs 1-2
+// (the string without the final column, plus the initial vector).
+func (s *System) MatrixString() (ms []*matrix.Matrix, v []float64, err error) {
+	g, err := s.Graph()
+	if err != nil {
+		return nil, nil, err
+	}
+	mats := g.Matrices()
+	k := len(mats)
+	if k < 2 {
+		return nil, nil, fmt.Errorf("control: horizon %d too short for the array designs (need >= 2 steps)", s.Horizon())
+	}
+	// Designs 1-2 consume the rightmost matrix as the moving input vector,
+	// so the string must end in an m x m matrix followed by a vector; use
+	// the final stage costs folded with a zero terminal vector.
+	last := mats[k-1]
+	v = make([]float64, last.Rows)
+	mp := semiring.MinPlus{}
+	for i := 0; i < last.Rows; i++ {
+		v[i] = semiring.Fold(mp, last.Row(i))
+	}
+	return mats[:k-1], v, nil
+}
+
+// ToStaged expresses the system as a staged node-valued problem for the
+// Design-3 feedback array with per-stage F units: every stage carries the
+// full state grid (Design 3 needs uniform stages), the initial state is
+// enforced by charging +inf for leaving any other stage-0 state, and the
+// terminal tracking cost folds into the final transition, exactly as in
+// Graph.
+func (s *System) ToStaged() (*multistage.StagedNodeValued, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	tN := s.Horizon()
+	x0 := snap(s.States, s.X0)
+	p := &multistage.StagedNodeValued{}
+	for t := 0; t <= tN; t++ {
+		p.Values = append(p.Values, append([]float64(nil), s.States...))
+	}
+	states := append([]float64(nil), s.States...)
+	controls := append([]float64(nil), s.Controls...)
+	sys := *s
+	p.FK = func(k int, x, y float64) float64 {
+		if k == 0 && snap(states, x) != x0 {
+			return math.Inf(1) // only the initial state leaves stage 0
+		}
+		ni := snap(states, y)
+		best := math.Inf(1)
+		for _, u := range controls {
+			if snap(states, sys.A*x+sys.B*u) != ni {
+				continue
+			}
+			cost := sys.stageCost(k, x, u)
+			if cost < best {
+				best = cost
+			}
+		}
+		if k == tN-1 && best < math.Inf(1) {
+			e := states[ni] - sys.Ref[tN]
+			best += sys.Qw * e * e
+		}
+		return best
+	}
+	return p, nil
+}

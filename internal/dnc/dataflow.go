@@ -1,0 +1,185 @@
+package dnc
+
+import (
+	"container/heap"
+	"fmt"
+
+	"systolicdp/internal/matchain"
+	"systolicdp/internal/matrix"
+	"systolicdp/internal/semiring"
+)
+
+// Section 4's closing observation: when the matrices have different
+// dimensions, the multiplication order matters (the "secondary
+// optimization problem"); once the optimal order is found — itself a
+// polyadic-nonserial DP problem solved by matchain — processors can be
+// assigned to evaluate the products asynchronously, treating the
+// parenthesisation tree as a dataflow graph. DataflowChain implements
+// exactly that pipeline.
+
+// DataflowStats reports an asynchronous dataflow evaluation.
+type DataflowStats struct {
+	Workers  int
+	TotalOps float64 // sum of scalar-multiplication counts over all products
+	Makespan float64 // simulated completion time (ops units)
+	Products int     // number of matrix products (n-1)
+}
+
+// freeHeap is a min-heap of worker free times.
+type freeHeap []float64
+
+func (h freeHeap) Len() int            { return len(h) }
+func (h freeHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h freeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *freeHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *freeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// dfTask is one product node of the parenthesisation tree.
+type dfTask struct {
+	left, right *dfTask // nil for leaves
+	leaf        int     // leaf matrix index when left == nil
+	dur         float64 // scalar multiplications for this product
+	pending     int     // unfinished children
+	ready       float64 // max child finish time
+	parent      *dfTask
+	value       *matrix.Matrix
+}
+
+// readyHeap orders runnable tasks by ready time, breaking ties toward
+// longer tasks (a longest-processing-time flavour of list scheduling).
+type readyHeap []*dfTask
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].ready != h[j].ready {
+		return h[i].ready < h[j].ready
+	}
+	return h[i].dur > h[j].dur
+}
+func (h readyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x interface{}) { *h = append(*h, x.(*dfTask)) }
+func (h *readyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// DataflowChain multiplies the string ms in the optimal parenthesisation
+// order on `workers` asynchronous processors: the ordering DP of
+// equation (6) fixes the tree, and a list scheduler assigns each product
+// to the earliest-free worker once its operands exist. Task durations are
+// the products' scalar-multiplication counts, so Makespan with one worker
+// equals the ordering DP's optimal cost.
+func DataflowChain(s semiring.Semiring, ms []*matrix.Matrix, workers int) (*matrix.Matrix, *DataflowStats, error) {
+	if len(ms) == 0 {
+		return nil, nil, fmt.Errorf("dnc: empty matrix string")
+	}
+	if workers < 1 {
+		return nil, nil, fmt.Errorf("dnc: need workers >= 1, have %d", workers)
+	}
+	dims := make([]int, 0, len(ms)+1)
+	dims = append(dims, ms[0].Rows)
+	for i, m := range ms {
+		if m.Rows != dims[i] {
+			return nil, nil, fmt.Errorf("dnc: matrix %d has %d rows, want %d", i, m.Rows, dims[i])
+		}
+		dims = append(dims, m.Cols)
+	}
+	tab, err := matchain.DP(dims)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Build the task tree from the split table.
+	var build func(i, j int, parent *dfTask) *dfTask
+	var all []*dfTask
+	build = func(i, j int, parent *dfTask) *dfTask {
+		t := &dfTask{parent: parent, leaf: -1}
+		if i == j {
+			t.leaf = i
+			t.value = ms[i]
+			return t
+		}
+		k := tab.Split[i][j]
+		t.left = build(i, k, t)
+		t.right = build(k+1, j, t)
+		t.pending = 0
+		if t.left.leaf < 0 {
+			t.pending++
+		}
+		if t.right.leaf < 0 {
+			t.pending++
+		}
+		t.dur = float64(dims[i] * dims[k+1] * dims[j+1])
+		all = append(all, t)
+		return t
+	}
+	root := build(0, tab.N-1, nil)
+
+	st := &DataflowStats{Workers: workers, Products: len(all)}
+	for _, t := range all {
+		st.TotalOps += t.dur
+	}
+	if root.leaf >= 0 {
+		// Single matrix: nothing to multiply.
+		return ms[0].Clone(), st, nil
+	}
+
+	// List scheduling: ready tasks to the earliest-free worker.
+	var ready readyHeap
+	for _, t := range all {
+		if t.pending == 0 {
+			heap.Push(&ready, t)
+		}
+	}
+	free := make(freeHeap, workers)
+	heap.Init(&free)
+	for ready.Len() > 0 {
+		t := heap.Pop(&ready).(*dfTask)
+		wf := heap.Pop(&free).(float64)
+		start := t.ready
+		if wf > start {
+			start = wf
+		}
+		finish := start + t.dur
+		heap.Push(&free, finish)
+		// "Execute" the product.
+		t.value = matrix.MulMat(s, t.left.value, t.right.value)
+		if finish > st.Makespan {
+			st.Makespan = finish
+		}
+		if p := t.parent; p != nil {
+			if finish > p.ready {
+				p.ready = finish
+			}
+			p.pending--
+			if p.pending == 0 {
+				heap.Push(&ready, p)
+			}
+		}
+	}
+	return root.value, st, nil
+}
+
+// BalancedOps returns the total scalar-multiplication count of the
+// balanced (mid-split) tree for the same dimensions — the fixed-shape
+// baseline the optimal ordering beats on heterogeneous chains.
+func BalancedOps(dims []int) float64 {
+	var rec func(i, j int) float64
+	rec = func(i, j int) float64 {
+		if i == j {
+			return 0
+		}
+		k := (i + j) / 2
+		return rec(i, k) + rec(k+1, j) + float64(dims[i]*dims[k+1]*dims[j+1])
+	}
+	return rec(0, len(dims)-2)
+}

@@ -1,0 +1,154 @@
+package dnc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"systolicdp/internal/matchain"
+	"systolicdp/internal/matrix"
+	"systolicdp/internal/semiring"
+)
+
+// heteroChain builds a chain of matrices with varying dimensions.
+func heteroChain(rng *rand.Rand, n int) ([]*matrix.Matrix, []int) {
+	dims := make([]int, n+1)
+	for i := range dims {
+		dims[i] = 1 + rng.Intn(8)
+	}
+	ms := make([]*matrix.Matrix, n)
+	for i := range ms {
+		ms[i] = matrix.Random(rng, dims[i], dims[i+1], 0, 10)
+	}
+	return ms, dims
+}
+
+func TestDataflowChainCorrect(t *testing.T) {
+	s := semiring.MinPlus{}
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 5, 9, 16} {
+		ms, _ := heteroChain(rng, n)
+		got, st, err := DataflowChain(s, ms, 3)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := matrix.ChainMat(s, ms)
+		if !got.Equal(want, 1e-9) {
+			t.Errorf("n=%d: dataflow product differs from serial", n)
+		}
+		if st.Products != n-1 {
+			t.Errorf("n=%d: %d products, want %d", n, st.Products, n-1)
+		}
+	}
+}
+
+func TestDataflowTotalOpsEqualsOrderingDP(t *testing.T) {
+	s := semiring.MinPlus{}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 15; trial++ {
+		ms, dims := heteroChain(rng, 2+rng.Intn(10))
+		_, st, err := DataflowChain(s, ms, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := matchain.DP(dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(st.TotalOps-tab.OptimalCost()) > 1e-9 {
+			t.Fatalf("trial %d: total ops %v != DP optimum %v", trial, st.TotalOps, tab.OptimalCost())
+		}
+	}
+}
+
+func TestDataflowOneWorkerMakespanEqualsTotalOps(t *testing.T) {
+	s := semiring.MinPlus{}
+	rng := rand.New(rand.NewSource(3))
+	ms, _ := heteroChain(rng, 12)
+	_, st, err := DataflowChain(s, ms, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.Makespan-st.TotalOps) > 1e-9 {
+		t.Errorf("1 worker: makespan %v != total ops %v", st.Makespan, st.TotalOps)
+	}
+}
+
+func TestDataflowMakespanMonotoneInWorkers(t *testing.T) {
+	s := semiring.MinPlus{}
+	rng := rand.New(rand.NewSource(4))
+	ms, _ := heteroChain(rng, 20)
+	prev := math.Inf(1)
+	for _, w := range []int{1, 2, 4, 8} {
+		_, st, err := DataflowChain(s, ms, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Makespan > prev+1e-9 {
+			t.Errorf("makespan grew with more workers: %v -> %v at w=%d", prev, st.Makespan, w)
+		}
+		prev = st.Makespan
+		// Critical-path and work lower bounds.
+		if st.Makespan < st.TotalOps/float64(w)-1e-9 {
+			t.Errorf("w=%d: makespan %v below work bound %v", w, st.Makespan, st.TotalOps/float64(w))
+		}
+	}
+}
+
+func TestOptimalOrderBeatsBalancedOnSkewedChain(t *testing.T) {
+	// The secondary optimization problem matters: a chain engineered so
+	// the balanced split is bad.
+	dims := []int{2, 100, 2, 100, 2, 100, 2}
+	ms := make([]*matrix.Matrix, len(dims)-1)
+	rng := rand.New(rand.NewSource(5))
+	for i := range ms {
+		ms[i] = matrix.Random(rng, dims[i], dims[i+1], 0, 10)
+	}
+	_, st, err := DataflowChain(semiring.MinPlus{}, ms, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bal := BalancedOps(dims)
+	if st.TotalOps >= bal {
+		t.Errorf("optimal ordering (%v ops) should beat balanced (%v ops)", st.TotalOps, bal)
+	}
+}
+
+func TestBalancedOpsMatchesTreeShape(t *testing.T) {
+	// For uniform dims every ordering costs the same: (n-1)*m^3.
+	dims := []int{4, 4, 4, 4, 4}
+	if got, want := BalancedOps(dims), float64(3*4*4*4); got != want {
+		t.Errorf("BalancedOps = %v, want %v", got, want)
+	}
+}
+
+func TestDataflowErrors(t *testing.T) {
+	s := semiring.MinPlus{}
+	if _, _, err := DataflowChain(s, nil, 2); err == nil {
+		t.Error("empty chain accepted")
+	}
+	ms := []*matrix.Matrix{matrix.New(2, 3, 0), matrix.New(4, 2, 0)}
+	if _, _, err := DataflowChain(s, ms, 2); err == nil {
+		t.Error("incompatible dims accepted")
+	}
+	if _, _, err := DataflowChain(s, ms[:1], 0); err == nil {
+		t.Error("workers=0 accepted")
+	}
+}
+
+func TestPropertyDataflowEqualsSerialProduct(t *testing.T) {
+	s := semiring.MinPlus{}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ms, _ := heteroChain(rng, 1+rng.Intn(10))
+		got, _, err := DataflowChain(s, ms, 1+rng.Intn(4))
+		if err != nil {
+			return false
+		}
+		return got.Equal(matrix.ChainMat(s, ms), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

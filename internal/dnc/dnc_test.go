@@ -1,0 +1,296 @@
+package dnc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"systolicdp/internal/matrix"
+	"systolicdp/internal/semiring"
+)
+
+func TestTimeEq29Basics(t *testing.T) {
+	if got := TimeEq29(1, 5); got != 0 {
+		t.Errorf("T(1,5) = %v, want 0 (nothing to multiply)", got)
+	}
+	// n=2, k=1: one product.
+	if got := TimeEq29(2, 1); got != 1 {
+		t.Errorf("T(2,1) = %v, want 1", got)
+	}
+	// Serial evaluation: n-1 products.
+	if got := TimeEq29(9, 1); got != 8 {
+		t.Errorf("T(9,1) = %v, want 8", got)
+	}
+	// Unlimited processors: tree height log2(n).
+	if got := TimeEq29(8, 8); got != 3 {
+		t.Errorf("T(8,8) = %v, want 3", got)
+	}
+	if !math.IsNaN(TimeEq29(0, 1)) || !math.IsNaN(TimeEq29(4, 0)) {
+		t.Error("invalid arguments must yield NaN")
+	}
+}
+
+func TestScheduleMatchesEq29(t *testing.T) {
+	// The greedy level-synchronous schedule attains equation (29) exactly
+	// across a broad sweep.
+	for n := 2; n <= 400; n += 13 {
+		for k := 1; k <= n; k += 5 {
+			st, err := Schedule(n, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := TimeEq29(n, k); float64(st.Time) != want {
+				t.Errorf("n=%d k=%d: simulated %d, eq29 %v", n, k, st.Time, want)
+			}
+			if st.Busy != n-1 {
+				t.Errorf("n=%d k=%d: busy %d, want %d products", n, k, st.Busy, n-1)
+			}
+		}
+	}
+}
+
+func TestScheduleN4096(t *testing.T) {
+	st, err := Schedule(4096, 431)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(st.Time) != TimeEq29(4096, 431) {
+		t.Errorf("N=4096 K=431: simulated %d, eq29 %v", st.Time, TimeEq29(4096, 431))
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	// Figure 6 (N = 4096): the KT^2 minimum falls near the optimal
+	// granularity N/log2(N) = 341, well inside [256, 512], and the curve
+	// rises toward both K = 1 and K = N.
+	ks, min := ArgminKT2(4096, 1, 4096)
+	if len(ks) == 0 {
+		t.Fatal("no argmin")
+	}
+	if ks[0] < 256 || ks[0] > 640 {
+		t.Errorf("argmin K = %d, want within [256,640] around N/log2N=341", ks[0])
+	}
+	if edge := KT2Eq29(4096, 1); edge <= 10*min {
+		t.Errorf("KT2 at K=1 (%v) should dwarf the minimum (%v)", edge, min)
+	}
+	if edge := KT2Eq29(4096, 4096); edge <= 3*min {
+		t.Errorf("KT2 at K=N (%v) should dwarf the minimum (%v)", edge, min)
+	}
+	// The paper's reported minima (431/465) must be near-optimal: within
+	// 10% of the measured minimum.
+	for _, k := range []int{431, 465} {
+		if v := KT2Eq29(4096, k); v > 1.10*min {
+			t.Errorf("KT2(%d) = %v, more than 10%% above min %v", k, v, min)
+		}
+	}
+}
+
+func TestFigure6DivisibilityDips(t *testing.T) {
+	// The paper notes the curve is not smooth because the wind-down time
+	// drops when N is divisible by K. Verify the curve is non-monotonic in
+	// the region around the minimum.
+	pts := SweepKT2(4096, 300, 600)
+	ups, downs := 0, 0
+	for i := 1; i < len(pts); i++ {
+		switch {
+		case pts[i].KT2 > pts[i-1].KT2:
+			ups++
+		case pts[i].KT2 < pts[i-1].KT2:
+			downs++
+		}
+	}
+	if ups == 0 || downs == 0 {
+		t.Errorf("curve should be jagged near the minimum: ups=%d downs=%d", ups, downs)
+	}
+}
+
+func TestOptimalGranularity(t *testing.T) {
+	if got := OptimalGranularity(4096); got != 341 {
+		t.Errorf("OptimalGranularity(4096) = %d, want 341", got)
+	}
+	if got := OptimalGranularity(1); got != 1 {
+		t.Errorf("OptimalGranularity(1) = %d, want 1", got)
+	}
+}
+
+func TestProposition1Asymptotics(t *testing.T) {
+	// PU(k,N) -> 1/(1+c) for k = c*N/log2(N) (equation (17)). The
+	// convergence rate is O(log2 log2 N / log2 N), so finite-N PU sits
+	// above the limit and approaches it monotonically; the finite-N
+	// prediction 1/(1 + c*(1 - log2(log2 N)/log2 N)) from the proof of
+	// case (c) should match the measurement closely.
+	sizes := []int{1 << 12, 1 << 16, 1 << 20}
+	for _, c := range []float64{0.25, 0.5, 1, 2} {
+		limit := 1 / (1 + c)
+		var pus []float64
+		for _, n := range sizes {
+			pu, err := PUAsymptotic(n, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pus = append(pus, pu)
+			logN := math.Log2(float64(n))
+			pred := 1 / (1 + c*(1-math.Log2(logN)/logN+math.Log2(c)/logN))
+			if math.Abs(pu-pred) > 0.03 {
+				t.Errorf("c=%v N=%d: PU %.4f vs finite-N prediction %.4f", c, n, pu, pred)
+			}
+		}
+		for i := range pus {
+			if pus[i] < limit-1e-9 {
+				t.Errorf("c=%v N=%d: PU %.4f below the limit %.4f", c, sizes[i], pus[i], limit)
+			}
+			// Rounding k = round(c*N/log2 N) to an integer puts small
+			// wiggles on top of the downward trend.
+			if i > 0 && pus[i] > pus[i-1]+0.01 {
+				t.Errorf("c=%v: PU not converging: %.4f (N=%d) > %.4f (N=%d)",
+					c, pus[i], sizes[i], pus[i-1], sizes[i-1])
+			}
+		}
+		// Strict progress toward the limit across three decades of N.
+		if (pus[2] - limit) > 0.8*(pus[0]-limit) {
+			t.Errorf("c=%v: PU gap to limit shrank too little: %v -> %v", c, pus[0]-limit, pus[2]-limit)
+		}
+	}
+	// c -> 0 (e.g. k = sqrt(N)): PU -> 1.
+	st, err := Schedule(1<<18, int(math.Sqrt(float64(1<<18))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PU < 0.95 {
+		t.Errorf("k=sqrt(N): PU = %.4f, want -> 1", st.PU)
+	}
+	// Large c: PU falls toward 0.
+	pu, err := PUAsymptotic(1<<18, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pu > 0.1 {
+		t.Errorf("c=16: PU = %.4f, want near 0", pu)
+	}
+}
+
+func TestTheorem1OptimalAtNOverLogN(t *testing.T) {
+	// S*T^2 at S = N/log2(N) must beat the other policies by a growing
+	// factor; at N = 2^16 the ordering is already strict.
+	n := 1 << 16
+	rows := TheoremOneTable(n)
+	var optimal, others []GranularityRow
+	for _, r := range rows {
+		if r.Policy == "N/log2(N)" {
+			optimal = append(optimal, r)
+		} else {
+			others = append(others, r)
+		}
+	}
+	if len(optimal) != 1 {
+		t.Fatalf("missing optimal row: %+v", rows)
+	}
+	for _, r := range others {
+		if r.AT2 <= optimal[0].AT2 {
+			t.Errorf("policy %s: AT2 %v <= optimal %v", r.Policy, r.AT2, optimal[0].AT2)
+		}
+	}
+	// And the optimal AT2 is Theta(N log2 N): within a small constant.
+	bound := float64(n) * math.Log2(float64(n))
+	ratio := optimal[0].AT2 / bound
+	if ratio < 0.5 || ratio > 8 {
+		t.Errorf("AT2/NlogN = %v, want O(1)", ratio)
+	}
+}
+
+func TestPUAnalyticAgreesWithSchedule(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{64, 8}, {256, 32}, {1024, 100}} {
+		st, err := Schedule(tc.n, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := PUAnalytic(tc.n, tc.k); math.Abs(got-st.PU) > 1e-9 {
+			t.Errorf("n=%d k=%d: analytic PU %v vs simulated %v", tc.n, tc.k, got, st.PU)
+		}
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	if _, err := Schedule(0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Schedule(4, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestParallelChainCorrectAndTimed(t *testing.T) {
+	s := semiring.MinPlus{}
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ n, k int }{{2, 1}, {5, 2}, {8, 3}, {16, 16}, {17, 4}} {
+		ms := make([]*matrix.Matrix, tc.n)
+		for i := range ms {
+			ms[i] = matrix.Random(rng, 4, 4, 0, 10)
+		}
+		res, err := ParallelChain(s, ms, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := matrix.ChainMat(s, ms)
+		if !res.Product.Equal(want, 1e-9) {
+			t.Errorf("n=%d k=%d: parallel product differs from serial", tc.n, tc.k)
+		}
+		if float64(res.Stats.Time) != TimeEq29(tc.n, tc.k) {
+			t.Errorf("n=%d k=%d: rounds %d vs eq29 %v", tc.n, tc.k, res.Stats.Time, TimeEq29(tc.n, tc.k))
+		}
+	}
+}
+
+func TestParallelChainErrors(t *testing.T) {
+	s := semiring.MinPlus{}
+	if _, err := ParallelChain(s, nil, 2); err == nil {
+		t.Error("empty string accepted")
+	}
+	if _, err := ParallelChain(s, []*matrix.Matrix{matrix.New(2, 2, 0)}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestParallelChainSingleMatrix(t *testing.T) {
+	s := semiring.MinPlus{}
+	m := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
+	res, err := ParallelChain(s, []*matrix.Matrix{m}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Product.Equal(m, 0) || res.Stats.Time != 0 {
+		t.Errorf("single-matrix chain mishandled: %+v", res.Stats)
+	}
+}
+
+func TestPropertyScheduleBounds(t *testing.T) {
+	// Equation (25): T >= N/K - 1 + log2(K) (the lower bound used in
+	// Theorem 1), and trivially T <= N-1.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(2000)
+		k := 1 + rng.Intn(n)
+		st, err := Schedule(n, k)
+		if err != nil {
+			return false
+		}
+		lower := float64(n)/float64(k) - 1 + math.Log2(float64(k))
+		return float64(st.Time) >= lower-1.0000001 && st.Time <= n-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKT2SweepConsistency(t *testing.T) {
+	pts := SweepKT2(128, 1, 128)
+	if len(pts) != 128 {
+		t.Fatalf("sweep length %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.KT2 != float64(p.K)*p.T*p.T {
+			t.Errorf("inconsistent point %+v", p)
+		}
+	}
+}

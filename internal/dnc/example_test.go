@@ -1,0 +1,38 @@
+package dnc_test
+
+import (
+	"fmt"
+
+	"systolicdp/internal/dnc"
+)
+
+// ExampleTimeEq29 evaluates the paper's equation (29) at the Figure 6
+// operating points.
+func ExampleTimeEq29() {
+	fmt.Println(dnc.TimeEq29(4096, 341)) // optimal granularity N/log2(N)
+	fmt.Println(dnc.TimeEq29(4096, 1))   // serial
+	fmt.Println(dnc.TimeEq29(4096, 4096))
+	// Output:
+	// 20
+	// 4095
+	// 12
+}
+
+// ExampleSchedule simulates the greedy divide-and-conquer schedule and
+// confirms it attains equation (29).
+func ExampleSchedule() {
+	st, err := dnc.Schedule(4096, 431)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(st.Time, st.Busy)
+	// Output:
+	// 18 4095
+}
+
+// ExampleOptimalGranularity reports Theorem 1's optimal processor count.
+func ExampleOptimalGranularity() {
+	fmt.Println(dnc.OptimalGranularity(4096))
+	// Output:
+	// 341
+}

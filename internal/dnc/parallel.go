@@ -1,0 +1,70 @@
+package dnc
+
+import (
+	"fmt"
+	"sync"
+
+	"systolicdp/internal/matrix"
+	"systolicdp/internal/semiring"
+)
+
+// ParallelResult reports an actual parallel divide-and-conquer
+// matrix-string multiplication.
+type ParallelResult struct {
+	Product *matrix.Matrix
+	Stats   ScheduleStats
+}
+
+// ParallelChain multiplies the string ms on k worker goroutines, each
+// standing in for one matrix-multiplication systolic array, using the
+// level-synchronous greedy schedule of Schedule: every round, up to k
+// adjacent pairs of completed partial products are multiplied
+// concurrently. The product equals the sequential ChainMat result (matrix
+// multiplication over a semiring is associative), and the recorded round
+// count equals Schedule's completion time.
+func ParallelChain(s semiring.Semiring, ms []*matrix.Matrix, k int) (*ParallelResult, error) {
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("dnc: empty matrix string")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("dnc: need k >= 1, have %d", k)
+	}
+	segs := make([]*matrix.Matrix, len(ms))
+	copy(segs, ms)
+	res := &ParallelResult{Stats: ScheduleStats{N: len(ms), K: k}}
+	st := &res.Stats
+	for len(segs) > 1 {
+		merges := len(segs) / 2
+		if merges > k {
+			merges = k
+		}
+		out := make([]*matrix.Matrix, merges)
+		var wg sync.WaitGroup
+		for w := 0; w < merges; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				out[w] = matrix.MulMat(s, segs[2*w], segs[2*w+1])
+			}(w)
+		}
+		wg.Wait()
+		next := make([]*matrix.Matrix, 0, len(segs)-merges)
+		next = append(next, out...)
+		next = append(next, segs[2*merges:]...)
+		segs = next
+		st.Time++
+		st.Busy += merges
+		if merges == k {
+			st.Computation++
+		} else {
+			st.WindDown++
+		}
+	}
+	st.PU = 1
+	if st.Time > 0 {
+		st.PU = float64(st.Busy) / (float64(k) * float64(st.Time))
+	}
+	st.KT2 = float64(k) * float64(st.Time) * float64(st.Time)
+	res.Product = segs[0]
+	return res, nil
+}

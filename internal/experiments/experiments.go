@@ -1,0 +1,132 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: one driver per artifact (E1-E10, indexed in DESIGN.md), each
+// producing a rendered table plus notes comparing the measurement against
+// the paper's closed form. The cmd/experiments binary prints them all;
+// EXPERIMENTS.md records the outcomes.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is one regenerated artifact.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment pairs an artifact ID with its driver.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() (*Table, error)
+}
+
+// All returns every experiment in ID order.
+func All() []Experiment {
+	exps := []Experiment{
+		{"E1", "Design 1 (Fig 3): pipelined array, iteration counts and PU vs eq (9)", E1Design1},
+		{"E2", "Design 2 (Fig 4): broadcast array, iteration counts and PU vs eq (9)", E2Design2},
+		{"E3", "Design 3 (Fig 5): feedback array, (N+1)m iterations, PU, path registers", E3Design3},
+		{"E4", "Figure 6: KT^2 vs K for N=4096 (eq 29) with scheduling cross-check", E4Figure6},
+		{"E5", "Proposition 1 (eq 17): asymptotic processor utilization", E5Proposition1},
+		{"E6", "Theorem 1: S*T^2 minimised at S = N/log2(N)", E6Theorem1},
+		{"E7", "Theorem 2 (eq 32): u(p) node counts, binary partition optimal", E7Theorem2},
+		{"E8", "Section 6.1 (eq 40): nonserial elimination step counts and grouping", E8Nonserial},
+		{"E9", "Propositions 2-3 (eqs 42-43): matrix-chain ordering timings", E9MatrixChain},
+		{"E10", "Table 1: classification and dispatch of the four DP classes", E10TableOne},
+	}
+	sort.Slice(exps, func(i, j int) bool {
+		return len(exps[i].ID) < len(exps[j].ID) || (len(exps[i].ID) == len(exps[j].ID) && exps[i].ID < exps[j].ID)
+	})
+	return exps
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func f4(x float64) string { return fmt.Sprintf("%.4f", x) }
+func d(x int) string      { return fmt.Sprintf("%d", x) }
+func g(x float64) string  { return fmt.Sprintf("%g", x) }
+
+// RenderCSV formats the table as CSV (header row first); notes are
+// emitted as trailing comment lines. Cells containing commas or quotes
+// are quoted per RFC 4180.
+func (t *Table) RenderCSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+		}
+		return s
+	}
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	row(t.Header)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}

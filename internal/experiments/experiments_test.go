@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow under -short")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if tab.ID != e.ID {
+				t.Errorf("table ID %q != experiment ID %q", tab.ID, e.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Errorf("%s produced no rows", e.ID)
+			}
+			out := tab.Render()
+			if !strings.Contains(out, e.ID) {
+				t.Errorf("%s: render missing ID", e.ID)
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Header) {
+					t.Errorf("%s: row width %d != header width %d", e.ID, len(row), len(tab.Header))
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("E4")
+	if err != nil || e.ID != "E4" {
+		t.Fatalf("ByID(E4) = %v, %v", e.ID, err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Error("unknown ID accepted")
+	}
+}
+
+func TestAllOrdering(t *testing.T) {
+	exps := All()
+	if len(exps) != 10 {
+		t.Fatalf("have %d experiments, want 10", len(exps))
+	}
+	if exps[0].ID != "E1" || exps[9].ID != "E10" {
+		t.Errorf("ordering wrong: first %s last %s", exps[0].ID, exps[9].ID)
+	}
+}
+
+func TestRenderAlignment(t *testing.T) {
+	tab := &Table{
+		ID:     "X",
+		Title:  "test",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"wide-cell", "1"}},
+		Notes:  []string{"a note"},
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "a note") {
+		t.Error("notes missing")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatalf("too few lines: %q", out)
+	}
+}
+
+func TestExtensionsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extensions are slow under -short")
+	}
+	for _, e := range Extensions() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Errorf("%s produced no rows", e.ID)
+			}
+		})
+	}
+	if len(AllWithExtensions()) != 16 {
+		t.Errorf("AllWithExtensions has %d entries, want 16", len(AllWithExtensions()))
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tab := &Table{
+		ID:     "X",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "has,comma"}, {"2", `has"quote`}},
+		Notes:  []string{"a note"},
+	}
+	out := tab.RenderCSV()
+	if !strings.Contains(out, "a,b\n") {
+		t.Error("header row missing")
+	}
+	if !strings.Contains(out, `"has,comma"`) {
+		t.Error("comma cell not quoted")
+	}
+	if !strings.Contains(out, `"has""quote"`) {
+		t.Error("quote cell not escaped")
+	}
+	if !strings.Contains(out, "# a note") {
+		t.Error("note comment missing")
+	}
+}
+
+func TestRenderHTML(t *testing.T) {
+	tables := []*Table{{
+		ID: "E0", Title: "demo <escaped>",
+		Header: []string{"a"},
+		Rows:   [][]string{{"<1>"}},
+		Notes:  []string{"n"},
+	}}
+	out, err := RenderHTML(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "&lt;1&gt;") {
+		t.Error("cell not HTML-escaped")
+	}
+	if !strings.Contains(out, "demo &lt;escaped&gt;") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(out, "<table>") {
+		t.Error("table missing")
+	}
+}

@@ -1,0 +1,313 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"systolicdp/internal/andor"
+	"systolicdp/internal/bcastarray"
+	"systolicdp/internal/bnb"
+	"systolicdp/internal/control"
+	"systolicdp/internal/fbarray"
+	"systolicdp/internal/matrix"
+	"systolicdp/internal/mesh"
+	"systolicdp/internal/multistage"
+	"systolicdp/internal/obst"
+	"systolicdp/internal/pipearray"
+)
+
+// Extensions returns the drivers for the beyond-paper systems (DESIGN.md
+// S16-S21): optional/extension features the paper names but does not
+// evaluate. They print under `cmd/experiments -extensions`.
+func Extensions() []Experiment {
+	return []Experiment{
+		{"X1", "2D systolic mesh: 3n-2 cycle completion and correctness", X1Mesh},
+		{"X2", "Batch streaming through Design 1: one fill for B problems", X2Stream},
+		{"X3", "Branch-and-bound: dominance = DP (expansion counts)", X3BnB},
+		{"X4", "Optimal BST: Knuth's O(n^2) window vs the O(n^3) polyadic DP", X4OBST},
+		{"X5", "Quantized tracking control on Designs 1-2 (Section 3.2 extension)", X5Control},
+		{"X6", "Irregular-stage elimination ordering (Section 5 closing)", X6Irregular},
+	}
+}
+
+// AllWithExtensions returns E1-E10 followed by X1-X5.
+func AllWithExtensions() []Experiment {
+	return append(All(), Extensions()...)
+}
+
+// X1Mesh verifies the stationary-result mesh: products equal the
+// sequential kernel and complete in exactly 3n-2 cycles with every PE
+// busy n cycles.
+func X1Mesh() (*Table, error) {
+	rng := rand.New(rand.NewSource(2001))
+	t := &Table{
+		ID:     "X1",
+		Title:  "2D systolic matrix-multiplication mesh",
+		Header: []string{"n", "PEs", "wall cycles", "3n-2", "busy/PE", "correct"},
+	}
+	for _, n := range []int{2, 4, 8, 12} {
+		a := matrix.Random(rng, n, n, 0, 10)
+		b := matrix.Random(rng, n, n, 0, 10)
+		arr, err := mesh.New(mp, a, b)
+		if err != nil {
+			return nil, err
+		}
+		prod, res, err := arr.Run(false)
+		if err != nil {
+			return nil, err
+		}
+		ok := prod.Equal(matrix.MulMat(mp, a, b), 1e-9)
+		busyOK := true
+		for _, bz := range res.Busy {
+			if bz != n {
+				busyOK = false
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			d(n), d(n * n), d(arr.WallCycles()), d(3*n - 2),
+			d(n), fmt.Sprintf("%v", ok && busyOK),
+		})
+		if !ok || !busyOK {
+			return nil, fmt.Errorf("X1: n=%d failed", n)
+		}
+	}
+	return t, nil
+}
+
+// X2Stream measures back-to-back batches on Design 1.
+func X2Stream() (*Table, error) {
+	rng := rand.New(rand.NewSource(2002))
+	t := &Table{
+		ID:     "X2",
+		Title:  "Design-1 batch streaming",
+		Header: []string{"B", "K", "m", "streamed cycles", "separate cycles", "saved", "correct"},
+	}
+	for _, tc := range []struct{ b, k, m int }{{2, 2, 4}, {4, 4, 4}, {8, 3, 6}, {16, 4, 8}} {
+		probs := make([]pipearray.StreamProblem, tc.b)
+		for i := range probs {
+			ms := make([]*matrix.Matrix, tc.k)
+			for j := range ms {
+				ms[j] = matrix.Random(rng, tc.m, tc.m, 0, 10)
+			}
+			v := make([]float64, tc.m)
+			for j := range v {
+				v[j] = rng.Float64() * 10
+			}
+			probs[i] = pipearray.StreamProblem{Ms: ms, V: v}
+		}
+		st, err := pipearray.NewStream(probs)
+		if err != nil {
+			return nil, err
+		}
+		got, err := st.Run(false)
+		if err != nil {
+			return nil, err
+		}
+		ok := true
+		for bi, pr := range probs {
+			want, err := pipearray.Solve(pr.Ms, pr.V)
+			if err != nil {
+				return nil, err
+			}
+			for j := range want {
+				if math.Abs(got[bi][j]-want[j]) > 1e-9 {
+					ok = false
+				}
+			}
+		}
+		separate := tc.b * (st.KPadded*tc.m + tc.m - 1)
+		t.Rows = append(t.Rows, []string{
+			d(tc.b), d(tc.k), d(tc.m), d(st.WallCycles()), d(separate),
+			d(separate - st.WallCycles()), fmt.Sprintf("%v", ok),
+		})
+		if !ok {
+			return nil, fmt.Errorf("X2: B=%d failed", tc.b)
+		}
+	}
+	t.Notes = append(t.Notes, "streaming pays the m-1 pipeline fill once per batch instead of once per problem")
+	return t, nil
+}
+
+// X3BnB shows branch-and-bound collapsing to DP under dominance.
+func X3BnB() (*Table, error) {
+	rng := rand.New(rand.NewSource(2003))
+	t := &Table{
+		ID:     "X3",
+		Title:  "branch-and-bound with and without the DP dominance test",
+		Header: []string{"N", "m", "expand (no dom)", "expand (dom)", "DP states N*m", "costs agree"},
+	}
+	for _, tc := range []struct{ n, m int }{{6, 3}, {8, 4}, {10, 4}, {12, 3}} {
+		g := multistage.RandomUniform(rng, tc.n, tc.m, 0, 10)
+		want := multistage.SolveOptimal(mp, g).Cost
+		bound := bnb.NewBoundStageMin(g)
+		with, err := bnb.Solve(g, bnb.Options{Dominance: true, Bound: bound})
+		if err != nil {
+			return nil, err
+		}
+		without, err := bnb.Solve(g, bnb.Options{Bound: bound})
+		if err != nil {
+			return nil, err
+		}
+		agree := math.Abs(with.Cost-want) < 1e-9 && math.Abs(without.Cost-want) < 1e-9
+		t.Rows = append(t.Rows, []string{
+			d(tc.n), d(tc.m), d(without.Expanded), d(with.Expanded),
+			d(tc.n * tc.m), fmt.Sprintf("%v", agree),
+		})
+		if !agree {
+			return nil, fmt.Errorf("X3: N=%d failed", tc.n)
+		}
+	}
+	t.Notes = append(t.Notes, "the dominance test is Bellman's principle: expansions collapse to the DP state count")
+	return t, nil
+}
+
+// X4OBST compares the cubic DP and Knuth's quadratic variant.
+func X4OBST() (*Table, error) {
+	rng := rand.New(rand.NewSource(2004))
+	t := &Table{
+		ID:     "X4",
+		Title:  "optimal binary search tree: inner-loop iteration counts",
+		Header: []string{"n keys", "O(n^3) iters", "Knuth iters", "speedup", "costs agree"},
+	}
+	for _, n := range []int{16, 32, 64, 128} {
+		p := &obst.Problem{P: make([]float64, n), Q: make([]float64, n+1)}
+		for i := range p.P {
+			p.P[i] = rng.Float64()
+		}
+		for i := range p.Q {
+			p.Q[i] = rng.Float64() * 0.5
+		}
+		full, err := p.Solve()
+		if err != nil {
+			return nil, err
+		}
+		fast, err := p.SolveKnuth()
+		if err != nil {
+			return nil, err
+		}
+		agree := math.Abs(full.OptimalCost()-fast.OptimalCost()) < 1e-9
+		t.Rows = append(t.Rows, []string{
+			d(n), d(full.Inner), d(fast.Inner),
+			fmt.Sprintf("%.1fx", float64(full.Inner)/float64(fast.Inner)),
+			fmt.Sprintf("%v", agree),
+		})
+		if !agree {
+			return nil, fmt.Errorf("X4: n=%d disagree", n)
+		}
+	}
+	return t, nil
+}
+
+// X5Control runs the quantized tracking problem on Designs 1-2.
+func X5Control() (*Table, error) {
+	t := &Table{
+		ID:     "X5",
+		Title:  "quantized tracking control on the systolic arrays",
+		Header: []string{"horizon", "states", "controls", "baseline", "Design 1", "Design 2", "Design 3", "agree"},
+	}
+	grids := func(lo, hi float64, n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+		}
+		return out
+	}
+	for _, tc := range []struct {
+		horizon, states, controls int
+	}{{5, 9, 7}, {8, 11, 9}, {12, 15, 11}} {
+		ref := make([]float64, tc.horizon+1)
+		for i := range ref {
+			ref[i] = 2 + 2*math.Sin(float64(i)/2)
+		}
+		sys := &control.System{
+			A: 0.95, B: 1, Qw: 1, Rw: 0.2,
+			Ref:      ref,
+			States:   grids(0, 4.5, tc.states),
+			Controls: grids(-1.5, 1.5, tc.controls),
+			X0:       2,
+		}
+		tr, err := sys.Solve()
+		if err != nil {
+			return nil, err
+		}
+		ms, v, err := sys.MatrixString()
+		if err != nil {
+			return nil, err
+		}
+		d1, err := pipearray.Solve(ms, v)
+		if err != nil {
+			return nil, err
+		}
+		d2v, err := bcastarray.Solve(ms, v)
+		if err != nil {
+			return nil, err
+		}
+		staged, err := sys.ToStaged()
+		if err != nil {
+			return nil, err
+		}
+		arr3, err := fbarray.NewStaged(mp, staged)
+		if err != nil {
+			return nil, err
+		}
+		r3, err := arr3.Run(false)
+		if err != nil {
+			return nil, err
+		}
+		agree := math.Abs(d1[0]-tr.Cost) < 1e-9 && math.Abs(d2v[0]-tr.Cost) < 1e-9 &&
+			math.Abs(r3.Cost-tr.Cost) < 1e-9
+		t.Rows = append(t.Rows, []string{
+			d(tc.horizon), d(tc.states), d(tc.controls),
+			f4(tr.Cost), f4(d1[0]), f4(d2v[0]), f4(r3.Cost), fmt.Sprintf("%v", agree),
+		})
+		if !agree {
+			return nil, fmt.Errorf("X5: horizon=%d disagree", tc.horizon)
+		}
+	}
+	t.Notes = append(t.Notes, "Design 3 runs the staged form (per-stage F_i units, the general Figure 5); Designs 1-2 take explicit matrices")
+	return t, nil
+}
+
+// X6Irregular measures the Section 5 closing analysis: elimination
+// ordering on irregular stage-size profiles — ternary vs binary
+// reduction, and optimal vs naive binary order.
+func X6Irregular() (*Table, error) {
+	t := &Table{
+		ID:     "X6",
+		Title:  "irregular multistage graphs: elimination-order comparisons (Section 5 closing)",
+		Header: []string{"stage sizes", "ternary 4-stage", "binary 4-stage", "optimal order", "naive order", "order"},
+	}
+	for _, sizes := range [][]int{
+		{2, 3, 4, 5},
+		{3, 50, 3, 2},
+		{2, 2, 100, 2, 2},
+		{4, 8, 2, 16, 2, 8},
+		{5, 5, 5, 5, 5},
+	} {
+		tri, bin := "-", "-"
+		if len(sizes) == 4 {
+			tri = d(andor.TriReductionCost(sizes[0], sizes[1], sizes[2], sizes[3]))
+			b, _ := andor.BinaryReductionCost(sizes[0], sizes[1], sizes[2], sizes[3])
+			bin = d(b)
+		}
+		opt, order, err := andor.EliminationOrder(sizes)
+		if err != nil {
+			return nil, err
+		}
+		naive, err := andor.NaiveEliminationCost(sizes)
+		if err != nil {
+			return nil, err
+		}
+		if opt > naive {
+			return nil, fmt.Errorf("X6: optimal %d worse than naive %d for %v", opt, naive, sizes)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%v", sizes), tri, bin, d(opt), d(naive), fmt.Sprintf("%v", order),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"binary elimination never loses to the 3-arc AND-node (the paper's m1m3(m2+m4) vs m1m2m3m4 argument)",
+		"choosing the elimination order is itself the secondary optimization problem (matrix-chain recurrence on stage sizes)")
+	return t, nil
+}

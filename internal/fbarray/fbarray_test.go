@@ -1,0 +1,230 @@
+package fbarray
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"systolicdp/internal/metrics"
+	"systolicdp/internal/multistage"
+	"systolicdp/internal/semiring"
+)
+
+var mp = semiring.MinPlus{}
+
+func TestFigure1bFifteenIterations(t *testing.T) {
+	// The Figure 1(b) instance: 4 stages, 3 values each. The paper states
+	// the process completes in 15 iterations ((N+1)*m).
+	rng := rand.New(rand.NewSource(1))
+	p := multistage.RandomNodeValued(rng, 4, 3, 0, 10)
+	a, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Iterations() != 15 {
+		t.Errorf("Iterations = %d, want 15", a.Iterations())
+	}
+	res, err := a.Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.Solve(mp)
+	if math.Abs(res.Cost-want) > 1e-9 {
+		t.Errorf("cost = %v, want %v", res.Cost, want)
+	}
+}
+
+func TestMatchesBaselineAcrossShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 3, 4, 6, 9} {
+		for _, m := range []int{1, 2, 3, 5, 8} {
+			p := multistage.RandomNodeValued(rng, n, m, 0, 10)
+			res, err := Solve(p)
+			if err != nil {
+				t.Fatalf("n=%d m=%d: %v", n, m, err)
+			}
+			want := p.Solve(mp)
+			if math.Abs(res.Cost-want) > 1e-9 {
+				t.Errorf("n=%d m=%d: cost %v, want %v", n, m, res.Cost, want)
+			}
+		}
+	}
+}
+
+func TestPathReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		p := multistage.RandomNodeValued(rng, 2+rng.Intn(5), 2+rng.Intn(4), 0, 10)
+		res, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The reconstructed assignment must attain the reported cost.
+		var c float64
+		for k := 0; k+1 < len(res.Path); k++ {
+			c += multistage.AbsDiff(p.Values[k][res.Path[k]], p.Values[k+1][res.Path[k+1]])
+		}
+		if math.Abs(c-res.Cost) > 1e-9 {
+			t.Fatalf("trial %d: path cost %v != reported %v (path %v)", trial, c, res.Cost, res.Path)
+		}
+		// And the cost must be optimal.
+		if want := p.SolvePath(mp); math.Abs(res.Cost-want.Cost) > 1e-9 {
+			t.Fatalf("trial %d: cost %v, optimal %v", trial, res.Cost, want.Cost)
+		}
+	}
+}
+
+func TestGoroutinesMatchLockstep(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 6; trial++ {
+		p := multistage.RandomNodeValued(rng, 2+rng.Intn(4), 2+rng.Intn(4), 0, 10)
+		a, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lres, err := a.Run(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gres, err := a.Run(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(lres.Cost-gres.Cost) > 1e-9 {
+			t.Errorf("trial %d: lockstep %v != goroutine %v", trial, lres.Cost, gres.Cost)
+		}
+		for i := range lres.Path {
+			if lres.Path[i] != gres.Path[i] {
+				t.Errorf("trial %d: path[%d] %d vs %d", trial, i, lres.Path[i], gres.Path[i])
+			}
+		}
+		for i := range lres.Busy {
+			if lres.Busy[i] != gres.Busy[i] {
+				t.Errorf("trial %d: busy[%d] %d vs %d", trial, i, lres.Busy[i], gres.Busy[i])
+			}
+		}
+	}
+}
+
+func TestBusyCountsMatchPUNumerator(t *testing.T) {
+	// Total busy cycles must equal the serial iteration count
+	// (N-1)m^2 + m, making measured PU exactly the paper's
+	// ((N-1)m^2+m)/((N+1)m*m).
+	rng := rand.New(rand.NewSource(5))
+	for _, tc := range []struct{ n, m int }{{2, 2}, {4, 3}, {8, 5}, {16, 4}} {
+		p := multistage.RandomNodeValued(rng, tc.n, tc.m, 0, 10)
+		a, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := a.Run(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, b := range res.Busy {
+			total += b
+		}
+		if want := a.SerialIterations(); total != want {
+			t.Errorf("N=%d m=%d: busy total %d, want %d", tc.n, tc.m, total, want)
+		}
+		pu := metrics.PU(a.SerialIterations(), a.Iterations(), tc.m)
+		if pu <= 0 || pu > 1 {
+			t.Errorf("N=%d m=%d: PU = %v out of range", tc.n, tc.m, pu)
+		}
+	}
+}
+
+func TestPUApproachesOne(t *testing.T) {
+	// Section 3.2: PU = ((N-1)m^2+m)/((N+1)m*m) ~= 1 for large N.
+	a := &Array{N: 1000, M: 10}
+	pu := metrics.PU(a.SerialIterations(), a.Iterations(), a.M)
+	if pu < 0.99 {
+		t.Errorf("PU = %v, want >= 0.99 for N=1000", pu)
+	}
+}
+
+func TestCustomCostFunction(t *testing.T) {
+	// A quadratic cost (circuit-design flavour: power dissipation).
+	p := &multistage.NodeValued{
+		Values: [][]float64{{1, 2}, {3, 5}, {2, 8}},
+		F:      func(x, y float64) float64 { return (x - y) * (x - y) },
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.Solve(mp)
+	if math.Abs(res.Cost-want) > 1e-9 {
+		t.Errorf("cost %v, want %v", res.Cost, want)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New(&multistage.NodeValued{Values: [][]float64{{1}}, F: multistage.AbsDiff}); err == nil {
+		t.Error("1-stage problem accepted")
+	}
+	ragged := &multistage.NodeValued{Values: [][]float64{{1, 2}, {3}}, F: multistage.AbsDiff}
+	if _, err := New(ragged); err == nil {
+		t.Error("ragged problem accepted")
+	}
+	if _, err := New(&multistage.NodeValued{Values: [][]float64{{1}, {2}}}); err == nil {
+		t.Error("nil cost function accepted")
+	}
+}
+
+func TestSingleValueStages(t *testing.T) {
+	// m = 1: the path is forced; the array must still produce it.
+	p := &multistage.NodeValued{
+		Values: [][]float64{{3}, {7}, {2}},
+		F:      multistage.AbsDiff,
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4.0 + 5.0; math.Abs(res.Cost-want) > 1e-9 {
+		t.Errorf("cost %v, want %v", res.Cost, want)
+	}
+	for _, idx := range res.Path {
+		if idx != 0 {
+			t.Errorf("path %v, want all zeros", res.Path)
+		}
+	}
+}
+
+func TestPropertyMatchesBaseline(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := multistage.RandomNodeValued(rng, 2+rng.Intn(6), 1+rng.Intn(6), 0, 20)
+		res, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		return math.Abs(res.Cost-p.Solve(mp)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRerunDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := multistage.RandomNodeValued(rng, 5, 4, 0, 10)
+	a, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := a.Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cost != r2.Cost {
+		t.Errorf("rerun differs: %v vs %v", r1.Cost, r2.Cost)
+	}
+}

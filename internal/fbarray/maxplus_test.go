@@ -1,0 +1,57 @@
+package fbarray
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"systolicdp/internal/multistage"
+	"systolicdp/internal/semiring"
+)
+
+func TestMaxPlusMatchesBaseline(t *testing.T) {
+	s := semiring.MaxPlus{}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 15; trial++ {
+		p := multistage.RandomNodeValued(rng, 2+rng.Intn(5), 2+rng.Intn(4), 0, 10)
+		a, err := NewSemiring(s, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := a.Run(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := p.Solve(s); math.Abs(res.Cost-want) > 1e-9 {
+			t.Fatalf("trial %d: max-plus cost %v, want %v", trial, res.Cost, want)
+		}
+		// The reconstructed assignment must attain the reported reward.
+		var c float64
+		for k := 0; k+1 < len(res.Path); k++ {
+			c += multistage.AbsDiff(p.Values[k][res.Path[k]], p.Values[k+1][res.Path[k+1]])
+		}
+		if math.Abs(c-res.Cost) > 1e-9 {
+			t.Fatalf("trial %d: path reward %v != reported %v", trial, c, res.Cost)
+		}
+	}
+}
+
+func TestMaxPlusAtLeastMinPlus(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := multistage.RandomNodeValued(rng, 5, 4, 0, 10)
+	lo, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewSemiring(semiring.MaxPlus{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := a.Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.Cost < lo.Cost-1e-9 {
+		t.Errorf("max %v < min %v", hi.Cost, lo.Cost)
+	}
+}

@@ -1,0 +1,152 @@
+package fbarray
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"systolicdp/internal/multistage"
+)
+
+func randomStaged(rng *rand.Rand, n, m int) *multistage.StagedNodeValued {
+	p := &multistage.StagedNodeValued{
+		// Stage-dependent cost: the stage index scales the distance, so a
+		// stage-independent array would get this wrong.
+		FK: func(k int, x, y float64) float64 {
+			return float64(k+1) * math.Abs(x-y)
+		},
+	}
+	for k := 0; k < n; k++ {
+		vs := make([]float64, m)
+		for i := range vs {
+			vs[i] = rng.Float64() * 10
+		}
+		p.Values = append(p.Values, vs)
+	}
+	return p
+}
+
+func TestStagedMatchesBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		p := randomStaged(rng, 2+rng.Intn(5), 2+rng.Intn(4))
+		a, err := NewStaged(mp, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := a.Run(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := p.Solve(mp); math.Abs(res.Cost-want) > 1e-9 {
+			t.Fatalf("trial %d: staged array %v, baseline %v", trial, res.Cost, want)
+		}
+		// And against the expanded-graph solver with path check.
+		want2 := multistage.SolveOptimal(mp, p.Expand())
+		if math.Abs(res.Cost-want2.Cost) > 1e-9 {
+			t.Fatalf("trial %d: staged array %v, graph %v", trial, res.Cost, want2.Cost)
+		}
+	}
+}
+
+func TestStagedPathAttainsCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := randomStaged(rng, 5, 4)
+	a, err := NewStaged(mp, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c float64
+	for k := 0; k+1 < len(res.Path); k++ {
+		c += p.FK(k, p.Values[k][res.Path[k]], p.Values[k+1][res.Path[k+1]])
+	}
+	if math.Abs(c-res.Cost) > 1e-9 {
+		t.Fatalf("path cost %v != reported %v", c, res.Cost)
+	}
+}
+
+func TestStagedGoroutinesMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := randomStaged(rng, 4, 3)
+	a, err := NewStaged(mp, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock, err := a.Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goro, err := a.Run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lock.Cost != goro.Cost {
+		t.Errorf("lockstep %v != goroutines %v", lock.Cost, goro.Cost)
+	}
+}
+
+func TestStagedErrors(t *testing.T) {
+	if _, err := NewStaged(mp, &multistage.StagedNodeValued{Values: [][]float64{{1}}}); err == nil {
+		t.Error("1-stage problem accepted")
+	}
+	bad := &multistage.StagedNodeValued{
+		Values: [][]float64{{1, 2}, {3}},
+		FK:     func(int, float64, float64) float64 { return 0 },
+	}
+	if _, err := NewStaged(mp, bad); err == nil {
+		t.Error("ragged staged problem accepted")
+	}
+}
+
+func TestStagedReducesToUnstaged(t *testing.T) {
+	// With a stage-independent FK, NewStaged must agree with New.
+	rng := rand.New(rand.NewSource(4))
+	nv := multistage.RandomNodeValued(rng, 5, 3, 0, 10)
+	st := &multistage.StagedNodeValued{
+		Values: nv.Values,
+		FK:     func(_ int, x, y float64) float64 { return nv.F(x, y) },
+	}
+	a1, err := New(nv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := a1.Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := NewStaged(mp, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a2.Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cost != r2.Cost {
+		t.Errorf("unstaged %v != staged %v", r1.Cost, r2.Cost)
+	}
+}
+
+func TestPropertyStagedOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomStaged(rng, 2+rng.Intn(4), 1+rng.Intn(4))
+		a, err := NewStaged(mp, p)
+		if err != nil {
+			return false
+		}
+		res, err := a.Run(false)
+		if err != nil {
+			return false
+		}
+		return math.Abs(res.Cost-p.Solve(mp)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

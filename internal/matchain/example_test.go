@@ -1,0 +1,28 @@
+package matchain_test
+
+import (
+	"fmt"
+
+	"systolicdp/internal/matchain"
+)
+
+// ExampleDP solves the classic six-matrix instance of equation (6).
+func ExampleDP() {
+	tab, err := matchain.DP([]int{30, 35, 15, 5, 10, 20, 25})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(tab.OptimalCost())
+	fmt.Println(tab.Parenthesization())
+	// Output:
+	// 15125
+	// ((M1 (M2 M3)) ((M4 M5) M6))
+}
+
+// ExampleTdRecurrence shows Proposition 2: the broadcast-bus design
+// orders N matrices in N steps.
+func ExampleTdRecurrence() {
+	fmt.Println(matchain.TdRecurrence(64), matchain.TpRecurrence(64))
+	// Output:
+	// 64 128
+}

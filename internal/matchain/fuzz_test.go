@@ -1,0 +1,39 @@
+package matchain
+
+import "testing"
+
+// FuzzDPInvariants checks the ordering DP on arbitrary dimension vectors:
+// valid inputs must satisfy the polyadic Principle of Optimality and agree
+// with the bus/systolic simulators; invalid inputs must be rejected, never
+// panic.
+func FuzzDPInvariants(f *testing.F) {
+	f.Add([]byte{30, 35, 15, 5, 10, 20, 25})
+	f.Add([]byte{1, 1})
+	f.Add([]byte{0, 3})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 24 {
+			raw = raw[:24]
+		}
+		dims := make([]int, len(raw))
+		for i, b := range raw {
+			dims[i] = int(b)
+		}
+		tab, err := DP(dims)
+		if err != nil {
+			return // invalid dims rejected cleanly
+		}
+		bus, err := SimulateBus(dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bus.Cost != tab.OptimalCost() {
+			t.Fatalf("bus cost %v != DP %v for dims %v", bus.Cost, tab.OptimalCost(), dims)
+		}
+		if bus.Completion != float64(tab.N) {
+			t.Fatalf("bus completion %v != N=%d", bus.Completion, tab.N)
+		}
+		if got := tab.MultiplyCost(); got != tab.OptimalCost() {
+			t.Fatalf("split tree cost %v != table %v", got, tab.OptimalCost())
+		}
+	})
+}

@@ -1,0 +1,360 @@
+package matchain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"systolicdp/internal/semiring"
+)
+
+func randomDims(rng *rand.Rand, n int) []int {
+	dims := make([]int, n+1)
+	for i := range dims {
+		dims[i] = 1 + rng.Intn(20)
+	}
+	return dims
+}
+
+func TestCLRSExample(t *testing.T) {
+	// The classic six-matrix instance: dims 30,35,15,5,10,20,25 has
+	// optimal cost 15125 with ((M1(M2 M3))((M4 M5)M6)).
+	tab, err := DP([]int{30, 35, 15, 5, 10, 20, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.OptimalCost() != 15125 {
+		t.Errorf("cost = %v, want 15125", tab.OptimalCost())
+	}
+	if got := tab.Parenthesization(); got != "((M1 (M2 M3)) ((M4 M5) M6))" {
+		t.Errorf("parenthesization = %q", got)
+	}
+}
+
+func TestPaperFourMatrixExample(t *testing.T) {
+	// The paper's Section 2 example, M1 x M2 x M3 x M4: three orderings at
+	// the top level. Verify against brute force on a concrete instance.
+	dims := []int{5, 4, 6, 2, 7}
+	tab, err := DP(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := BruteForce(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.OptimalCost() != bf {
+		t.Errorf("DP %v != brute force %v", tab.OptimalCost(), bf)
+	}
+}
+
+func TestDPMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		dims := randomDims(rng, 1+rng.Intn(8))
+		tab, err := DP(dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bf, err := BruteForce(dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tab.OptimalCost() != bf {
+			t.Fatalf("trial %d dims %v: DP %v != brute %v", trial, dims, tab.OptimalCost(), bf)
+		}
+		if got := tab.MultiplyCost(); got != tab.OptimalCost() {
+			t.Fatalf("trial %d: split-tree cost %v != table %v", trial, got, tab.OptimalCost())
+		}
+	}
+}
+
+func TestSingleMatrix(t *testing.T) {
+	tab, err := DP([]int{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.OptimalCost() != 0 || tab.Parenthesization() != "M1" {
+		t.Errorf("single matrix: cost %v, paren %q", tab.OptimalCost(), tab.Parenthesization())
+	}
+}
+
+func TestDimErrors(t *testing.T) {
+	if _, err := DP([]int{5}); err == nil {
+		t.Error("too-few dims accepted")
+	}
+	if _, err := DP([]int{5, 0, 3}); err == nil {
+		t.Error("zero dim accepted")
+	}
+	if _, err := BruteForce([]int{2}); err == nil {
+		t.Error("BruteForce too-few dims accepted")
+	}
+	if _, err := SimulateBus([]int{1}); err == nil {
+		t.Error("SimulateBus too-few dims accepted")
+	}
+	if _, err := Wavefront([]int{2, 2}, 0); err == nil {
+		t.Error("Wavefront workers=0 accepted")
+	}
+}
+
+func TestBuildANDORMatchesDP(t *testing.T) {
+	mp := semiring.MinPlus{}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		dims := randomDims(rng, 1+rng.Intn(7))
+		g, err := BuildANDOR(dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals, err := g.Evaluate(mp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := DP(dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := vals[g.Roots[0]]; got != tab.OptimalCost() {
+			t.Fatalf("trial %d dims %v: AND/OR %v != DP %v", trial, dims, got, tab.OptimalCost())
+		}
+	}
+}
+
+func TestFigure2GraphIsNonserial(t *testing.T) {
+	// For four matrices the graph of Figure 2 cannot have adjacent-level
+	// arcs only; Serialize fixes that without changing the result.
+	mp := semiring.MinPlus{}
+	g, err := BuildANDOR([]int{5, 4, 6, 2, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.IsSerial() {
+		t.Error("four-matrix AND/OR-graph should be nonserial")
+	}
+	before, err := g.Evaluate(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, added := g.Serialize()
+	if !sg.IsSerial() {
+		t.Error("Serialize failed to serialise")
+	}
+	if added == 0 {
+		t.Error("Serialize added no dummy nodes")
+	}
+	after, err := sg.Evaluate(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before[g.Roots[0]] != after[sg.Roots[0]] {
+		t.Errorf("serialisation changed result: %v vs %v", before[g.Roots[0]], after[sg.Roots[0]])
+	}
+}
+
+func TestProposition2TdEqualsN(t *testing.T) {
+	for n := 1; n <= 200; n++ {
+		if got := TdRecurrence(n); got != n {
+			t.Fatalf("T_d(%d) = %d, want %d", n, got, n)
+		}
+	}
+}
+
+func TestProposition3TpEquals2N(t *testing.T) {
+	for n := 1; n <= 200; n++ {
+		if got := TpRecurrence(n); got != 2*n {
+			t.Fatalf("T_p(%d) = %d, want %d", n, got, 2*n)
+		}
+	}
+}
+
+func TestSimulateBusCompletionEqualsN(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 3, 4, 7, 16, 33, 64} {
+		dims := randomDims(rng, n)
+		res, err := SimulateBus(dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Completion != float64(n) {
+			t.Errorf("n=%d: bus completion %v, want %d (Prop 2)", n, res.Completion, n)
+		}
+		tab, _ := DP(dims)
+		if res.Cost != tab.OptimalCost() {
+			t.Errorf("n=%d: bus cost %v != DP %v", n, res.Cost, tab.OptimalCost())
+		}
+		if res.Processors != n*(n+1)/2 {
+			t.Errorf("n=%d: processors %d, want %d", n, res.Processors, n*(n+1)/2)
+		}
+	}
+}
+
+func TestSimulateSystolicCompletionEquals2N(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 2, 3, 4, 7, 16, 33, 64} {
+		dims := randomDims(rng, n)
+		res, err := SimulateSystolic(dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Completion != float64(2*n) {
+			t.Errorf("n=%d: systolic completion %v, want %d (Prop 3)", n, res.Completion, 2*n)
+		}
+		tab, _ := DP(dims)
+		if res.Cost != tab.OptimalCost() {
+			t.Errorf("n=%d: systolic cost %v != DP %v", n, res.Cost, tab.OptimalCost())
+		}
+	}
+}
+
+func TestSerializationDoublesTime(t *testing.T) {
+	// Section 6.2: the serialisation trades a 2x delay for planarity.
+	rng := rand.New(rand.NewSource(5))
+	dims := randomDims(rng, 24)
+	bus, err := SimulateBus(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := SimulateSystolic(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Completion != 2*bus.Completion {
+		t.Errorf("systolic %v, bus %v: want exact 2x", sys.Completion, bus.Completion)
+	}
+}
+
+func TestWavefrontMatchesDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, workers := range []int{1, 2, 4, 8} {
+		dims := randomDims(rng, 20)
+		seq, err := DP(dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Wavefront(dims, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.OptimalCost() != seq.OptimalCost() {
+			t.Errorf("workers=%d: wavefront %v != DP %v", workers, par.OptimalCost(), seq.OptimalCost())
+		}
+		for i := 0; i < seq.N; i++ {
+			for j := i; j < seq.N; j++ {
+				if seq.Cost[i][j] != par.Cost[i][j] {
+					t.Fatalf("workers=%d: cost[%d][%d] differs", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyDPOptimalityInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := randomDims(rng, 2+rng.Intn(10))
+		tab, err := DP(dims)
+		if err != nil {
+			return false
+		}
+		n := tab.N
+		// Principle of Optimality (polyadic form): every stored cost must
+		// equal the min over splits of its sub-costs.
+		for s := 2; s <= n; s++ {
+			for i := 0; i+s-1 < n; i++ {
+				j := i + s - 1
+				best := math.Inf(1)
+				for k := i; k < j; k++ {
+					c := tab.Cost[i][k] + tab.Cost[k+1][j] + float64(dims[i]*dims[k+1]*dims[j+1])
+					if c < best {
+						best = c
+					}
+				}
+				if tab.Cost[i][j] != best {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBySizeMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	res, err := SimulateBus(randomDims(rng, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 2; s < len(res.BySize); s++ {
+		if res.BySize[s] < res.BySize[s-1] {
+			t.Errorf("BySize not monotone at %d: %v < %v", s, res.BySize[s], res.BySize[s-1])
+		}
+	}
+}
+
+func TestSolveOnEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{2, 3, 4, 6, 8} {
+		dims := randomDims(rng, n)
+		res, err := SolveOnEngine(dims)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		tab, err := DP(dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost != tab.OptimalCost() {
+			t.Errorf("n=%d: engine %v != DP %v", n, res.Cost, tab.OptimalCost())
+		}
+		// Wavefront completes in the serialised height: 2(n-1) levels
+		// (one OR and one AND level per added matrix).
+		if want := 2 * (n - 1); res.Cycles != want {
+			t.Errorf("n=%d: %d cycles, want %d", n, res.Cycles, want)
+		}
+		if n >= 3 && res.Dummies == 0 {
+			t.Errorf("n=%d: expected dummy nodes", n)
+		}
+	}
+}
+
+func TestSplitTreeStructure(t *testing.T) {
+	tab, err := DP([]int{30, 35, 15, 5, 10, 20, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tab.SplitTree()
+	if root.Lo != 0 || root.Hi != 5 {
+		t.Fatalf("root span [%d,%d]", root.Lo, root.Hi)
+	}
+	// In-order leaves must be 0..n-1 and every internal node's children
+	// must partition its span at the table's split point.
+	var leaves []int
+	var walk func(n *TreeNode)
+	walk = func(n *TreeNode) {
+		if n.Leaf() {
+			if n.Left != nil || n.Right != nil {
+				t.Fatal("leaf with children")
+			}
+			leaves = append(leaves, n.Lo)
+			return
+		}
+		if n.Left.Lo != n.Lo || n.Right.Hi != n.Hi || n.Left.Hi+1 != n.Right.Lo {
+			t.Fatalf("bad partition at [%d,%d]", n.Lo, n.Hi)
+		}
+		if n.Left.Hi != tab.Split[n.Lo][n.Hi] {
+			t.Fatalf("split mismatch at [%d,%d]", n.Lo, n.Hi)
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(root)
+	for i, l := range leaves {
+		if l != i {
+			t.Fatalf("in-order leaves %v", leaves)
+		}
+	}
+}

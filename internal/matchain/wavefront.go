@@ -1,0 +1,62 @@
+package matchain
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Wavefront computes the DP table diagonal by diagonal with the
+// subproblems of each size evaluated concurrently on worker goroutines —
+// the software analogue of the Guibas-Kung-Thompson triangular array, in
+// which the wavefront of size-s subproblems is one hardware diagonal. The
+// result matches DP exactly; the number of sequential waves is n-1, the
+// linear-time shape of Propositions 2-3.
+func Wavefront(dims []int, workers int) (*Table, error) {
+	n, err := validDims(dims)
+	if err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("matchain: need workers >= 1, have %d", workers)
+	}
+	t := &Table{N: n, Dims: append([]int(nil), dims...)}
+	t.Cost = make([][]float64, n)
+	t.Split = make([][]int, n)
+	for i := range t.Cost {
+		t.Cost[i] = make([]float64, n)
+		t.Split[i] = make([]int, n)
+		for j := range t.Split[i] {
+			t.Split[i][j] = -1
+		}
+	}
+	for s := 2; s <= n; s++ {
+		starts := n - s + 1 // subproblems on this diagonal
+		var wg sync.WaitGroup
+		chunk := (starts + workers - 1) / workers
+		for w := 0; w*chunk < starts; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > starts {
+				hi = starts
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					j := i + s - 1
+					best, arg := math.Inf(1), -1
+					for k := i; k < j; k++ {
+						c := t.Cost[i][k] + t.Cost[k+1][j] + float64(dims[i]*dims[k+1]*dims[j+1])
+						if c < best {
+							best, arg = c, k
+						}
+					}
+					t.Cost[i][j] = best
+					t.Split[i][j] = arg
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	return t, nil
+}

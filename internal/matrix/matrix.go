@@ -1,0 +1,326 @@
+// Package matrix provides dense matrices over a closed semiring and the
+// sequential matrix-string products that serve as the single-processor
+// baselines for the paper's systolic arrays (Section 3.1, equations (7)-(8)).
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"systolicdp/internal/semiring"
+)
+
+// Matrix is a dense rows x cols matrix stored row-major.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a rows x cols matrix filled with fill.
+func New(rows, cols int, fill float64) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative dimensions %dx%d", rows, cols))
+	}
+	m := &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+	if fill != 0 {
+		for i := range m.Data {
+			m.Data[i] = fill
+		}
+	}
+	return m
+}
+
+// Zeros returns a rows x cols matrix of the semiring's Zero (the additive
+// identity: +inf for (MIN,+)).
+func Zeros(s semiring.Semiring, rows, cols int) *Matrix {
+	return New(rows, cols, s.Zero())
+}
+
+// Identity returns the n x n semiring identity matrix: One on the diagonal,
+// Zero elsewhere.
+func Identity(s semiring.Semiring, n int) *Matrix {
+	m := Zeros(s, n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, s.One())
+	}
+	return m
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0, 0)
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols, 0)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("matrix: ragged row %d: %d vs %d", i, len(r), cols))
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m
+}
+
+// Random returns a rows x cols matrix with entries drawn uniformly from
+// [lo, hi) using rng. It is the workload generator for the array benches.
+func Random(rng *rand.Rand, rows, cols int, lo, hi float64) *Matrix {
+	m := New(rows, cols, 0)
+	for i := range m.Data {
+		m.Data[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.Data[i*m.Cols+j]
+}
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.Data[i*m.Cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	out := make([]float64, m.Cols)
+	copy(out, m.Data[i*m.Cols:(i+1)*m.Cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.Data[i*m.Cols+j]
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{Rows: m.Rows, Cols: m.Cols, Data: make([]float64, len(m.Data))}
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Transpose returns a new matrix that is the transpose of m. Design 1 of
+// the paper feeds matrix B transposed into the array (Section 3.2).
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.Cols, m.Rows, 0)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Equal reports elementwise equality within tol, treating equal infinities
+// as equal.
+func (m *Matrix) Equal(o *Matrix, tol float64) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		w := o.Data[i]
+		if math.IsInf(v, 1) && math.IsInf(w, 1) {
+			continue
+		}
+		if math.IsInf(v, -1) && math.IsInf(w, -1) {
+			continue
+		}
+		if math.Abs(v-w) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%8.3g", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MulMat computes the semiring product a (.) b. For (MIN,+) this is
+// min-plus matrix multiplication: (a.b)[i][j] = min_k (a[i][k] + b[k][j]).
+// The tropical semirings dispatch to a specialised kernel that avoids the
+// per-element interface calls (see BenchmarkKernelAblation); other
+// semirings use MulMatGeneric.
+func MulMat(s semiring.Semiring, a, b *Matrix) *Matrix {
+	switch s.(type) {
+	case semiring.MinPlus:
+		return mulMatTropical(a, b, false)
+	case semiring.MaxPlus:
+		return mulMatTropical(a, b, true)
+	}
+	return MulMatGeneric(s, a, b)
+}
+
+// MulMatGeneric is the semiring-generic product kernel; MulMat uses it
+// for any semiring without a specialised fast path.
+func MulMatGeneric(s semiring.Semiring, a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("matrix: MulMat dimension mismatch %dx%d . %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols, 0)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			acc := s.Zero()
+			for k := 0; k < a.Cols; k++ {
+				acc = s.Add(acc, s.Mul(a.At(i, k), b.At(k, j)))
+			}
+			out.Set(i, j, acc)
+		}
+	}
+	return out
+}
+
+// mulMatTropical is the flat-loop (MIN,+)/(MAX,+) kernel.
+func mulMatTropical(a, b *Matrix, max bool) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("matrix: MulMat dimension mismatch %dx%d . %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols, 0)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+		for j := range orow {
+			if max {
+				orow[j] = math.Inf(-1)
+			} else {
+				orow[j] = math.Inf(1)
+			}
+		}
+		for k, av := range arow {
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			if max {
+				for j, bv := range brow {
+					if v := av + bv; v > orow[j] {
+						orow[j] = v
+					}
+				}
+			} else {
+				for j, bv := range brow {
+					if v := av + bv; v < orow[j] {
+						orow[j] = v
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MulVec computes the semiring matrix-vector product a (.) v, the
+// inner-product form of the paper's equation (8a): f(C) = C . D.
+func MulVec(s semiring.Semiring, a *Matrix, v []float64) []float64 {
+	if a.Cols != len(v) {
+		panic(fmt.Sprintf("matrix: MulVec dimension mismatch %dx%d . %d", a.Rows, a.Cols, len(v)))
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		acc := s.Zero()
+		for k := 0; k < a.Cols; k++ {
+			acc = s.Add(acc, s.Mul(a.At(i, k), v[k]))
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// ArgMulVec is MulVec with argument tracking under a Comparative semiring:
+// args[i] is the k attaining out[i] (ties to the smallest k), or -1 for an
+// empty reduction. It backs path reconstruction in the baselines.
+func ArgMulVec(s semiring.Comparative, a *Matrix, v []float64) (out []float64, args []int) {
+	if a.Cols != len(v) {
+		panic(fmt.Sprintf("matrix: ArgMulVec dimension mismatch %dx%d . %d", a.Rows, a.Cols, len(v)))
+	}
+	out = make([]float64, a.Rows)
+	args = make([]int, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		out[i], args[i] = semiring.ArgDot(s, a.Row(i), v)
+	}
+	return out, args
+}
+
+// ChainVec evaluates the paper's equation (8c) right-to-left:
+//
+//	f = M[0] . (M[1] . ( ... (M[n-1] . v) ... ))
+//
+// which is how a backward monadic-serial DP problem evaluates a multistage
+// graph. It is the single-processor baseline whose iteration count forms
+// the numerator of the processor-utilization formula, equation (9).
+func ChainVec(s semiring.Semiring, ms []*Matrix, v []float64) []float64 {
+	out := append([]float64(nil), v...)
+	for i := len(ms) - 1; i >= 0; i-- {
+		out = MulVec(s, ms[i], out)
+	}
+	return out
+}
+
+// ChainVecOps evaluates ChainVec and returns the number of scalar
+// shift-multiply-accumulate iterations a single processor performs, i.e.
+// sum over matrices of rows*cols. This is the paper's serial iteration
+// count (N-2)m^2 + m for a single-source single-sink (N+1)-stage graph.
+func ChainVecOps(s semiring.Semiring, ms []*Matrix, v []float64) (out []float64, ops int) {
+	out = append([]float64(nil), v...)
+	for i := len(ms) - 1; i >= 0; i-- {
+		ops += ms[i].Rows * ms[i].Cols
+		out = MulVec(s, ms[i], out)
+	}
+	return out, ops
+}
+
+// ChainMat multiplies a string of matrices left-to-right in the fixed
+// serial order ((M0.M1).M2)... . It is the baseline for the
+// divide-and-conquer evaluation of Section 4.
+func ChainMat(s semiring.Semiring, ms []*Matrix) *Matrix {
+	if len(ms) == 0 {
+		panic("matrix: ChainMat of empty string")
+	}
+	out := ms[0].Clone()
+	for _, m := range ms[1:] {
+		out = MulMat(s, out, m)
+	}
+	return out
+}
+
+// ChainMatTree multiplies a string of matrices by the balanced
+// divide-and-conquer recursion of Section 4 (equation (15)): the string is
+// split in half, the halves are multiplied recursively, and the two partial
+// products are combined. Over an associative semiring the result equals
+// ChainMat; the tree shape is what the dnc package schedules in parallel.
+func ChainMatTree(s semiring.Semiring, ms []*Matrix) *Matrix {
+	switch len(ms) {
+	case 0:
+		panic("matrix: ChainMatTree of empty string")
+	case 1:
+		return ms[0].Clone()
+	}
+	mid := len(ms) / 2
+	left := ChainMatTree(s, ms[:mid])
+	right := ChainMatTree(s, ms[mid:])
+	return MulMat(s, left, right)
+}

@@ -1,0 +1,175 @@
+// Package mesh implements the two-dimensional systolic matrix-multiplier
+// that Section 4 of the paper treats as the unit of work of its
+// divide-and-conquer analysis ("the time to multiply two matrices by a
+// systolic array is constant T1"). The design is the classic
+// stationary-result mesh (Kung-style, cf. the paper's reference [19],
+// Li & Wah, "Design of Optimal Systolic Arrays"):
+//
+//   - an n x n grid of PEs computes C = A (.) B over a semiring;
+//   - row i of A streams in from the left edge, skewed by i cycles;
+//   - column j of B streams in from the top edge, skewed by j cycles;
+//   - element a[i][k] and element b[k][j] meet in PE (i,j) at cycle
+//     i + j + k, where the PE folds Mul(a,b) into its stationary
+//     accumulator;
+//   - the product is complete after 3n-2 cycles.
+//
+// Like the linear arrays, the mesh runs on the shared engine under both
+// the lock-step and the goroutine-per-PE runners.
+package mesh
+
+import (
+	"fmt"
+
+	"systolicdp/internal/matrix"
+	"systolicdp/internal/semiring"
+	"systolicdp/internal/systolic"
+)
+
+// Array is a configured n x n mesh for one product.
+type Array struct {
+	N   int
+	net *systolic.Array
+	pes []*pe
+	s   semiring.Semiring
+}
+
+// pe is one mesh cell: ports 0/1 are the west/north inputs, outputs 0/1
+// the east/south forwards; acc is the stationary C element.
+type pe struct {
+	s   semiring.Semiring
+	acc float64
+}
+
+func (p *pe) NumIn() int  { return 2 }
+func (p *pe) NumOut() int { return 2 }
+func (p *pe) Reset()      { p.acc = p.s.Zero() }
+
+func (p *pe) Step(in []systolic.Token) ([]systolic.Token, bool) {
+	a, b := in[0], in[1]
+	busy := false
+	if a.Valid && b.Valid {
+		p.acc = p.s.Add(p.acc, p.s.Mul(a.V, b.V))
+		busy = true
+	}
+	return []systolic.Token{a, b}, busy
+}
+
+// New builds a mesh computing a (.) b over s. Both matrices must be
+// square with equal sizes (the shape Section 4 assumes); rectangular
+// chains pad externally.
+func New(s semiring.Semiring, a, b *matrix.Matrix) (*Array, error) {
+	if a.Rows != a.Cols || b.Rows != b.Cols || a.Cols != b.Rows {
+		return nil, fmt.Errorf("mesh: need equal square matrices, have %dx%d and %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	n := a.Rows
+	if n == 0 {
+		return nil, fmt.Errorf("mesh: empty matrices")
+	}
+	arr := &Array{N: n, s: s}
+	net := &systolic.Array{}
+	idx := func(i, j int) int { return i*n + j }
+	for i := 0; i < n*n; i++ {
+		p := &pe{s: s, acc: s.Zero()}
+		arr.pes = append(arr.pes, p)
+		net.PEs = append(net.PEs, p)
+	}
+	ac := a.Clone()
+	bc := b.Clone()
+	// West edge sources: row i of A, element k at cycle i+k.
+	for i := 0; i < n; i++ {
+		i := i
+		net.Wires = append(net.Wires, systolic.Wire{
+			From: systolic.Endpoint{PE: systolic.External, Port: 0},
+			To:   systolic.Endpoint{PE: idx(i, 0), Port: 0},
+			Source: func(t int) systolic.Token {
+				k := t - i
+				if k < 0 || k >= n {
+					return systolic.Bubble()
+				}
+				return systolic.Token{V: ac.At(i, k), Valid: true}
+			},
+		})
+	}
+	// North edge sources: column j of B, element k at cycle j+k.
+	for j := 0; j < n; j++ {
+		j := j
+		net.Wires = append(net.Wires, systolic.Wire{
+			From: systolic.Endpoint{PE: systolic.External, Port: 0},
+			To:   systolic.Endpoint{PE: idx(0, j), Port: 1},
+			Source: func(t int) systolic.Token {
+				k := t - j
+				if k < 0 || k >= n {
+					return systolic.Bubble()
+				}
+				return systolic.Token{V: bc.At(k, j), Valid: true}
+			},
+		})
+	}
+	// Horizontal (east) and vertical (south) forwards, with edge sinks.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j+1 < n {
+				net.Wires = append(net.Wires, systolic.Wire{
+					From: systolic.Endpoint{PE: idx(i, j), Port: 0},
+					To:   systolic.Endpoint{PE: idx(i, j+1), Port: 0},
+					Init: systolic.Bubble(),
+				})
+			} else {
+				net.Wires = append(net.Wires, systolic.Wire{
+					From: systolic.Endpoint{PE: idx(i, j), Port: 0},
+					To:   systolic.Endpoint{PE: systolic.External, Port: 0},
+				})
+			}
+			if i+1 < n {
+				net.Wires = append(net.Wires, systolic.Wire{
+					From: systolic.Endpoint{PE: idx(i, j), Port: 1},
+					To:   systolic.Endpoint{PE: idx(i+1, j), Port: 1},
+					Init: systolic.Bubble(),
+				})
+			} else {
+				net.Wires = append(net.Wires, systolic.Wire{
+					From: systolic.Endpoint{PE: idx(i, j), Port: 1},
+					To:   systolic.Endpoint{PE: systolic.External, Port: 0},
+				})
+			}
+		}
+	}
+	arr.net = net
+	return arr, nil
+}
+
+// WallCycles returns the completion time 3n-2.
+func (a *Array) WallCycles() int { return 3*a.N - 2 }
+
+// Run executes the mesh and returns the product. If goroutines is true
+// the goroutine-per-PE runner is used.
+func (a *Array) Run(goroutines bool) (*matrix.Matrix, *systolic.Result, error) {
+	a.net.Reset()
+	var res *systolic.Result
+	var err error
+	if goroutines {
+		res, err = a.net.RunGoroutines(a.WallCycles())
+	} else {
+		res, err = a.net.RunLockstep(a.WallCycles(), nil)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	out := matrix.New(a.N, a.N, 0)
+	for i := 0; i < a.N; i++ {
+		for j := 0; j < a.N; j++ {
+			out.Set(i, j, a.pes[i*a.N+j].acc)
+		}
+	}
+	return out, res, nil
+}
+
+// Mul is a convenience wrapper: build and run lock-step.
+func Mul(s semiring.Semiring, a, b *matrix.Matrix) (*matrix.Matrix, error) {
+	arr, err := New(s, a, b)
+	if err != nil {
+		return nil, err
+	}
+	out, _, err := arr.Run(false)
+	return out, err
+}

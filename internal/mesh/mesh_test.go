@@ -1,0 +1,159 @@
+package mesh
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"systolicdp/internal/matrix"
+	"systolicdp/internal/semiring"
+)
+
+func TestMulMinPlusMatchesBaseline(t *testing.T) {
+	s := semiring.MinPlus{}
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		a := matrix.Random(rng, n, n, 0, 10)
+		b := matrix.Random(rng, n, n, 0, 10)
+		got, err := Mul(s, a, b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if want := matrix.MulMat(s, a, b); !got.Equal(want, 1e-9) {
+			t.Errorf("n=%d: mesh product differs from baseline", n)
+		}
+	}
+}
+
+func TestMulPlusTimesMatchesClassic(t *testing.T) {
+	s := semiring.PlusTimes{}
+	a := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
+	b := matrix.FromRows([][]float64{{5, 6}, {7, 8}})
+	got, err := Mul(s, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.FromRows([][]float64{{19, 22}, {43, 50}})
+	if !got.Equal(want, 1e-9) {
+		t.Errorf("got\n%v want\n%v", got, want)
+	}
+}
+
+func TestGoroutinesMatchLockstep(t *testing.T) {
+	s := semiring.MinPlus{}
+	rng := rand.New(rand.NewSource(2))
+	a := matrix.Random(rng, 4, 4, 0, 10)
+	b := matrix.Random(rng, 4, 4, 0, 10)
+	arr, err := New(s, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock, lres, err := arr.Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goro, gres, err := arr.Run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lock.Equal(goro, 0) {
+		t.Error("runners disagree")
+	}
+	for i := range lres.Busy {
+		if lres.Busy[i] != gres.Busy[i] {
+			t.Errorf("busy[%d]: %d vs %d", i, lres.Busy[i], gres.Busy[i])
+		}
+	}
+}
+
+func TestWallCyclesAndBusy(t *testing.T) {
+	// Completion in 3n-2 cycles; each PE does exactly n useful steps.
+	s := semiring.MinPlus{}
+	rng := rand.New(rand.NewSource(3))
+	n := 5
+	a := matrix.Random(rng, n, n, 0, 10)
+	b := matrix.Random(rng, n, n, 0, 10)
+	arr, err := New(s, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.WallCycles() != 3*n-2 {
+		t.Errorf("WallCycles = %d, want %d", arr.WallCycles(), 3*n-2)
+	}
+	_, res, err := arr.Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, bz := range res.Busy {
+		if bz != n {
+			t.Errorf("PE %d busy %d cycles, want %d", i, bz, n)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s := semiring.MinPlus{}
+	if _, err := New(s, matrix.New(2, 3, 0), matrix.New(3, 3, 0)); err == nil {
+		t.Error("non-square A accepted")
+	}
+	if _, err := New(s, matrix.New(2, 2, 0), matrix.New(3, 3, 0)); err == nil {
+		t.Error("mismatched sizes accepted")
+	}
+	if _, err := New(s, matrix.New(0, 0, 0), matrix.New(0, 0, 0)); err == nil {
+		t.Error("empty matrices accepted")
+	}
+}
+
+func TestRerunDeterministic(t *testing.T) {
+	s := semiring.MinPlus{}
+	rng := rand.New(rand.NewSource(4))
+	a := matrix.Random(rng, 3, 3, 0, 10)
+	b := matrix.Random(rng, 3, 3, 0, 10)
+	arr, err := New(s, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _, err := arr.Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := arr.Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Equal(r2, 0) {
+		t.Error("rerun differs")
+	}
+}
+
+func TestInputsNotMutated(t *testing.T) {
+	s := semiring.MinPlus{}
+	rng := rand.New(rand.NewSource(5))
+	a := matrix.Random(rng, 3, 3, 0, 10)
+	b := matrix.Random(rng, 3, 3, 0, 10)
+	ac, bc := a.Clone(), b.Clone()
+	if _, err := Mul(s, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(ac, 0) || !b.Equal(bc, 0) {
+		t.Error("inputs mutated")
+	}
+}
+
+func TestPropertyMeshEqualsBaseline(t *testing.T) {
+	s := semiring.MinPlus{}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a := matrix.Random(rng, n, n, 0, 50)
+		b := matrix.Random(rng, n, n, 0, 50)
+		got, err := Mul(s, a, b)
+		if err != nil {
+			return false
+		}
+		return got.Equal(matrix.MulMat(s, a, b), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

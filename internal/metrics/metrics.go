@@ -1,0 +1,60 @@
+// Package metrics implements the evaluation criteria the paper uses to
+// compare architectures: processor utilization (PU), the KT^2 and AT^2
+// criteria of VLSI complexity theory (Section 4), and speedup.
+package metrics
+
+import "math"
+
+// PU is the paper's processor utilization: the ratio of the number of
+// serial iterations to the product of the number of parallel iterations
+// and the number of processors.
+func PU(serialIters, parallelIters, processors int) float64 {
+	if parallelIters <= 0 || processors <= 0 {
+		return 0
+	}
+	return float64(serialIters) / (float64(parallelIters) * float64(processors))
+}
+
+// PUEq9 is the closed form of equation (9) for Design 1/2 searching an
+// (N+1)-stage graph with m nodes per intermediate stage:
+//
+//	PU = (N-2)/N + 1/(N*m)
+func PUEq9(n, m int) float64 {
+	return float64(n-2)/float64(n) + 1/(float64(n)*float64(m))
+}
+
+// SerialItersGraph returns the single-processor iteration count for the
+// same problem, the numerator of equation (9): (N-2)m^2 + m.
+func SerialItersGraph(n, m int) int { return (n-2)*m*m + m }
+
+// KT2 returns K * T^2, the processor-time criterion minimised in Figure 6.
+func KT2(k int, t float64) float64 { return float64(k) * t * t }
+
+// AT2 returns S(N) * T^2(N), the area-time criterion of Theorem 1 with
+// processor count standing in for area.
+func AT2(s int, t float64) float64 { return float64(s) * t * t }
+
+// Speedup is serial time over parallel time.
+func Speedup(serial, parallel float64) float64 {
+	if parallel == 0 {
+		return math.Inf(1)
+	}
+	return serial / parallel
+}
+
+// AsymptoticPU is the limit of equation (17) in Proposition 1: the
+// normalized asymptotic processor utilization of multiplying a string of N
+// matrices with k(N) systolic arrays, where cInf = lim k(N)/(N/log2 N).
+func AsymptoticPU(cInf float64) float64 {
+	switch {
+	case math.IsInf(cInf, 1):
+		return 0
+	case cInf == 0:
+		return 1
+	default:
+		return 1 / (1 + cInf)
+	}
+}
+
+// Log2 returns log base 2 of x.
+func Log2(x float64) float64 { return math.Log2(x) }

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPU(t *testing.T) {
+	if got := PU(100, 10, 10); got != 1 {
+		t.Errorf("PU = %v, want 1", got)
+	}
+	if got := PU(50, 10, 10); got != 0.5 {
+		t.Errorf("PU = %v, want 0.5", got)
+	}
+	if PU(5, 0, 3) != 0 || PU(5, 3, 0) != 0 {
+		t.Error("degenerate PU must be 0")
+	}
+}
+
+func TestPUEq9(t *testing.T) {
+	// Equation (9): PU = (N-2)/N + 1/(N*m).
+	if got, want := PUEq9(4, 3), 2.0/4.0+1.0/12.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("PUEq9(4,3) = %v, want %v", got, want)
+	}
+	// Equation (9) equals the ratio definition on its own terms.
+	n, m := 10, 7
+	ratio := PU(SerialItersGraph(n, m), n*m, m)
+	if math.Abs(PUEq9(n, m)-ratio) > 1e-12 {
+		t.Errorf("eq9 %v != ratio %v", PUEq9(n, m), ratio)
+	}
+	// PU -> 1 as N and m grow.
+	if got := PUEq9(10000, 100); got < 0.999 {
+		t.Errorf("PUEq9(1e4,100) = %v, want -> 1", got)
+	}
+}
+
+func TestPropertyEq9MatchesDefinition(t *testing.T) {
+	f := func(rawN, rawM uint8) bool {
+		n := int(rawN%60) + 3
+		m := int(rawM%30) + 1
+		return math.Abs(PUEq9(n, m)-PU(SerialItersGraph(n, m), n*m, m)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKT2AndAT2(t *testing.T) {
+	if KT2(4, 3) != 36 {
+		t.Error("KT2 wrong")
+	}
+	if AT2(5, 2) != 20 {
+		t.Error("AT2 wrong")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(10, 2) != 5 {
+		t.Error("Speedup wrong")
+	}
+	if !math.IsInf(Speedup(10, 0), 1) {
+		t.Error("Speedup by zero must be +inf")
+	}
+}
+
+func TestAsymptoticPU(t *testing.T) {
+	if AsymptoticPU(math.Inf(1)) != 0 {
+		t.Error("c=inf must give 0")
+	}
+	if AsymptoticPU(0) != 1 {
+		t.Error("c=0 must give 1")
+	}
+	if got := AsymptoticPU(1); got != 0.5 {
+		t.Errorf("c=1: %v, want 0.5", got)
+	}
+	if got := AsymptoticPU(3); got != 0.25 {
+		t.Errorf("c=3: %v, want 0.25", got)
+	}
+}
+
+func TestLog2(t *testing.T) {
+	if Log2(8) != 3 {
+		t.Error("Log2 wrong")
+	}
+}

@@ -1,0 +1,195 @@
+// Package multistage implements the multistage graphs of Section 1 of the
+// paper (Figure 1): directed graphs whose nodes are partitioned into stages
+// with edges only between adjacent stages. The shortest-path problem on
+// such a graph is the canonical monadic-serial DP problem (equations
+// (1)-(2)) and is equivalent to a string of (MIN,+) matrix multiplications
+// (equation (8)).
+package multistage
+
+import (
+	"fmt"
+	"math/rand"
+
+	"systolicdp/internal/matrix"
+	"systolicdp/internal/semiring"
+)
+
+// Graph is a multistage graph with len(StageSizes) stages. Cost[k] is the
+// StageSizes[k] x StageSizes[k+1] matrix of edge costs from stage k to
+// stage k+1; an absent edge is the semiring Zero (+inf for min-cost paths).
+type Graph struct {
+	StageSizes []int
+	Cost       []*matrix.Matrix
+}
+
+// Validate checks structural consistency: len(Cost) == len(StageSizes)-1
+// and each cost matrix's shape matches the adjacent stage sizes.
+func (g *Graph) Validate() error {
+	if len(g.StageSizes) < 2 {
+		return fmt.Errorf("multistage: need at least 2 stages, have %d", len(g.StageSizes))
+	}
+	if len(g.Cost) != len(g.StageSizes)-1 {
+		return fmt.Errorf("multistage: %d stages need %d cost matrices, have %d",
+			len(g.StageSizes), len(g.StageSizes)-1, len(g.Cost))
+	}
+	for k, c := range g.Cost {
+		if c.Rows != g.StageSizes[k] || c.Cols != g.StageSizes[k+1] {
+			return fmt.Errorf("multistage: cost[%d] is %dx%d, want %dx%d",
+				k, c.Rows, c.Cols, g.StageSizes[k], g.StageSizes[k+1])
+		}
+	}
+	return nil
+}
+
+// Stages returns the number of stages.
+func (g *Graph) Stages() int { return len(g.StageSizes) }
+
+// Matrices returns the edge-cost matrices of the graph in stage order; this
+// is exactly the matrix string of equation (8). The returned slice aliases
+// the graph's matrices.
+func (g *Graph) Matrices() []*matrix.Matrix { return g.Cost }
+
+// Path is a minimum-cost path through a multistage graph: Nodes[k] is the
+// node index chosen in stage k and Cost its total cost.
+type Path struct {
+	Nodes []int
+	Cost  float64
+}
+
+// CostOf recomputes the cost of following nodes through g, returning the
+// semiring fold of edge costs. It validates the node indices.
+func (g *Graph) CostOf(s semiring.Semiring, nodes []int) (float64, error) {
+	if len(nodes) != g.Stages() {
+		return 0, fmt.Errorf("multistage: path has %d nodes, graph has %d stages", len(nodes), g.Stages())
+	}
+	for k, n := range nodes {
+		if n < 0 || n >= g.StageSizes[k] {
+			return 0, fmt.Errorf("multistage: node %d out of range in stage %d", n, k)
+		}
+	}
+	acc := s.One()
+	for k := 0; k+1 < len(nodes); k++ {
+		acc = s.Mul(acc, g.Cost[k].At(nodes[k], nodes[k+1]))
+	}
+	return acc, nil
+}
+
+// SolveBackward evaluates the backward functional equation (2) of the
+// paper: f2(i) = min_j [f2(j) + c_{j,i}], sweeping stages left to right.
+// It returns, for each node of the final stage, the optimal cost from any
+// node of stage 0, i.e. the vector h(X_N) of equation (13).
+func SolveBackward(s semiring.Semiring, g *Graph) []float64 {
+	h := make([]float64, g.StageSizes[0])
+	for i := range h {
+		h[i] = s.One()
+	}
+	for k := 0; k < len(g.Cost); k++ {
+		// h'(j) = Add_i [ h(i) Mul c_k(i,j) ] — a vector-matrix product.
+		h = matrix.MulVec(s, g.Cost[k].Transpose(), h)
+	}
+	return h
+}
+
+// SolveForward evaluates the forward functional equation (1):
+// f1(i) = min_j [c_{i,j} + f1(j)], sweeping stages right to left. It
+// returns, for each node of stage 0, the optimal cost to any node of the
+// final stage — the matrix-string evaluation of equation (8c).
+func SolveForward(s semiring.Semiring, g *Graph) []float64 {
+	f := make([]float64, g.StageSizes[g.Stages()-1])
+	for i := range f {
+		f[i] = s.One()
+	}
+	return matrix.ChainVec(s, g.Cost, f)
+}
+
+// SolveOptimal returns the overall optimal path value between any node in
+// stage 0 and any node in the last stage, together with one optimal path,
+// under a comparative semiring. It is the reference ("single processor")
+// solver against which every systolic design is checked.
+func SolveOptimal(s semiring.Comparative, g *Graph) Path {
+	n := g.Stages()
+	// f[k][i]: optimal cost from node i of stage k to the end; choice[k][i]
+	// records the next-stage node attaining it.
+	f := make([]float64, g.StageSizes[n-1])
+	for i := range f {
+		f[i] = s.One()
+	}
+	choice := make([][]int, n-1)
+	for k := n - 2; k >= 0; k-- {
+		var args []int
+		f, args = matrix.ArgMulVec(s, g.Cost[k], f)
+		choice[k] = args
+	}
+	best, start := s.Zero(), -1
+	for i, v := range f {
+		if start == -1 || s.Better(v, best) {
+			best, start = v, i
+		}
+	}
+	nodes := make([]int, n)
+	nodes[0] = start
+	for k := 0; k+1 < n; k++ {
+		nodes[k+1] = choice[k][nodes[k]]
+	}
+	return Path{Nodes: nodes, Cost: best}
+}
+
+// BruteForce enumerates every source-to-sink path and returns the optimal
+// one. Exponential; used only to validate SolveOptimal on small graphs.
+func BruteForce(s semiring.Comparative, g *Graph) Path {
+	n := g.Stages()
+	best := Path{Cost: s.Zero()}
+	nodes := make([]int, n)
+	var rec func(k int, acc float64)
+	rec = func(k int, acc float64) {
+		if k == n {
+			if best.Nodes == nil || s.Better(acc, best.Cost) {
+				best = Path{Nodes: append([]int(nil), nodes...), Cost: acc}
+			}
+			return
+		}
+		for i := 0; i < g.StageSizes[k]; i++ {
+			nodes[k] = i
+			next := acc
+			if k > 0 {
+				next = s.Mul(acc, g.Cost[k-1].At(nodes[k-1], i))
+			}
+			rec(k+1, next)
+		}
+	}
+	rec(0, s.One())
+	return best
+}
+
+// Random generates a multistage graph with the given stage sizes and edge
+// costs drawn uniformly from [lo, hi).
+func Random(rng *rand.Rand, stageSizes []int, lo, hi float64) *Graph {
+	g := &Graph{StageSizes: append([]int(nil), stageSizes...)}
+	for k := 0; k+1 < len(stageSizes); k++ {
+		g.Cost = append(g.Cost, matrix.Random(rng, stageSizes[k], stageSizes[k+1], lo, hi))
+	}
+	return g
+}
+
+// RandomUniform generates a graph with n stages of m nodes each — the
+// regular shape assumed throughout the paper's analyses.
+func RandomUniform(rng *rand.Rand, n, m int, lo, hi float64) *Graph {
+	sizes := make([]int, n)
+	for i := range sizes {
+		sizes[i] = m
+	}
+	return Random(rng, sizes, lo, hi)
+}
+
+// SingleSourceSink wraps g with a new first stage and last stage of one
+// node each, connected by zero-cost (semiring One) edges, producing the
+// single-source single-sink shape of Figure 1(a).
+func SingleSourceSink(s semiring.Semiring, g *Graph) *Graph {
+	first := matrix.New(1, g.StageSizes[0], s.One())
+	last := matrix.New(g.StageSizes[g.Stages()-1], 1, s.One())
+	out := &Graph{
+		StageSizes: append(append([]int{1}, g.StageSizes...), 1),
+		Cost:       append(append([]*matrix.Matrix{first}, g.Cost...), last),
+	}
+	return out
+}

@@ -1,0 +1,289 @@
+package multistage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"systolicdp/internal/matrix"
+	"systolicdp/internal/semiring"
+)
+
+var mp = semiring.MinPlus{}
+
+// figure1a builds the single-source single-sink shape of Figure 1(a):
+// stages s | A(3) | B(3) | C(3) | t with deterministic costs.
+func figure1a() *Graph {
+	rng := rand.New(rand.NewSource(7))
+	inner := RandomUniform(rng, 3, 3, 1, 10)
+	return SingleSourceSink(mp, inner)
+}
+
+func TestValidate(t *testing.T) {
+	g := figure1a()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+	bad := &Graph{StageSizes: []int{2}}
+	if err := bad.Validate(); err == nil {
+		t.Error("single-stage graph accepted")
+	}
+	bad2 := &Graph{StageSizes: []int{2, 2}, Cost: nil}
+	if err := bad2.Validate(); err == nil {
+		t.Error("missing cost matrices accepted")
+	}
+	bad3 := &Graph{
+		StageSizes: []int{2, 2},
+		Cost:       []*matrix.Matrix{matrix.New(3, 2, 0)},
+	}
+	if err := bad3.Validate(); err == nil {
+		t.Error("mis-shaped cost matrix accepted")
+	}
+}
+
+func TestForwardEqualsBackwardOptimum(t *testing.T) {
+	// Equations (1) and (2) compute the same optimum from opposite ends.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		g := RandomUniform(rng, 4+rng.Intn(4), 2+rng.Intn(4), 0, 20)
+		fwd := semiring.Fold(mp, SolveForward(mp, g))
+		bwd := semiring.Fold(mp, SolveBackward(mp, g))
+		if math.Abs(fwd-bwd) > 1e-9 {
+			t.Fatalf("trial %d: forward %v != backward %v", trial, fwd, bwd)
+		}
+	}
+}
+
+func TestSolveOptimalMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 25; trial++ {
+		g := RandomUniform(rng, 3+rng.Intn(3), 2+rng.Intn(3), 0, 50)
+		got := SolveOptimal(mp, g)
+		want := BruteForce(mp, g)
+		if math.Abs(got.Cost-want.Cost) > 1e-9 {
+			t.Fatalf("trial %d: cost %v, brute force %v", trial, got.Cost, want.Cost)
+		}
+		// The returned path must actually attain the optimal cost.
+		c, err := g.CostOf(mp, got.Nodes)
+		if err != nil {
+			t.Fatalf("trial %d: path invalid: %v", trial, err)
+		}
+		if math.Abs(c-got.Cost) > 1e-9 {
+			t.Fatalf("trial %d: path cost %v != reported %v", trial, c, got.Cost)
+		}
+	}
+}
+
+func TestSolveOptimalMaxPlus(t *testing.T) {
+	// The solver is semiring-generic: longest path under (MAX,+).
+	s := semiring.MaxPlus{}
+	rng := rand.New(rand.NewSource(17))
+	g := RandomUniform(rng, 4, 3, 0, 10)
+	got := SolveOptimal(s, g)
+	want := BruteForce(s, g)
+	if math.Abs(got.Cost-want.Cost) > 1e-9 {
+		t.Fatalf("max-plus: %v vs brute force %v", got.Cost, want.Cost)
+	}
+}
+
+func TestCostOfErrors(t *testing.T) {
+	g := figure1a()
+	if _, err := g.CostOf(mp, []int{0}); err == nil {
+		t.Error("short path accepted")
+	}
+	nodes := make([]int, g.Stages())
+	nodes[1] = 99
+	if _, err := g.CostOf(mp, nodes); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	nodes[1] = 0
+	nodes[g.Stages()-1] = -1
+	if _, err := g.CostOf(mp, nodes); err == nil {
+		t.Error("negative final node accepted")
+	}
+}
+
+func TestSingleSourceSinkShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	inner := RandomUniform(rng, 3, 4, 1, 5)
+	g := SingleSourceSink(mp, inner)
+	if g.StageSizes[0] != 1 || g.StageSizes[g.Stages()-1] != 1 {
+		t.Fatalf("stage sizes = %v", g.StageSizes)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Optimum of wrapped graph equals optimum of inner graph (One edges).
+	in := SolveOptimal(mp, inner)
+	out := SolveOptimal(mp, g)
+	if math.Abs(in.Cost-out.Cost) > 1e-9 {
+		t.Errorf("wrapped optimum %v != inner optimum %v", out.Cost, in.Cost)
+	}
+}
+
+func TestMatricesAreChainOfEquation8(t *testing.T) {
+	// Solving via the forward sweep must equal evaluating the matrix string
+	// A.(B.(C.D)) of equation (8c) directly.
+	g := figure1a()
+	ones := []float64{mp.One()}
+	chain := matrix.ChainVec(mp, g.Matrices(), ones)
+	fwd := SolveForward(mp, g)
+	if len(chain) != 1 || len(fwd) != 1 || math.Abs(chain[0]-fwd[0]) > 1e-9 {
+		t.Errorf("chain %v != forward %v", chain, fwd)
+	}
+}
+
+func TestPropertyPathNeverBeatsOptimum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomUniform(rng, 3+rng.Intn(3), 2+rng.Intn(3), 0, 30)
+		opt := SolveOptimal(mp, g)
+		// Any random path must cost at least the optimum.
+		nodes := make([]int, g.Stages())
+		for k := range nodes {
+			nodes[k] = rng.Intn(g.StageSizes[k])
+		}
+		c, err := g.CostOf(mp, nodes)
+		return err == nil && c >= opt.Cost-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeValuedValidate(t *testing.T) {
+	p := &NodeValued{Values: [][]float64{{1, 2}, {3, 4}}, F: AbsDiff}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&NodeValued{Values: [][]float64{{1}}, F: AbsDiff}).Validate(); err == nil {
+		t.Error("1-stage problem accepted")
+	}
+	if err := (&NodeValued{Values: [][]float64{{1}, {}}, F: AbsDiff}).Validate(); err == nil {
+		t.Error("empty stage accepted")
+	}
+	if err := (&NodeValued{Values: [][]float64{{1}, {2}}}).Validate(); err == nil {
+		t.Error("nil cost function accepted")
+	}
+}
+
+func TestNodeValuedUniform(t *testing.T) {
+	p := &NodeValued{Values: [][]float64{{1, 2}, {3, 4}}, F: AbsDiff}
+	if m, ok := p.Uniform(); !ok || m != 2 {
+		t.Errorf("Uniform = (%d,%v), want (2,true)", m, ok)
+	}
+	q := &NodeValued{Values: [][]float64{{1, 2}, {3}}, F: AbsDiff}
+	if _, ok := q.Uniform(); ok {
+		t.Error("ragged problem reported uniform")
+	}
+}
+
+func TestNodeValuedSolveMatchesExpandedGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		p := RandomNodeValued(rng, 3+rng.Intn(4), 2+rng.Intn(4), 0, 10)
+		direct := p.Solve(mp)
+		viaGraph := SolveOptimal(mp, p.Expand()).Cost
+		if math.Abs(direct-viaGraph) > 1e-9 {
+			t.Fatalf("trial %d: direct %v != graph %v", trial, direct, viaGraph)
+		}
+	}
+}
+
+func TestNodeValuedSolvePath(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 20; trial++ {
+		p := RandomNodeValued(rng, 3+rng.Intn(3), 2+rng.Intn(3), 0, 10)
+		path := p.SolvePath(mp)
+		if math.Abs(path.Cost-p.Solve(mp)) > 1e-9 {
+			t.Fatalf("trial %d: path cost %v != solve %v", trial, path.Cost, p.Solve(mp))
+		}
+		// Recompute the path's cost by hand.
+		var c float64
+		for k := 0; k+1 < len(path.Nodes); k++ {
+			c += AbsDiff(p.Values[k][path.Nodes[k]], p.Values[k+1][path.Nodes[k+1]])
+		}
+		if math.Abs(c-path.Cost) > 1e-9 {
+			t.Fatalf("trial %d: recomputed %v != reported %v", trial, c, path.Cost)
+		}
+	}
+}
+
+func TestNodeValuedExpandShape(t *testing.T) {
+	p := &NodeValued{
+		Values: [][]float64{{0, 1, 2}, {5, 6, 7}, {1, 1, 1}},
+		F:      AbsDiff,
+	}
+	g := p.Expand()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Cost[0].At(0, 2) != 7 { // |0-7|
+		t.Errorf("cost[0](0,2) = %v, want 7", g.Cost[0].At(0, 2))
+	}
+}
+
+func TestAbsDiff(t *testing.T) {
+	if AbsDiff(3, 5) != 2 || AbsDiff(5, 3) != 2 || AbsDiff(4, 4) != 0 {
+		t.Error("AbsDiff wrong")
+	}
+}
+
+func TestStagedNodeValuedSolveAndPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		p := &StagedNodeValued{
+			FK: func(k int, x, y float64) float64 {
+				return float64(k+1) * AbsDiff(x, y)
+			},
+		}
+		n, m := 3+rng.Intn(4), 2+rng.Intn(4)
+		for k := 0; k < n; k++ {
+			vs := make([]float64, m)
+			for i := range vs {
+				vs[i] = rng.Float64() * 10
+			}
+			p.Values = append(p.Values, vs)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		direct := p.Solve(mp)
+		viaGraph := SolveOptimal(mp, p.Expand()).Cost
+		if math.Abs(direct-viaGraph) > 1e-9 {
+			t.Fatalf("trial %d: direct %v != graph %v", trial, direct, viaGraph)
+		}
+		path := p.SolvePath(mp)
+		if math.Abs(path.Cost-direct) > 1e-9 {
+			t.Fatalf("trial %d: path cost %v != solve %v", trial, path.Cost, direct)
+		}
+		var c float64
+		for k := 0; k+1 < len(path.Nodes); k++ {
+			c += p.FK(k, p.Values[k][path.Nodes[k]], p.Values[k+1][path.Nodes[k+1]])
+		}
+		if math.Abs(c-path.Cost) > 1e-9 {
+			t.Fatalf("trial %d: recomputed %v != reported %v", trial, c, path.Cost)
+		}
+	}
+}
+
+func TestStagedValidateErrors(t *testing.T) {
+	if err := (&StagedNodeValued{Values: [][]float64{{1}}}).Validate(); err == nil {
+		t.Error("1-stage accepted")
+	}
+	fk := func(int, float64, float64) float64 { return 0 }
+	if err := (&StagedNodeValued{Values: [][]float64{{1}, {}}, FK: fk}).Validate(); err == nil {
+		t.Error("empty stage accepted")
+	}
+	if err := (&StagedNodeValued{Values: [][]float64{{1}, {2}}}).Validate(); err == nil {
+		t.Error("nil FK accepted")
+	}
+	good := &StagedNodeValued{Values: [][]float64{{1, 2}, {3, 4}}, FK: fk}
+	if m, ok := good.Uniform(); !ok || m != 2 {
+		t.Error("Uniform wrong")
+	}
+	if good.Stages() != 2 {
+		t.Error("Stages wrong")
+	}
+}

@@ -1,0 +1,282 @@
+package multistage
+
+import (
+	"fmt"
+	"math/rand"
+
+	"systolicdp/internal/matrix"
+	"systolicdp/internal/semiring"
+)
+
+// CostFunc computes the cost of the edge between a value x in stage k and a
+// value y in stage k+1. The paper's Design 3 (Figure 5) assumes f is
+// independent of the stage index; stage-dependent costs are still accepted
+// here for the baselines.
+type CostFunc func(x, y float64) float64
+
+// NodeValued is the serial optimisation problem of equation (4):
+// min over assignments of sum_k f(X_k, X_{k+1}), where Values[k] holds the
+// quantized values the variable of stage k may take (Figure 1(b)). Edge
+// costs are functions of the node values, which is what gives Design 3 its
+// order-of-magnitude input-bandwidth reduction (Section 3.2).
+type NodeValued struct {
+	Values [][]float64
+	F      CostFunc
+}
+
+// Validate checks that the problem has at least two stages, every stage is
+// nonempty, and a cost function is present.
+func (p *NodeValued) Validate() error {
+	if len(p.Values) < 2 {
+		return fmt.Errorf("multistage: node-valued problem needs >= 2 stages, have %d", len(p.Values))
+	}
+	for k, vs := range p.Values {
+		if len(vs) == 0 {
+			return fmt.Errorf("multistage: stage %d has no values", k)
+		}
+	}
+	if p.F == nil {
+		return fmt.Errorf("multistage: nil cost function")
+	}
+	return nil
+}
+
+// Stages returns the number of stages (variables) N.
+func (p *NodeValued) Stages() int { return len(p.Values) }
+
+// Uniform reports whether every stage has the same number of quantized
+// values, the regularity Design 3's pipeline requires.
+func (p *NodeValued) Uniform() (m int, ok bool) {
+	m = len(p.Values[0])
+	for _, vs := range p.Values[1:] {
+		if len(vs) != m {
+			return 0, false
+		}
+	}
+	return m, true
+}
+
+// Expand materialises the node-valued problem as an explicit edge-cost
+// multistage graph, evaluating F on every value pair. This is the
+// high-bandwidth representation Design 3 exists to avoid; it feeds the
+// baselines and Designs 1-2.
+func (p *NodeValued) Expand() *Graph {
+	g := &Graph{StageSizes: make([]int, len(p.Values))}
+	for k, vs := range p.Values {
+		g.StageSizes[k] = len(vs)
+	}
+	for k := 0; k+1 < len(p.Values); k++ {
+		c := matrix.New(len(p.Values[k]), len(p.Values[k+1]), 0)
+		for i, x := range p.Values[k] {
+			for j, y := range p.Values[k+1] {
+				c.Set(i, j, p.F(x, y))
+			}
+		}
+		g.Cost = append(g.Cost, c)
+	}
+	return g
+}
+
+// Solve runs the variable-elimination recurrence of equations (10)-(13):
+// h(x_{k}) = min over previous-stage values of h(prev) + f(prev, x_k),
+// eliminating X_1 first. It returns the optimal objective value.
+func (p *NodeValued) Solve(s semiring.Semiring) float64 {
+	h := make([]float64, len(p.Values[0]))
+	for i := range h {
+		h[i] = s.One()
+	}
+	for k := 1; k < len(p.Values); k++ {
+		nh := make([]float64, len(p.Values[k]))
+		for j, y := range p.Values[k] {
+			acc := s.Zero()
+			for i, x := range p.Values[k-1] {
+				acc = s.Add(acc, s.Mul(h[i], p.F(x, y)))
+			}
+			nh[j] = acc
+		}
+		h = nh
+	}
+	return semiring.Fold(s, h)
+}
+
+// SolvePath is Solve with path reconstruction: it returns the chosen value
+// index per stage and the optimal objective value.
+func (p *NodeValued) SolvePath(s semiring.Comparative) Path {
+	n := len(p.Values)
+	h := make([]float64, len(p.Values[0]))
+	for i := range h {
+		h[i] = s.One()
+	}
+	pred := make([][]int, n) // pred[k][j]: best previous-stage index for value j of stage k
+	for k := 1; k < n; k++ {
+		nh := make([]float64, len(p.Values[k]))
+		pk := make([]int, len(p.Values[k]))
+		for j, y := range p.Values[k] {
+			best, arg := s.Zero(), -1
+			for i, x := range p.Values[k-1] {
+				t := s.Mul(h[i], p.F(x, y))
+				if arg == -1 || s.Better(t, best) {
+					best, arg = t, i
+				}
+			}
+			nh[j], pk[j] = best, arg
+		}
+		h, pred[k] = nh, pk
+	}
+	best, arg := s.Zero(), -1
+	for j, v := range h {
+		if arg == -1 || s.Better(v, best) {
+			best, arg = v, j
+		}
+	}
+	nodes := make([]int, n)
+	nodes[n-1] = arg
+	for k := n - 1; k >= 1; k-- {
+		nodes[k-1] = pred[k][nodes[k]]
+	}
+	return Path{Nodes: nodes, Cost: best}
+}
+
+// RandomNodeValued generates an N-stage problem with m quantized values per
+// stage drawn uniformly from [lo, hi), using |x-y| as the cost function —
+// the paper's traffic-control flavour, where edge cost is the difference in
+// timings.
+func RandomNodeValued(rng *rand.Rand, n, m int, lo, hi float64) *NodeValued {
+	p := &NodeValued{F: AbsDiff}
+	for k := 0; k < n; k++ {
+		vs := make([]float64, m)
+		for i := range vs {
+			vs[i] = lo + rng.Float64()*(hi-lo)
+		}
+		p.Values = append(p.Values, vs)
+	}
+	return p
+}
+
+// AbsDiff is the |x-y| cost function of the traffic-control example in
+// Section 2.2.
+func AbsDiff(x, y float64) float64 {
+	if x > y {
+		return x - y
+	}
+	return y - x
+}
+
+// StagedCostFunc is a stage-dependent edge cost: the cost of moving from
+// value x in stage k to value y in stage k+1. Figure 5's PEs carry
+// subscripted F_i units in general; the paper drops the subscript "for
+// simplicity", and StagedNodeValued restores it.
+type StagedCostFunc func(k int, x, y float64) float64
+
+// StagedNodeValued is the node-valued serial problem of equation (4) with
+// per-stage cost functions — needed when edge costs depend on the stage
+// index (e.g. tracking a time-varying reference).
+type StagedNodeValued struct {
+	Values [][]float64
+	FK     StagedCostFunc
+}
+
+// Validate checks shape and the presence of a cost function.
+func (p *StagedNodeValued) Validate() error {
+	if len(p.Values) < 2 {
+		return fmt.Errorf("multistage: staged problem needs >= 2 stages, have %d", len(p.Values))
+	}
+	for k, vs := range p.Values {
+		if len(vs) == 0 {
+			return fmt.Errorf("multistage: stage %d has no values", k)
+		}
+	}
+	if p.FK == nil {
+		return fmt.Errorf("multistage: nil staged cost function")
+	}
+	return nil
+}
+
+// Stages returns the number of stages.
+func (p *StagedNodeValued) Stages() int { return len(p.Values) }
+
+// Uniform reports whether every stage has the same number of values.
+func (p *StagedNodeValued) Uniform() (m int, ok bool) {
+	m = len(p.Values[0])
+	for _, vs := range p.Values[1:] {
+		if len(vs) != m {
+			return 0, false
+		}
+	}
+	return m, true
+}
+
+// Expand materialises the staged problem as an explicit multistage graph.
+func (p *StagedNodeValued) Expand() *Graph {
+	g := &Graph{StageSizes: make([]int, len(p.Values))}
+	for k, vs := range p.Values {
+		g.StageSizes[k] = len(vs)
+	}
+	for k := 0; k+1 < len(p.Values); k++ {
+		c := matrix.New(len(p.Values[k]), len(p.Values[k+1]), 0)
+		for i, x := range p.Values[k] {
+			for j, y := range p.Values[k+1] {
+				c.Set(i, j, p.FK(k, x, y))
+			}
+		}
+		g.Cost = append(g.Cost, c)
+	}
+	return g
+}
+
+// Solve runs the elimination recurrence with stage-dependent costs.
+func (p *StagedNodeValued) Solve(s semiring.Semiring) float64 {
+	h := make([]float64, len(p.Values[0]))
+	for i := range h {
+		h[i] = s.One()
+	}
+	for k := 1; k < len(p.Values); k++ {
+		nh := make([]float64, len(p.Values[k]))
+		for j, y := range p.Values[k] {
+			acc := s.Zero()
+			for i, x := range p.Values[k-1] {
+				acc = s.Add(acc, s.Mul(h[i], p.FK(k-1, x, y)))
+			}
+			nh[j] = acc
+		}
+		h = nh
+	}
+	return semiring.Fold(s, h)
+}
+
+// SolvePath is Solve with path reconstruction for staged problems.
+func (p *StagedNodeValued) SolvePath(s semiring.Comparative) Path {
+	n := len(p.Values)
+	h := make([]float64, len(p.Values[0]))
+	for i := range h {
+		h[i] = s.One()
+	}
+	pred := make([][]int, n)
+	for k := 1; k < n; k++ {
+		nh := make([]float64, len(p.Values[k]))
+		pk := make([]int, len(p.Values[k]))
+		for j, y := range p.Values[k] {
+			best, arg := s.Zero(), -1
+			for i, x := range p.Values[k-1] {
+				t := s.Mul(h[i], p.FK(k-1, x, y))
+				if arg == -1 || s.Better(t, best) {
+					best, arg = t, i
+				}
+			}
+			nh[j], pk[j] = best, arg
+		}
+		h, pred[k] = nh, pk
+	}
+	best, arg := s.Zero(), -1
+	for j, v := range h {
+		if arg == -1 || s.Better(v, best) {
+			best, arg = v, j
+		}
+	}
+	nodes := make([]int, n)
+	nodes[n-1] = arg
+	for k := n - 1; k >= 1; k-- {
+		nodes[k-1] = pred[k][nodes[k]]
+	}
+	return Path{Nodes: nodes, Cost: best}
+}

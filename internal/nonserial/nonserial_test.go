@@ -1,0 +1,252 @@
+package nonserial
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"systolicdp/internal/fbarray"
+	"systolicdp/internal/multistage"
+	"systolicdp/internal/semiring"
+)
+
+var mp = semiring.MinPlus{}
+
+func TestProblemValidate(t *testing.T) {
+	good := &Problem{
+		Domains: [][]float64{{1, 2}, {3}},
+		Terms:   []Term{{Vars: []int{0, 1}, F: func(v []float64) float64 { return v[0] + v[1] }}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Problem{
+		{},
+		{Domains: [][]float64{{}}, Terms: good.Terms},
+		{Domains: good.Domains},
+		{Domains: good.Domains, Terms: []Term{{Vars: []int{0, 1}}}},
+		{Domains: good.Domains, Terms: []Term{{Vars: nil, F: good.Terms[0].F}}},
+		{Domains: good.Domains, Terms: []Term{{Vars: []int{0, 7}, F: good.Terms[0].F}}},
+		{Domains: good.Domains, Terms: []Term{{Vars: []int{0, 0}, F: good.Terms[0].F}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad problem %d accepted", i)
+		}
+	}
+}
+
+func TestInteractionEdges(t *testing.T) {
+	// The paper's example: g1(X1,X2,X4) + g2(X3,X4) + g3(X2,X5).
+	f := func(v []float64) float64 { return 0 }
+	p := &Problem{
+		Domains: [][]float64{{0}, {0}, {0}, {0}, {0}},
+		Terms: []Term{
+			{Vars: []int{0, 1, 3}, F: f},
+			{Vars: []int{2, 3}, F: f},
+			{Vars: []int{1, 4}, F: f},
+		},
+	}
+	got := p.InteractionEdges()
+	want := [][2]int{{0, 1}, {0, 3}, {1, 3}, {1, 4}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("edges %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("edge %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+	if p.IsSerial() {
+		t.Error("nonserial example reported serial")
+	}
+}
+
+func TestIsSerial(t *testing.T) {
+	f := func(v []float64) float64 { return v[0] + v[1] }
+	serial := &Problem{
+		Domains: [][]float64{{0}, {0}, {0}},
+		Terms:   []Term{{Vars: []int{0, 1}, F: f}, {Vars: []int{1, 2}, F: f}},
+	}
+	if !serial.IsSerial() {
+		t.Error("chain problem reported nonserial")
+	}
+	skip := &Problem{
+		Domains: [][]float64{{0}, {0}, {0}},
+		Terms:   []Term{{Vars: []int{0, 2}, F: f}},
+	}
+	if skip.IsSerial() {
+		t.Error("skipping term reported serial")
+	}
+}
+
+func TestChain3EliminateMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		c := RandomChain3(rng, 3+rng.Intn(3), 2+rng.Intn(3), 0, 10)
+		cost, _, err := c.Eliminate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, want, err := c.AsProblem().BruteForce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(cost-want) > 1e-9 {
+			t.Fatalf("trial %d: eliminate %v != brute %v", trial, cost, want)
+		}
+	}
+}
+
+func TestStepCountEquation40(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		// Ragged domains to exercise the full formula.
+		n := 3 + rng.Intn(4)
+		c := &Chain3{G: DefaultG}
+		for k := 0; k < n; k++ {
+			m := 1 + rng.Intn(4)
+			d := make([]float64, m)
+			for i := range d {
+				d[i] = rng.Float64() * 10
+			}
+			c.Domains = append(c.Domains, d)
+		}
+		_, steps, err := c.Eliminate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := c.StepsEq40(); steps != want {
+			t.Fatalf("trial %d: measured %d steps, eq(40) %d", trial, steps, want)
+		}
+	}
+}
+
+func TestGroupToGraphMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		c := RandomChain3(rng, 3+rng.Intn(3), 2+rng.Intn(2), 0, 10)
+		g, err := c.GroupToGraph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		got := multistage.SolveOptimal(mp, g).Cost
+		_, want, err := c.AsProblem().BruteForce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: grouped graph %v != brute %v", trial, got, want)
+		}
+	}
+}
+
+func TestGroupToSerialOnDesign3(t *testing.T) {
+	// The paper's end-to-end pipeline: nonserial chain -> grouped serial
+	// problem -> Design-3 feedback array.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		c := RandomUniformChain3(rng, 3+rng.Intn(3), 2+rng.Intn(2), 0, 10)
+		nv, err := c.GroupToSerial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fbarray.Solve(nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, want, err := c.AsProblem().BruteForce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Cost-want) > 1e-9 {
+			t.Fatalf("trial %d: Design 3 on grouped problem %v != brute %v", trial, res.Cost, want)
+		}
+	}
+}
+
+func TestGroupToSerialRejectsNonUniform(t *testing.T) {
+	c := &Chain3{
+		Domains: [][]float64{{1, 2}, {3}, {4, 5}},
+		G:       DefaultG,
+	}
+	if _, err := c.GroupToSerial(); err == nil {
+		t.Error("non-uniform domains accepted by GroupToSerial")
+	}
+	if _, err := c.GroupToGraph(); err != nil {
+		t.Errorf("GroupToGraph must accept non-uniform domains: %v", err)
+	}
+}
+
+func TestChain3Validate(t *testing.T) {
+	if err := (&Chain3{Domains: [][]float64{{1}, {2}}, G: DefaultG}).Validate(); err == nil {
+		t.Error("2-variable chain accepted")
+	}
+	if err := (&Chain3{Domains: [][]float64{{1}, {2}, {}}, G: DefaultG}).Validate(); err == nil {
+		t.Error("empty domain accepted")
+	}
+	if err := (&Chain3{Domains: [][]float64{{1}, {2}, {3}}}).Validate(); err == nil {
+		t.Error("nil G accepted")
+	}
+}
+
+func TestEvalAgainstManual(t *testing.T) {
+	c := &Chain3{
+		Domains: [][]float64{{1, 4}, {2}, {3, 0}},
+		G:       func(a, b, cc float64) float64 { return a + 10*b + 100*cc },
+	}
+	p := c.AsProblem()
+	// Single term (N=3): g(v0, v1, v2).
+	if got := p.Eval([]int{1, 0, 1}); got != 4+20+0 {
+		t.Errorf("Eval = %v, want 24", got)
+	}
+	idx, cost, err := p.BruteForce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 1+20+0 || idx[0] != 0 || idx[2] != 1 {
+		t.Errorf("brute force = %v at %v", cost, idx)
+	}
+}
+
+func TestPropertyGroupedEqualsElimination(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := RandomChain3(rng, 3+rng.Intn(4), 1+rng.Intn(3), 0, 20)
+		viaElim, _, err := c.Eliminate()
+		if err != nil {
+			return false
+		}
+		g, err := c.GroupToGraph()
+		if err != nil {
+			return false
+		}
+		viaGraph := multistage.SolveOptimal(mp, g).Cost
+		return math.Abs(viaElim-viaGraph) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupedProblemMoreOpsButSerial(t *testing.T) {
+	// Section 6.1's observation: the grouped serial problem does more work
+	// than the raw elimination but exposes systolic parallelism. Composite
+	// stages have m^2 states.
+	rng := rand.New(rand.NewSource(5))
+	c := RandomUniformChain3(rng, 5, 3, 0, 10)
+	nv, err := c.GroupToSerial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := nv.Uniform(); !ok || got != 9 {
+		t.Errorf("composite stage size = %d, want 9", got)
+	}
+	if len(nv.Values) != 4 {
+		t.Errorf("composite stages = %d, want N-1 = 4", len(nv.Values))
+	}
+}

@@ -1,0 +1,26 @@
+package obst_test
+
+import (
+	"fmt"
+
+	"systolicdp/internal/obst"
+)
+
+// ExampleProblem_SolveKnuth solves the CLRS textbook instance with the
+// O(n^2) monotone-root algorithm.
+func ExampleProblem_SolveKnuth() {
+	p := &obst.Problem{
+		P: []float64{0.15, 0.10, 0.05, 0.10, 0.20},
+		Q: []float64{0.05, 0.10, 0.05, 0.05, 0.05, 0.10},
+	}
+	tab, err := p.SolveKnuth()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.2f\n", tab.OptimalCost())
+	root, _, _ := tab.Tree()
+	fmt.Println(root + 1)
+	// Output:
+	// 2.75
+	// 2
+}

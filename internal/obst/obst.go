@@ -1,0 +1,261 @@
+// Package obst implements the optimal binary-search-tree problem, the
+// second polyadic DP example Section 2.1 of the paper names ("finding the
+// optimal binary search tree and computing the minimum-cost order of
+// multiplying a string of matrices"). The formulation is polyadic —
+//
+//	c(i,j) = w(i,j) + min_k { c(i,k-1) + c(k,j) }
+//
+// with w(i,j) the total access weight of keys i..j and the gaps around
+// them — and has exactly the AND/OR-graph shape of Figure 2, so the
+// Section 6.2 parallel schemes apply unchanged. The package provides the
+// O(n^3) DP of the recurrence, Knuth's O(n^2) root-monotonicity speedup
+// (an ablation on the amount of work an OR-node must do), a brute-force
+// validator, and the AND/OR-graph construction.
+package obst
+
+import (
+	"fmt"
+	"math"
+
+	"systolicdp/internal/andor"
+)
+
+// Problem is a set of n keys in order: P[i] is the access weight of key i
+// (i = 0..n-1) and Q[i] the weight of the gap before key i (Q[n] after
+// the last). Weights need not be normalised probabilities.
+type Problem struct {
+	P []float64
+	Q []float64
+}
+
+// Validate checks shape and non-negativity.
+func (p *Problem) Validate() error {
+	n := len(p.P)
+	if n == 0 {
+		return fmt.Errorf("obst: no keys")
+	}
+	if len(p.Q) != n+1 {
+		return fmt.Errorf("obst: have %d gap weights, want %d", len(p.Q), n+1)
+	}
+	for i, v := range p.P {
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("obst: P[%d] = %v", i, v)
+		}
+	}
+	for i, v := range p.Q {
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("obst: Q[%d] = %v", i, v)
+		}
+	}
+	return nil
+}
+
+// Table is the DP result. Cost[i][j] is the optimal expected search cost
+// of the subtree over keys i..j-1 plus gaps i..j (Cost[i][i] = Q[i] is
+// the empty tree over gap i, the CLRS convention), Root the chosen root
+// key index, and W the cached weight sums.
+type Table struct {
+	N     int
+	Cost  [][]float64
+	Root  [][]int
+	W     [][]float64
+	Inner int // inner-loop iterations performed (for the Knuth ablation)
+}
+
+func (p *Problem) tables() (*Table, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.P)
+	t := &Table{N: n}
+	t.Cost = make([][]float64, n+1)
+	t.Root = make([][]int, n+1)
+	t.W = make([][]float64, n+1)
+	for i := 0; i <= n; i++ {
+		t.Cost[i] = make([]float64, n+1)
+		t.Root[i] = make([]int, n+1)
+		t.W[i] = make([]float64, n+1)
+		t.W[i][i] = p.Q[i]
+		t.Cost[i][i] = p.Q[i] // empty subtree over gap i (CLRS convention)
+		for j := i + 1; j <= n; j++ {
+			t.W[i][j] = t.W[i][j-1] + p.P[j-1] + p.Q[j]
+		}
+		for j := range t.Root[i] {
+			t.Root[i][j] = -1
+		}
+	}
+	return t, nil
+}
+
+// Solve runs the O(n^3) DP: for every span the split minimum ranges over
+// all roots. This is the direct polyadic evaluation an OR-node performs.
+func (p *Problem) Solve() (*Table, error) {
+	t, err := p.tables()
+	if err != nil {
+		return nil, err
+	}
+	n := t.N
+	for s := 1; s <= n; s++ {
+		for i := 0; i+s <= n; i++ {
+			j := i + s
+			best, arg := math.Inf(1), -1
+			for k := i + 1; k <= j; k++ {
+				t.Inner++
+				c := t.Cost[i][k-1] + t.Cost[k][j]
+				if c < best {
+					best, arg = c, k
+				}
+			}
+			t.Cost[i][j] = best + t.W[i][j]
+			t.Root[i][j] = arg
+		}
+	}
+	return t, nil
+}
+
+// SolveKnuth runs the O(n^2) variant: by root monotonicity,
+// Root[i][j-1] <= Root[i][j] <= Root[i+1][j], so each OR-node scans only
+// the monotone window. Results are identical to Solve with quadratically
+// fewer inner iterations — the paper's "less the Principle of Optimality
+// is applied, the more comparisons" tradeoff in sharpened form.
+func (p *Problem) SolveKnuth() (*Table, error) {
+	t, err := p.tables()
+	if err != nil {
+		return nil, err
+	}
+	n := t.N
+	for i := 0; i < n; i++ {
+		// Spans of one key: the root is forced.
+		j := i + 1
+		t.Cost[i][j] = t.W[i][j] + t.Cost[i][i] + t.Cost[j][j]
+		t.Root[i][j] = i + 1
+		t.Inner++
+	}
+	for s := 2; s <= n; s++ {
+		for i := 0; i+s <= n; i++ {
+			j := i + s
+			lo := t.Root[i][j-1]
+			hi := t.Root[i+1][j]
+			best, arg := math.Inf(1), -1
+			for k := lo; k <= hi; k++ {
+				t.Inner++
+				c := t.Cost[i][k-1] + t.Cost[k][j]
+				if c < best {
+					best, arg = c, k
+				}
+			}
+			t.Cost[i][j] = best + t.W[i][j]
+			t.Root[i][j] = arg
+		}
+	}
+	return t, nil
+}
+
+// OptimalCost returns the weighted search cost of the optimal tree.
+func (t *Table) OptimalCost() float64 { return t.Cost[0][t.N] }
+
+// Tree materialises the optimal tree: Tree[i] = (left child key index,
+// right child key index), -1 for none; returned with the root key index.
+func (t *Table) Tree() (root int, left, right []int) {
+	left = make([]int, t.N)
+	right = make([]int, t.N)
+	for i := range left {
+		left[i], right[i] = -1, -1
+	}
+	var build func(i, j int) int
+	build = func(i, j int) int {
+		if i >= j {
+			return -1
+		}
+		k := t.Root[i][j]
+		key := k - 1
+		left[key] = build(i, k-1)
+		right[key] = build(k, j)
+		return key
+	}
+	root = build(0, t.N)
+	return root, left, right
+}
+
+// SearchCost computes the expected weighted search cost of an explicit
+// tree directly — sum over keys of P[i]*(depth+1) plus gaps of
+// Q[i]*depth_of_leaf — to validate the DP value.
+func (p *Problem) SearchCost(root int, left, right []int) float64 {
+	total := 0.0
+	var rec func(key, depth, lo, hi int)
+	rec = func(key, depth, lo, hi int) {
+		if key < 0 {
+			return
+		}
+		total += p.P[key] * float64(depth+1)
+		// A dummy (gap) leaf hangs one level below its parent key and a
+		// failed search compares against the whole path: q * (depth+2).
+		if left[key] < 0 {
+			total += p.Q[key] * float64(depth+2)
+		}
+		if right[key] < 0 {
+			total += p.Q[key+1] * float64(depth+2)
+		}
+		rec(left[key], depth+1, lo, key)
+		rec(right[key], depth+1, key+1, hi)
+	}
+	rec(root, 0, 0, len(p.P))
+	return total
+}
+
+// BruteForce enumerates all binary search trees over the keys (Catalan
+// growth) and returns the optimal cost; small n only.
+func (p *Problem) BruteForce() (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	t, err := p.tables() // reuse W
+	if err != nil {
+		return 0, err
+	}
+	var rec func(i, j int) float64
+	rec = func(i, j int) float64 {
+		if i >= j {
+			return p.Q[i] // empty subtree
+		}
+		best := math.Inf(1)
+		for k := i + 1; k <= j; k++ {
+			if c := rec(i, k-1) + rec(k, j); c < best {
+				best = c
+			}
+		}
+		return best + t.W[i][j]
+	}
+	return rec(0, t.N), nil
+}
+
+// BuildANDOR constructs the problem's AND/OR-graph: identical in shape to
+// the matrix-chain graph of Figure 2, with the span weight w(i,j) as the
+// AND-node additive constant. Root value equals the DP optimum.
+func (p *Problem) BuildANDOR() (*andor.Graph, error) {
+	t, err := p.tables()
+	if err != nil {
+		return nil, err
+	}
+	n := t.N
+	g := &andor.Graph{}
+	id := make([][]int, n+1)
+	for i := range id {
+		id[i] = make([]int, n+1)
+	}
+	for i := 0; i <= n; i++ {
+		id[i][i] = g.AddLeaf(p.Q[i]) // empty subtree over gap i
+	}
+	for s := 1; s <= n; s++ {
+		for i := 0; i+s <= n; i++ {
+			j := i + s
+			ands := make([]int, 0, s)
+			for k := i + 1; k <= j; k++ {
+				ands = append(ands, g.AddNode(andor.And, []int{id[i][k-1], id[k][j]}, t.W[i][j]))
+			}
+			id[i][j] = g.AddNode(andor.Or, ands, 0)
+		}
+	}
+	g.Roots = []int{id[0][n]}
+	return g, nil
+}

@@ -1,0 +1,269 @@
+package obst
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"systolicdp/internal/semiring"
+)
+
+func randomProblem(rng *rand.Rand, n int) *Problem {
+	p := &Problem{P: make([]float64, n), Q: make([]float64, n+1)}
+	for i := range p.P {
+		p.P[i] = rng.Float64()
+	}
+	for i := range p.Q {
+		p.Q[i] = rng.Float64() * 0.5
+	}
+	return p
+}
+
+func TestKnuthTextbookExample(t *testing.T) {
+	// CLRS exercise instance: p = (.15,.10,.05,.10,.20), q = (.05,.10,.05,.05,.05,.10);
+	// the optimal expected cost is 2.75.
+	p := &Problem{
+		P: []float64{0.15, 0.10, 0.05, 0.10, 0.20},
+		Q: []float64{0.05, 0.10, 0.05, 0.05, 0.05, 0.10},
+	}
+	tab, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tab.OptimalCost()-2.75) > 1e-9 {
+		t.Errorf("optimal cost %v, want 2.75", tab.OptimalCost())
+	}
+	// Root of the whole tree is key 2 (1-indexed in CLRS: k2).
+	if tab.Root[0][5] != 2 {
+		t.Errorf("root = %d, want 2", tab.Root[0][5])
+	}
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		p := randomProblem(rng, 1+rng.Intn(8))
+		tab, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bf, err := p.BruteForce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(tab.OptimalCost()-bf) > 1e-9 {
+			t.Fatalf("trial %d: DP %v != brute %v", trial, tab.OptimalCost(), bf)
+		}
+	}
+}
+
+func TestKnuthMatchesDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		p := randomProblem(rng, 1+rng.Intn(20))
+		full, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := p.SolveKnuth()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(full.OptimalCost()-fast.OptimalCost()) > 1e-9 {
+			t.Fatalf("trial %d: Knuth %v != DP %v", trial, fast.OptimalCost(), full.OptimalCost())
+		}
+	}
+}
+
+func TestKnuthDoesLessWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := randomProblem(rng, 64)
+	full, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := p.SolveKnuth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Inner >= full.Inner {
+		t.Errorf("Knuth inner iterations %d not below DP's %d", fast.Inner, full.Inner)
+	}
+	// O(n^2) vs O(n^3): at n=64 the gap should be at least ~5x.
+	if full.Inner < 5*fast.Inner {
+		t.Errorf("speedup only %d/%d", full.Inner, fast.Inner)
+	}
+}
+
+func TestTreeSearchCostEqualsDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		p := randomProblem(rng, 1+rng.Intn(12))
+		tab, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		root, left, right := tab.Tree()
+		if got := p.SearchCost(root, left, right); math.Abs(got-tab.OptimalCost()) > 1e-9 {
+			t.Fatalf("trial %d: tree cost %v != DP %v", trial, got, tab.OptimalCost())
+		}
+	}
+}
+
+func TestTreeIsValidBST(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := randomProblem(rng, 10)
+	tab, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, left, right := tab.Tree()
+	// In-order traversal must visit keys 0..n-1 in order.
+	var order []int
+	var walk func(k int)
+	walk = func(k int) {
+		if k < 0 {
+			return
+		}
+		walk(left[k])
+		order = append(order, k)
+		walk(right[k])
+	}
+	walk(root)
+	if len(order) != 10 {
+		t.Fatalf("traversal visited %d keys", len(order))
+	}
+	for i, k := range order {
+		if k != i {
+			t.Fatalf("in-order traversal %v not sorted", order)
+		}
+	}
+}
+
+func TestANDORMatchesDP(t *testing.T) {
+	mp := semiring.MinPlus{}
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 15; trial++ {
+		p := randomProblem(rng, 1+rng.Intn(8))
+		g, err := p.BuildANDOR()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals, err := g.Evaluate(mp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(vals[g.Roots[0]]-tab.OptimalCost()) > 1e-9 {
+			t.Fatalf("trial %d: AND/OR %v != DP %v", trial, vals[g.Roots[0]], tab.OptimalCost())
+		}
+		// Same nonserial shape as the matrix-chain graph.
+		if trial == 0 && len(p.P) >= 3 && g.IsSerial() {
+			t.Error("OBST AND/OR-graph should be nonserial for n >= 3")
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	if err := (&Problem{}).Validate(); err == nil {
+		t.Error("empty problem accepted")
+	}
+	if err := (&Problem{P: []float64{1}, Q: []float64{1}}).Validate(); err == nil {
+		t.Error("short Q accepted")
+	}
+	if err := (&Problem{P: []float64{-1}, Q: []float64{0, 0}}).Validate(); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if err := (&Problem{P: []float64{math.NaN()}, Q: []float64{0, 0}}).Validate(); err == nil {
+		t.Error("NaN weight accepted")
+	}
+}
+
+func TestSingleKey(t *testing.T) {
+	p := &Problem{P: []float64{1}, Q: []float64{0.5, 0.5}}
+	tab, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One key at depth 0 (1 comparison) plus two dummies at depth 1
+	// (2 comparisons each): 1*1 + 0.5*2 + 0.5*2 = 3.
+	if math.Abs(tab.OptimalCost()-3) > 1e-9 {
+		t.Errorf("cost %v, want 3", tab.OptimalCost())
+	}
+}
+
+func TestPropertyKnuthEqualsDP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng, 1+rng.Intn(15))
+		a, err := p.Solve()
+		if err != nil {
+			return false
+		}
+		b, err := p.SolveKnuth()
+		if err != nil {
+			return false
+		}
+		return math.Abs(a.OptimalCost()-b.OptimalCost()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimulateBusLinearCompletion(t *testing.T) {
+	// The OBST graph has the Figure-2 shape, so the broadcast-bus design
+	// completes linearly: T_d = n+1 (n keys plus the dummy level),
+	// matching Proposition 2's T_d(N) = N with N = n+1 node levels.
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 4, 8, 16, 33, 64} {
+		p := randomProblem(rng, n)
+		res, err := p.SimulateBus()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Completion != float64(n+1) {
+			t.Errorf("n=%d: bus completion %v, want %d", n, res.Completion, n+1)
+		}
+		tab, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Cost-tab.OptimalCost()) > 1e-9 {
+			t.Errorf("n=%d: bus cost %v != DP %v", n, res.Cost, tab.OptimalCost())
+		}
+		if res.Processors != n*(n+1)/2 {
+			t.Errorf("n=%d: %d processors", n, res.Processors)
+		}
+	}
+}
+
+func TestSimulateSystolicDoubles(t *testing.T) {
+	// Serialisation doubles completion (Proposition 3's 2N shape).
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{1, 3, 8, 21, 64} {
+		p := randomProblem(rng, n)
+		bus, err := p.SimulateBus()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := p.SimulateSystolic()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sys.Completion != 2*bus.Completion {
+			t.Errorf("n=%d: systolic %v, bus %v: want exact 2x", n, sys.Completion, bus.Completion)
+		}
+		tab, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(sys.Cost-tab.OptimalCost()) > 1e-9 {
+			t.Errorf("n=%d: systolic cost %v != DP %v", n, sys.Cost, tab.OptimalCost())
+		}
+	}
+}

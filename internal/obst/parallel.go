@@ -1,0 +1,100 @@
+package obst
+
+import (
+	"math"
+)
+
+// The OBST AND/OR-graph has the Figure-2 shape, so the Section 6.2
+// parallel designs apply verbatim: a broadcast-bus machine with one
+// processor per subproblem, and the serialised systolic variant whose
+// results ripple one level per step. These simulators mirror
+// matchain.SimulateBus/SimulateSystolic for the OBST recurrence
+// c(i,j) = w(i,j) + min_k { c(i,k-1) + c(k,j) }, computing the cost table
+// while tracking completion times under the paper's two-candidates-per-
+// step OR-node semantics.
+
+// TimingResult reports a simulated parallel OBST run.
+type TimingResult struct {
+	Cost       float64
+	Completion float64
+	Processors int
+}
+
+func (p *Problem) simulate(base float64, transfer func(a, s int) float64) (*TimingResult, error) {
+	t, err := p.tables()
+	if err != nil {
+		return nil, err
+	}
+	n := t.N
+	done := make([][]float64, n+1)
+	cost := make([][]float64, n+1)
+	for i := 0; i <= n; i++ {
+		done[i] = make([]float64, n+1)
+		cost[i] = make([]float64, n+1)
+		done[i][i] = base
+		cost[i][i] = t.Cost[i][i] // empty-subtree base value
+	}
+	res := &TimingResult{Processors: n * (n + 1) / 2}
+	for s := 1; s <= n; s++ {
+		for i := 0; i+s <= n; i++ {
+			j := i + s
+			readies := make([]float64, 0, s)
+			best := math.Inf(1)
+			for k := i + 1; k <= j; k++ {
+				a, b := k-1-i, j-k // child span sizes (in keys)
+				r := math.Max(done[i][k-1]+transfer(a, s), done[k][j]+transfer(b, s))
+				readies = append(readies, r)
+				if c := cost[i][k-1] + cost[k][j]; c < best {
+					best = c
+				}
+			}
+			cost[i][j] = best + t.W[i][j]
+			done[i][j] = obstFinish(readies, 2)
+		}
+	}
+	res.Cost = cost[0][n]
+	res.Completion = done[0][n]
+	return res, nil
+}
+
+// obstFinish mirrors matchain's two-candidates-per-step OR-node timing.
+func obstFinish(readies []float64, rate int) float64 {
+	sorted := append([]float64(nil), readies...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	t := 0.0
+	done := 0
+	for done < len(sorted) {
+		if sorted[done] > t {
+			t = sorted[done]
+		}
+		avail := 0
+		for done+avail < len(sorted) && sorted[done+avail] <= t {
+			avail++
+		}
+		take := avail
+		if take > rate {
+			take = rate
+		}
+		done += take
+		t++
+	}
+	return t
+}
+
+// SimulateBus runs the broadcast-bus design: results visible the moment
+// they complete. Completion is linear in the key count — the
+// Proposition-2 shape for this problem.
+func (p *Problem) SimulateBus() (*TimingResult, error) {
+	return p.simulate(1, func(a, s int) float64 { return 0 })
+}
+
+// SimulateSystolic runs the serialised design: a size-a child's result
+// ripples through s-a dummy levels (Figure 8). Completion doubles, the
+// Proposition-3 shape.
+func (p *Problem) SimulateSystolic() (*TimingResult, error) {
+	return p.simulate(2, func(a, s int) float64 { return float64(s - a) })
+}

@@ -1,0 +1,85 @@
+package pipearray
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"systolicdp/internal/matrix"
+	"systolicdp/internal/semiring"
+)
+
+// The arrays are semiring-generic: under (MAX,+) they evaluate
+// longest-path / maximum-reward problems, the "maximization (or
+// minimization)" latitude of Section 2.
+
+func TestMaxPlusMatchesBaseline(t *testing.T) {
+	s := semiring.MaxPlus{}
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ k, m int }{{1, 3}, {2, 4}, {3, 3}, {5, 2}} {
+		ms, v := randomChain(rng, tc.k, tc.m)
+		a, err := NewSemiring(s, ms, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := a.Run(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := matrix.ChainVec(s, ms, v)
+		if !almostEqual(got, want) {
+			t.Errorf("k=%d m=%d: got %v, want %v", tc.k, tc.m, got, want)
+		}
+	}
+}
+
+func TestMaxPlusGoroutinesMatch(t *testing.T) {
+	s := semiring.MaxPlus{}
+	rng := rand.New(rand.NewSource(2))
+	ms, v := randomChain(rng, 4, 3)
+	a, err := NewSemiring(s, ms, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock, _, err := a.Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goro, _, err := a.Run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(lock, goro) {
+		t.Errorf("lockstep %v != goroutines %v", lock, goro)
+	}
+}
+
+func TestMaxPlusLongestBeatsShortest(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ms, v := randomChain(rng, 3, 4)
+	amin, err := New(ms, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, _, err := amin.Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amax, err := NewSemiring(semiring.MaxPlus{}, ms, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, _, err := amax.Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lo {
+		if hi[i] < lo[i]-1e-9 {
+			t.Errorf("entry %d: longest %v < shortest %v", i, hi[i], lo[i])
+		}
+	}
+	// On random data with many paths, strict separation is expected.
+	if math.Abs(hi[0]-lo[0]) < 1e-9 {
+		t.Error("longest and shortest coincide on random data")
+	}
+}

@@ -1,0 +1,200 @@
+package pipearray
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"systolicdp/internal/matrix"
+)
+
+func randomProblems(rng *rand.Rand, b, k, m int) []StreamProblem {
+	out := make([]StreamProblem, b)
+	for i := range out {
+		ms, v := randomChain(rng, k, m)
+		out[i] = StreamProblem{Ms: ms, V: v}
+	}
+	return out
+}
+
+func TestStreamMatchesIndividualRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ b, k, m int }{
+		{1, 2, 3}, {3, 2, 3}, {2, 3, 4}, {4, 1, 2}, {3, 5, 3}, {2, 4, 1},
+	} {
+		probs := randomProblems(rng, tc.b, tc.k, tc.m)
+		st, err := NewStream(probs)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		got, err := st.Run(false)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		for bi, pr := range probs {
+			want, err := Solve(pr.Ms, pr.V)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(got[bi], want) {
+				t.Errorf("%+v problem %d: stream %v, individual %v", tc, bi, got[bi], want)
+			}
+		}
+	}
+}
+
+func TestStreamGoroutinesMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	probs := randomProblems(rng, 3, 3, 3)
+	st, err := NewStream(probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock, err := st.Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goro, err := st.Run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi := range lock {
+		if !almostEqual(lock[bi], goro[bi]) {
+			t.Errorf("problem %d: %v vs %v", bi, lock[bi], goro[bi])
+		}
+	}
+}
+
+func TestStreamThroughput(t *testing.T) {
+	// The whole batch costs one pipeline fill, not one per problem:
+	// B*K'*m + m - 1 versus B*(K'*m + m - 1).
+	rng := rand.New(rand.NewSource(3))
+	b, k, m := 5, 4, 6
+	probs := randomProblems(rng, b, k, m)
+	st, err := NewStream(probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.KPadded != k { // k even: no padding
+		t.Fatalf("KPadded = %d, want %d", st.KPadded, k)
+	}
+	if got, want := st.WallCycles(), b*k*m+m-1; got != want {
+		t.Errorf("WallCycles = %d, want %d", got, want)
+	}
+	separate := b * (k*m + m - 1)
+	if st.WallCycles() >= separate {
+		t.Errorf("streaming (%d) should beat separate runs (%d)", st.WallCycles(), separate)
+	}
+}
+
+func TestStreamOddKPadding(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	probs := randomProblems(rng, 2, 3, 3) // K = 3: odd, padded to 4
+	st, err := NewStream(probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.KPadded != 4 {
+		t.Errorf("KPadded = %d, want 4", st.KPadded)
+	}
+	got, err := st.Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi, pr := range probs {
+		want, err := Solve(pr.Ms, pr.V)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got[bi], want) {
+			t.Errorf("problem %d: %v, want %v", bi, got[bi], want)
+		}
+	}
+}
+
+func TestStreamErrors(t *testing.T) {
+	if _, err := NewStream(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	rng := rand.New(rand.NewSource(5))
+	a := randomProblems(rng, 1, 2, 3)[0]
+	b := randomProblems(rng, 1, 2, 4)[0] // different m
+	if _, err := NewStream([]StreamProblem{a, b}); err == nil {
+		t.Error("mismatched shapes accepted")
+	}
+	c := randomProblems(rng, 1, 3, 3)[0] // different K
+	if _, err := NewStream([]StreamProblem{a, c}); err == nil {
+		t.Error("mismatched phase counts accepted")
+	}
+	if _, err := NewStream([]StreamProblem{{}}); err == nil {
+		t.Error("empty problem accepted")
+	}
+}
+
+func TestStreamDegenerateFirstMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	mk := func() StreamProblem {
+		ms, v := randomChain(rng, 2, 3)
+		ms[0] = ms[0].Clone()
+		// Make the first matrix 1x3 (single-source shape).
+		row := ms[0]
+		one := row.Row(0)
+		ms[0] = rowMatrix(one)
+		return StreamProblem{Ms: ms, V: v}
+	}
+	probs := []StreamProblem{mk(), mk(), mk()}
+	st, err := NewStream(probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi, pr := range probs {
+		want, err := Solve(pr.Ms, pr.V)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got[bi]) != 1 || !almostEqual(got[bi], want) {
+			t.Errorf("problem %d: %v, want %v", bi, got[bi], want)
+		}
+	}
+}
+
+func TestPropertyStreamEqualsIndividual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := 1 + rng.Intn(4)
+		k := 1 + rng.Intn(4)
+		m := 1 + rng.Intn(4)
+		probs := randomProblems(rng, b, k, m)
+		st, err := NewStream(probs)
+		if err != nil {
+			return false
+		}
+		got, err := st.Run(false)
+		if err != nil {
+			return false
+		}
+		for bi, pr := range probs {
+			want, err := Solve(pr.Ms, pr.V)
+			if err != nil || !almostEqual(got[bi], want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// rowMatrix builds a 1xN matrix from a row.
+func rowMatrix(row []float64) *matrix.Matrix {
+	m := matrix.New(1, len(row), 0)
+	for j, v := range row {
+		m.Set(0, j, v)
+	}
+	return m
+}

@@ -1,0 +1,212 @@
+package semiring
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinPlusBasics(t *testing.T) {
+	s := MinPlus{}
+	if got := s.Add(3, 5); got != 3 {
+		t.Errorf("Add(3,5) = %v, want 3", got)
+	}
+	if got := s.Mul(3, 5); got != 8 {
+		t.Errorf("Mul(3,5) = %v, want 8", got)
+	}
+	if !math.IsInf(s.Zero(), 1) {
+		t.Errorf("Zero() = %v, want +inf", s.Zero())
+	}
+	if s.One() != 0 {
+		t.Errorf("One() = %v, want 0", s.One())
+	}
+	if !s.Better(1, 2) || s.Better(2, 1) {
+		t.Error("Better must order by <")
+	}
+}
+
+func TestMaxPlusBasics(t *testing.T) {
+	s := MaxPlus{}
+	if got := s.Add(3, 5); got != 5 {
+		t.Errorf("Add(3,5) = %v, want 5", got)
+	}
+	if !math.IsInf(s.Zero(), -1) {
+		t.Errorf("Zero() = %v, want -inf", s.Zero())
+	}
+	if !s.Better(2, 1) || s.Better(1, 2) {
+		t.Error("Better must order by >")
+	}
+}
+
+func TestBoolOrAnd(t *testing.T) {
+	s := BoolOrAnd{}
+	cases := []struct{ a, b, or, and float64 }{
+		{0, 0, 0, 0},
+		{0, 1, 1, 0},
+		{1, 0, 1, 0},
+		{1, 1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := s.Add(c.a, c.b); got != c.or {
+			t.Errorf("Add(%v,%v) = %v, want %v", c.a, c.b, got, c.or)
+		}
+		if got := s.Mul(c.a, c.b); got != c.and {
+			t.Errorf("Mul(%v,%v) = %v, want %v", c.a, c.b, got, c.and)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, s := range All() {
+		got, err := ByName(s.Name())
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", s.Name(), err)
+		}
+		if got.Name() != s.Name() {
+			t.Errorf("ByName(%q).Name() = %q", s.Name(), got.Name())
+		}
+	}
+	if _, err := ByName("no-such"); err == nil {
+		t.Error("ByName(no-such) should fail")
+	}
+}
+
+// clampFinite maps arbitrary floats into a well-behaved range so that
+// property tests do not trip over NaN/overflow artifacts irrelevant to the
+// algebra under test.
+func clampFinite(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 1
+	}
+	return math.Mod(x, 1e6)
+}
+
+func TestPropertyAddCommutativeAssociative(t *testing.T) {
+	for _, s := range []Semiring{MinPlus{}, MaxPlus{}, PlusTimes{}} {
+		s := s
+		comm := func(a, b float64) bool {
+			a, b = clampFinite(a), clampFinite(b)
+			return s.Add(a, b) == s.Add(b, a)
+		}
+		if err := quick.Check(comm, nil); err != nil {
+			t.Errorf("%s: Add not commutative: %v", s.Name(), err)
+		}
+		assoc := func(a, b, c float64) bool {
+			a, b, c = clampFinite(a), clampFinite(b), clampFinite(c)
+			l := s.Add(s.Add(a, b), c)
+			r := s.Add(a, s.Add(b, c))
+			return l == r || math.Abs(l-r) < 1e-9
+		}
+		if err := quick.Check(assoc, nil); err != nil {
+			t.Errorf("%s: Add not associative: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestPropertyIdentities(t *testing.T) {
+	for _, s := range []Semiring{MinPlus{}, MaxPlus{}, PlusTimes{}} {
+		s := s
+		ident := func(a float64) bool {
+			a = clampFinite(a)
+			return s.Add(a, s.Zero()) == a && s.Mul(a, s.One()) == a
+		}
+		if err := quick.Check(ident, nil); err != nil {
+			t.Errorf("%s: identity laws fail: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestPropertyZeroAnnihilates(t *testing.T) {
+	// For (MIN,+): a + inf = inf. For (+,x): a * 0 = 0.
+	for _, s := range []Semiring{MinPlus{}, MaxPlus{}, PlusTimes{}} {
+		s := s
+		ann := func(a float64) bool {
+			a = clampFinite(a)
+			return s.Mul(a, s.Zero()) == s.Zero()
+		}
+		if err := quick.Check(ann, nil); err != nil {
+			t.Errorf("%s: Zero does not annihilate: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestPropertyMulDistributesOverAdd(t *testing.T) {
+	// (MIN,+): c + min(a,b) == min(c+a, c+b).
+	for _, s := range []Semiring{MinPlus{}, MaxPlus{}} {
+		s := s
+		dist := func(a, b, c float64) bool {
+			a, b, c = clampFinite(a), clampFinite(b), clampFinite(c)
+			return s.Mul(c, s.Add(a, b)) == s.Add(s.Mul(c, a), s.Mul(c, b))
+		}
+		if err := quick.Check(dist, nil); err != nil {
+			t.Errorf("%s: Mul does not distribute: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestFold(t *testing.T) {
+	s := MinPlus{}
+	if got := Fold(s, nil); !math.IsInf(got, 1) {
+		t.Errorf("Fold(empty) = %v, want +inf", got)
+	}
+	if got := Fold(s, []float64{4, 2, 9}); got != 2 {
+		t.Errorf("Fold = %v, want 2", got)
+	}
+}
+
+func TestDotEquation7(t *testing.T) {
+	// Equation (7) of the paper: f(C1) = min{c11+d11, c12+d21, c13+d31}.
+	s := MinPlus{}
+	c := []float64{5, 2, 7}
+	d := []float64{1, 4, 0}
+	want := math.Min(5+1, math.Min(2+4, 7+0)) // = 6
+	if got := Dot(s, c, d); got != want {
+		t.Errorf("Dot = %v, want %v", got, want)
+	}
+}
+
+func TestDotLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot with mismatched lengths must panic")
+		}
+	}()
+	Dot(MinPlus{}, []float64{1}, []float64{1, 2})
+}
+
+func TestArgDot(t *testing.T) {
+	s := MinPlus{}
+	val, arg := ArgDot(s, []float64{5, 2, 7}, []float64{1, 3, 0}) // 6, 5, 7
+	if val != 5 || arg != 1 {
+		t.Errorf("ArgDot = (%v,%d), want (5,1)", val, arg)
+	}
+	val, arg = ArgDot(s, nil, nil)
+	if arg != -1 || !math.IsInf(val, 1) {
+		t.Errorf("ArgDot(empty) = (%v,%d), want (+inf,-1)", val, arg)
+	}
+	// Ties resolve to the smallest index.
+	_, arg = ArgDot(s, []float64{3, 3}, []float64{0, 0})
+	if arg != 0 {
+		t.Errorf("ArgDot tie arg = %d, want 0", arg)
+	}
+}
+
+func TestPropertyDotMatchesFoldOfMuls(t *testing.T) {
+	s := MinPlus{}
+	f := func(raw []float64) bool {
+		a := make([]float64, len(raw))
+		b := make([]float64, len(raw))
+		for i, x := range raw {
+			a[i] = clampFinite(x)
+			b[i] = clampFinite(x * 3)
+		}
+		muls := make([]float64, len(a))
+		for i := range a {
+			muls[i] = s.Mul(a[i], b[i])
+		}
+		return Dot(s, a, b) == Fold(s, muls)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,59 @@
+package spec
+
+import (
+	"testing"
+
+	"systolicdp/internal/core"
+)
+
+// FuzzParse feeds arbitrary bytes to the spec parser; it must never panic,
+// and any spec it accepts must be solvable without error.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(`{"problem":"chain","dims":[30,35,15,5,10,20,25]}`))
+	f.Add([]byte(`{"problem":"graph","design":1,"costs":[[[1,2]],[[3],[4]]]}`))
+	f.Add([]byte(`{"problem":"nodevalued","values":[[1,2],[3,4]],"cost":"absdiff"}`))
+	f.Add([]byte(`{"problem":"nonserial","domains":[[1,2],[1,2],[1,2]],"cost":"span"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"problem":"graph","costs":[[[1e308,2]],[[3],[4]]]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Accepted specs must solve cleanly. Cap sizes to keep the fuzz
+		// loop fast: the parser itself imposes no limits.
+		switch q := p.(type) {
+		case *core.ChainOrderingProblem:
+			if len(q.Dims) > 40 {
+				return
+			}
+		case *core.NonserialChainProblem:
+			total := 1
+			for _, d := range q.Chain.Domains {
+				total *= len(d)
+				if total > 1<<12 {
+					return
+				}
+			}
+		case *core.MultistageProblem:
+			n := 0
+			for _, sz := range q.Graph.StageSizes {
+				n += sz
+			}
+			if n > 200 {
+				return
+			}
+		case *core.NodeValuedProblem:
+			n := 0
+			for _, vs := range q.Problem.Values {
+				n += len(vs)
+			}
+			if n > 200 {
+				return
+			}
+		}
+		if _, err := core.Solve(p); err != nil {
+			t.Fatalf("accepted spec failed to solve: %v\n%s", err, data)
+		}
+	})
+}

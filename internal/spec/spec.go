@@ -1,0 +1,166 @@
+// Package spec parses JSON problem specifications for the dpsolve CLI,
+// covering the four formulation classes of the paper. A spec names its
+// problem kind and supplies the data; named cost functions stand in for
+// the paper's f and g functions.
+//
+// Examples:
+//
+//	{"problem":"graph","design":1,
+//	 "costs":[[[1,2,3]],[[4,5,6],[7,8,9],[1,1,1]],[[2],[3],[4]]]}
+//
+//	{"problem":"nodevalued",
+//	 "values":[[10,20,30],[15,25,35],[5,10,15]],"cost":"absdiff"}
+//
+//	{"problem":"chain","dims":[30,35,15,5,10,20,25]}
+//
+//	{"problem":"nonserial","domains":[[1,2],[1,2],[1,2],[1,2]],"cost":"span"}
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"systolicdp/internal/core"
+	"systolicdp/internal/matrix"
+	"systolicdp/internal/multistage"
+	"systolicdp/internal/nonserial"
+)
+
+// File is the JSON shape of a problem specification.
+type File struct {
+	Problem string        `json:"problem"`
+	Design  int           `json:"design,omitempty"`
+	Costs   [][][]float64 `json:"costs,omitempty"`   // graph: one matrix per stage transition
+	Values  [][]float64   `json:"values,omitempty"`  // nodevalued: stage values
+	Cost    string        `json:"cost,omitempty"`    // named cost function
+	Dims    []int         `json:"dims,omitempty"`    // chain ordering
+	Domains [][]float64   `json:"domains,omitempty"` // nonserial chain
+}
+
+// PairCosts maps cost-function names to binary cost functions for
+// node-valued problems.
+func PairCosts() map[string]multistage.CostFunc {
+	return map[string]multistage.CostFunc{
+		"absdiff":   multistage.AbsDiff,
+		"quadratic": func(x, y float64) float64 { return (x - y) * (x - y) },
+		"rise": func(x, y float64) float64 {
+			if y < x {
+				return 5 * (x - y)
+			}
+			return y - x
+		},
+	}
+}
+
+// TernaryCosts maps names to ternary cost functions for nonserial chains.
+func TernaryCosts() map[string]func(a, b, c float64) float64 {
+	return map[string]func(a, b, c float64) float64{
+		"default": nonserial.DefaultG,
+		"span": func(a, b, c float64) float64 {
+			hi := math.Max(a, math.Max(b, c))
+			lo := math.Min(a, math.Min(b, c))
+			return hi - lo
+		},
+	}
+}
+
+// Parse decodes a spec and builds the corresponding core problem.
+func Parse(data []byte) (core.Problem, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("spec: %v", err)
+	}
+	switch f.Problem {
+	case "graph":
+		if len(f.Costs) == 0 {
+			return nil, fmt.Errorf("spec: graph problem needs costs")
+		}
+		g := &multistage.Graph{}
+		for si, rows := range f.Costs {
+			if len(rows) == 0 {
+				return nil, fmt.Errorf("spec: stage %d has no rows", si)
+			}
+			for ri, r := range rows {
+				if len(r) != len(rows[0]) {
+					return nil, fmt.Errorf("spec: stage %d row %d has %d entries, want %d", si, ri, len(r), len(rows[0]))
+				}
+			}
+			m := matrix.FromRows(rows)
+			g.Cost = append(g.Cost, m)
+			if si == 0 {
+				g.StageSizes = append(g.StageSizes, m.Rows)
+			}
+			g.StageSizes = append(g.StageSizes, m.Cols)
+		}
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("spec: %v", err)
+		}
+		return &core.MultistageProblem{Graph: g, Design: f.Design}, nil
+
+	case "nodevalued":
+		name := f.Cost
+		if name == "" {
+			name = "absdiff"
+		}
+		cf, ok := PairCosts()[name]
+		if !ok {
+			return nil, fmt.Errorf("spec: unknown pair cost %q", name)
+		}
+		p := &multistage.NodeValued{Values: f.Values, F: cf}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("spec: %v", err)
+		}
+		return &core.NodeValuedProblem{Problem: p}, nil
+
+	case "chain":
+		if len(f.Dims) < 2 {
+			return nil, fmt.Errorf("spec: chain needs at least 2 dims")
+		}
+		return &core.ChainOrderingProblem{Dims: f.Dims}, nil
+
+	case "nonserial":
+		name := f.Cost
+		if name == "" {
+			name = "default"
+		}
+		g, ok := TernaryCosts()[name]
+		if !ok {
+			return nil, fmt.Errorf("spec: unknown ternary cost %q", name)
+		}
+		c := &nonserial.Chain3{Domains: f.Domains, G: g}
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("spec: %v", err)
+		}
+		return &core.NonserialChainProblem{Chain: c}, nil
+
+	default:
+		return nil, fmt.Errorf("spec: unknown problem kind %q", f.Problem)
+	}
+}
+
+// FromGraph encodes an explicit multistage graph problem as a spec File.
+func FromGraph(g *multistage.Graph, design int) (*File, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	f := &File{Problem: "graph", Design: design}
+	for _, c := range g.Cost {
+		rows := make([][]float64, c.Rows)
+		for i := 0; i < c.Rows; i++ {
+			rows[i] = c.Row(i)
+		}
+		f.Costs = append(f.Costs, rows)
+	}
+	return f, nil
+}
+
+// FromChain encodes a matrix-chain ordering problem as a spec File.
+func FromChain(dims []int) *File {
+	return &File{Problem: "chain", Dims: append([]int(nil), dims...)}
+}
+
+// Marshal renders a spec File as indented JSON.
+func (f *File) Marshal() ([]byte, error) {
+	return json.MarshalIndent(f, "", "  ")
+}

@@ -1,0 +1,117 @@
+package systolic
+
+import (
+	"testing"
+)
+
+// badPE violates the contract by emitting the wrong number of outputs.
+type badPE struct{}
+
+func (badPE) NumIn() int  { return 1 }
+func (badPE) NumOut() int { return 1 }
+func (badPE) Step(in []Token) ([]Token, bool) {
+	return []Token{in[0], in[0]}, true // two outputs instead of one
+}
+func (badPE) Reset() {}
+
+func TestLockstepReportsBadPE(t *testing.T) {
+	a := chainArray([]PE{badPE{}}, seqSource(1))
+	if _, err := a.RunLockstep(3, nil); err == nil {
+		t.Error("lock-step runner accepted a PE with wrong output arity")
+	}
+}
+
+func TestGoroutinesReportBadPE(t *testing.T) {
+	a := chainArray([]PE{badPE{}}, seqSource(1))
+	if _, err := a.RunGoroutines(3); err == nil {
+		t.Error("goroutine runner accepted a PE with wrong output arity")
+	}
+}
+
+// fanPE forwards its input on one port.
+type fanPE struct{}
+
+func (fanPE) NumIn() int                      { return 1 }
+func (fanPE) NumOut() int                     { return 1 }
+func (fanPE) Step(in []Token) ([]Token, bool) { return []Token{in[0]}, in[0].Valid }
+func (fanPE) Reset()                          {}
+
+func TestFanOutDeliversToAllConsumers(t *testing.T) {
+	// One producer output drives two consumers and a sink.
+	build := func() *Array {
+		return &Array{
+			PEs: []PE{fanPE{}, newAccPE(), newAccPE()},
+			Wires: []Wire{
+				{From: Endpoint{External, 0}, To: Endpoint{0, 0}, Source: seqSource(4)},
+				{From: Endpoint{0, 0}, To: Endpoint{1, 0}, Init: Bubble()},
+				{From: Endpoint{0, 0}, To: Endpoint{2, 0}, Init: Bubble()},
+				{From: Endpoint{0, 0}, To: Endpoint{External, 0}},
+			},
+		}
+	}
+	la := build()
+	lres, err := la.RunLockstep(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.PEs[1].(*accPE).acc != 0 || la.PEs[2].(*accPE).acc != 0 {
+		t.Errorf("fan-out consumers saw %v and %v, want 0 (min of 0..3)",
+			la.PEs[1].(*accPE).acc, la.PEs[2].(*accPE).acc)
+	}
+	if got := validSunk(lres, 3); len(got) != 4 {
+		t.Errorf("sink saw %d tokens, want 4", len(got))
+	}
+	ga := build()
+	if _, err := ga.RunGoroutines(8); err != nil {
+		t.Fatal(err)
+	}
+	if ga.PEs[1].(*accPE).acc != la.PEs[1].(*accPE).acc {
+		t.Error("goroutine fan-out differs from lock-step")
+	}
+}
+
+func TestZeroCycleRun(t *testing.T) {
+	a := chainArray([]PE{&passPE{}}, seqSource(1))
+	res, err := a.RunLockstep(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 0 || res.Utilization() != 0 {
+		t.Errorf("zero-cycle run: %+v", res)
+	}
+	if _, err := a.RunGoroutines(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReturnsValidationError(t *testing.T) {
+	a := &Array{PEs: []PE{&passPE{}}} // undriven input
+	if _, err := a.RunLockstep(1, nil); err == nil {
+		t.Error("lock-step ran an invalid array")
+	}
+	if _, err := a.RunGoroutines(1); err == nil {
+		t.Error("goroutines ran an invalid array")
+	}
+}
+
+func TestSinkFromExternalIgnored(t *testing.T) {
+	// A wire from External to External is not recorded (no producer PE).
+	a := &Array{
+		PEs: []PE{&passPE{}},
+		Wires: []Wire{
+			{From: Endpoint{External, 0}, To: Endpoint{0, 0}, Source: seqSource(2)},
+			{From: Endpoint{0, 0}, To: Endpoint{External, 0}},
+			{From: Endpoint{External, 0}, To: Endpoint{External, 0}, Source: seqSource(2)},
+		},
+	}
+	res, err := a.RunLockstep(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Sunk[2]; ok {
+		t.Error("external-to-external wire was recorded as a sink")
+	}
+	if len(res.Sunk[1]) != 4 {
+		t.Errorf("real sink has %d records, want 4", len(res.Sunk[1]))
+	}
+}

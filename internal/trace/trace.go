@@ -1,0 +1,139 @@
+// Package trace records and renders cycle-by-cycle activity of a systolic
+// array run: the waveform view a hardware designer would use to check the
+// data movement of Figures 3-5. A Recorder plugs into the lock-step
+// engine's trace callback; Render produces an ASCII timing diagram with
+// one row per watched wire and one column per cycle.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"systolicdp/internal/systolic"
+)
+
+// Recorder accumulates per-cycle wire snapshots.
+type Recorder struct {
+	names   []string
+	history [][]systolic.Token // [cycle][wire]
+}
+
+// NewRecorder creates a recorder; names labels the wires (index-aligned
+// with the array's wire list; missing names are auto-generated).
+func NewRecorder(names []string) *Recorder {
+	return &Recorder{names: names}
+}
+
+// Callback returns the function to pass as the lock-step runner's trace
+// argument.
+func (r *Recorder) Callback() func(cycle int, wires []systolic.Token) {
+	return func(cycle int, wires []systolic.Token) {
+		snap := make([]systolic.Token, len(wires))
+		copy(snap, wires)
+		r.history = append(r.history, snap)
+	}
+}
+
+// Cycles returns the number of recorded cycles.
+func (r *Recorder) Cycles() int { return len(r.history) }
+
+// At returns the token on wire w at cycle t.
+func (r *Recorder) At(t, w int) (systolic.Token, error) {
+	if t < 0 || t >= len(r.history) {
+		return systolic.Token{}, fmt.Errorf("trace: cycle %d out of range [0,%d)", t, len(r.history))
+	}
+	if w < 0 || w >= len(r.history[t]) {
+		return systolic.Token{}, fmt.Errorf("trace: wire %d out of range [0,%d)", w, len(r.history[t]))
+	}
+	return r.history[t][w], nil
+}
+
+// name returns the label for wire w.
+func (r *Recorder) name(w int) string {
+	if w < len(r.names) && r.names[w] != "" {
+		return r.names[w]
+	}
+	return fmt.Sprintf("w%d", w)
+}
+
+// cell renders one token as a fixed-width cell.
+func cell(t systolic.Token, width int) string {
+	if !t.Valid {
+		return strings.Repeat(".", width)
+	}
+	var s string
+	switch {
+	case math.IsInf(t.V, 1):
+		s = "+oo"
+	case math.IsInf(t.V, -1):
+		s = "-oo"
+	default:
+		s = fmt.Sprintf("%.3g", t.V)
+	}
+	if len(s) > width {
+		s = s[:width]
+	}
+	return fmt.Sprintf("%*s", width, s)
+}
+
+// Render draws the timing diagram for the chosen wires (nil means all)
+// over cycles [from, to). Each cell shows the wire's token value, with
+// dots for pipeline bubbles.
+func (r *Recorder) Render(wires []int, from, to int) string {
+	if len(r.history) == 0 {
+		return "trace: empty\n"
+	}
+	if from < 0 {
+		from = 0
+	}
+	if to <= 0 || to > len(r.history) {
+		to = len(r.history)
+	}
+	if wires == nil {
+		wires = make([]int, len(r.history[0]))
+		for i := range wires {
+			wires[i] = i
+		}
+	}
+	const width = 6
+	nameW := 0
+	for _, w := range wires {
+		if l := len(r.name(w)); l > nameW {
+			nameW = l
+		}
+	}
+	var b strings.Builder
+	// Header: cycle numbers.
+	fmt.Fprintf(&b, "%-*s |", nameW, "cycle")
+	for t := from; t < to; t++ {
+		fmt.Fprintf(&b, "%*d", width+1, t)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%s-+%s\n", strings.Repeat("-", nameW), strings.Repeat("-", (to-from)*(width+1)))
+	for _, w := range wires {
+		fmt.Fprintf(&b, "%-*s |", nameW, r.name(w))
+		for t := from; t < to; t++ {
+			b.WriteByte(' ')
+			b.WriteString(cell(r.history[t][w], width))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// BusyProfile renders per-PE busy counts as a bar chart: the utilization
+// picture behind the paper's PU tables.
+func BusyProfile(busy []int, cycles int) string {
+	var b strings.Builder
+	maxBar := 40
+	for i, v := range busy {
+		bar := 0
+		if cycles > 0 {
+			bar = v * maxBar / cycles
+		}
+		fmt.Fprintf(&b, "P%-3d %4d/%-4d |%s%s|\n", i+1, v, cycles,
+			strings.Repeat("#", bar), strings.Repeat(" ", maxBar-bar))
+	}
+	return b.String()
+}

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"systolicdp/internal/systolic"
+)
+
+// passPE forwards its input.
+type passPE struct{}
+
+func (passPE) NumIn() int  { return 1 }
+func (passPE) NumOut() int { return 1 }
+func (passPE) Step(in []systolic.Token) ([]systolic.Token, bool) {
+	return []systolic.Token{in[0]}, in[0].Valid
+}
+func (passPE) Reset() {}
+
+func buildChain(n int, feed func(int) systolic.Token) *systolic.Array {
+	a := &systolic.Array{}
+	for i := 0; i < n; i++ {
+		a.PEs = append(a.PEs, passPE{})
+	}
+	a.Wires = append(a.Wires, systolic.Wire{
+		From: systolic.Endpoint{PE: systolic.External, Port: 0},
+		To:   systolic.Endpoint{PE: 0, Port: 0}, Source: feed,
+	})
+	for i := 0; i+1 < n; i++ {
+		a.Wires = append(a.Wires, systolic.Wire{
+			From: systolic.Endpoint{PE: i, Port: 0},
+			To:   systolic.Endpoint{PE: i + 1, Port: 0},
+			Init: systolic.Bubble(),
+		})
+	}
+	a.Wires = append(a.Wires, systolic.Wire{
+		From: systolic.Endpoint{PE: n - 1, Port: 0},
+		To:   systolic.Endpoint{PE: systolic.External, Port: 0},
+	})
+	return a
+}
+
+func TestRecorderCapturesPipeline(t *testing.T) {
+	a := buildChain(3, func(c int) systolic.Token {
+		if c < 2 {
+			return systolic.Token{V: float64(c + 1), Valid: true}
+		}
+		return systolic.Bubble()
+	})
+	rec := NewRecorder([]string{"in", "p0->p1", "p1->p2", "out"})
+	if _, err := a.RunLockstep(6, rec.Callback()); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Cycles() != 6 {
+		t.Fatalf("recorded %d cycles, want 6", rec.Cycles())
+	}
+	// Value 1 fed at cycle 0 must appear on the sink wire (index 3) at
+	// cycle 2 (two internal registers).
+	tok, err := rec.At(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tok.Valid || tok.V != 1 {
+		t.Errorf("sink at cycle 2 = %+v, want value 1", tok)
+	}
+	// And be a bubble before that.
+	tok, err = rec.At(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.Valid {
+		t.Errorf("sink at cycle 1 should be a bubble, got %+v", tok)
+	}
+}
+
+func TestAtErrors(t *testing.T) {
+	rec := NewRecorder(nil)
+	if _, err := rec.At(0, 0); err == nil {
+		t.Error("empty recorder accepted At")
+	}
+	a := buildChain(1, func(int) systolic.Token { return systolic.Bubble() })
+	if _, err := a.RunLockstep(2, rec.Callback()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.At(0, 99); err == nil {
+		t.Error("out-of-range wire accepted")
+	}
+	if _, err := rec.At(9, 0); err == nil {
+		t.Error("out-of-range cycle accepted")
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	a := buildChain(2, func(c int) systolic.Token {
+		return systolic.Token{V: float64(c), Valid: true}
+	})
+	rec := NewRecorder([]string{"in"})
+	if _, err := a.RunLockstep(4, rec.Callback()); err != nil {
+		t.Fatal(err)
+	}
+	out := rec.Render(nil, 0, 0)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + separator + one row per wire (3 wires).
+	if len(lines) != 2+3 {
+		t.Fatalf("render has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "in") {
+		t.Error("wire name missing")
+	}
+	if !strings.Contains(out, "w1") {
+		t.Error("auto-generated wire name missing")
+	}
+	// Bubbles render as dots.
+	if !strings.Contains(out, "......") {
+		t.Error("bubble cells missing")
+	}
+	// Sub-range rendering.
+	partial := rec.Render([]int{0}, 1, 3)
+	if strings.Count(strings.Split(partial, "\n")[0], " ") < 2 {
+		t.Errorf("partial render malformed:\n%s", partial)
+	}
+}
+
+func TestRenderInfinities(t *testing.T) {
+	a := buildChain(1, func(c int) systolic.Token {
+		return systolic.Token{V: math.Inf(1), Valid: true}
+	})
+	rec := NewRecorder(nil)
+	if _, err := a.RunLockstep(2, rec.Callback()); err != nil {
+		t.Fatal(err)
+	}
+	if out := rec.Render(nil, 0, 0); !strings.Contains(out, "+oo") {
+		t.Errorf("infinity not rendered:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	rec := NewRecorder(nil)
+	if out := rec.Render(nil, 0, 0); !strings.Contains(out, "empty") {
+		t.Errorf("empty render = %q", out)
+	}
+}
+
+func TestBusyProfile(t *testing.T) {
+	out := BusyProfile([]int{10, 5, 0}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("profile lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], strings.Repeat("#", 40)) {
+		t.Error("full bar missing for fully busy PE")
+	}
+	if strings.Contains(lines[2], "#") {
+		t.Error("idle PE shows a bar")
+	}
+}

@@ -1,0 +1,172 @@
+// Package workload generates the application workloads Section 2.2 of the
+// paper uses to motivate serial DP formulations: traffic-signal timing,
+// circuit (voltage) design, fluid-flow pump scheduling, and task
+// scheduling. Each generator returns a node-valued multistage problem
+// (equation (4)) with a domain-appropriate cost function, suitable for the
+// Design-3 feedback array and, after expansion, for Designs 1-2 and the
+// baselines.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"systolicdp/internal/multistage"
+)
+
+// TrafficControl models N consecutive signalised intersections; stage k's
+// values are candidate green-phase offsets (seconds) for light k, and the
+// edge cost is the timing mismatch |t_{k+1} - t_k - travel| penalising
+// departures from a smooth progression with the given travel time.
+func TrafficControl(rng *rand.Rand, lights, offsets int, cycle, travel float64) *multistage.NodeValued {
+	p := &multistage.NodeValued{
+		F: func(x, y float64) float64 {
+			d := math.Mod(y-x-travel, cycle)
+			if d < 0 {
+				d += cycle
+			}
+			return math.Min(d, cycle-d) // circular timing difference
+		},
+	}
+	for k := 0; k < lights; k++ {
+		vs := make([]float64, offsets)
+		for i := range vs {
+			vs[i] = rng.Float64() * cycle
+		}
+		p.Values = append(p.Values, vs)
+	}
+	return p
+}
+
+// CircuitDesign models a chain of N circuit points; stage k's values are
+// candidate node voltages, and the edge cost is the power dissipated
+// between adjacent points, (V_k - V_{k+1})^2 / R.
+func CircuitDesign(rng *rand.Rand, points, levels int, vmax, resistance float64) *multistage.NodeValued {
+	p := &multistage.NodeValued{
+		F: func(x, y float64) float64 { return (x - y) * (x - y) / resistance },
+	}
+	for k := 0; k < points; k++ {
+		vs := make([]float64, levels)
+		for i := range vs {
+			vs[i] = rng.Float64() * vmax
+		}
+		p.Values = append(p.Values, vs)
+	}
+	return p
+}
+
+// FluidFlow models N pumps in series; stage k's values are candidate
+// pressures, and the edge cost penalises pressure drops (which stall the
+// flow) much more than rises (which cost pump energy).
+func FluidFlow(rng *rand.Rand, pumps, levels int, pmax float64) *multistage.NodeValued {
+	p := &multistage.NodeValued{
+		F: func(x, y float64) float64 {
+			if y < x {
+				return 5 * (x - y) // stall penalty
+			}
+			return y - x // pumping energy
+		},
+	}
+	for k := 0; k < pumps; k++ {
+		vs := make([]float64, levels)
+		for i := range vs {
+			vs[i] = rng.Float64() * pmax
+		}
+		p.Values = append(p.Values, vs)
+	}
+	return p
+}
+
+// Scheduling models N pipelined tasks; stage k's values are candidate
+// service times for task k, and the edge cost is the queueing delay when a
+// task's service time exceeds its successor's capacity.
+func Scheduling(rng *rand.Rand, tasks, options int, tmax float64) *multistage.NodeValued {
+	p := &multistage.NodeValued{
+		F: func(x, y float64) float64 {
+			slack := y - x
+			if slack < 0 {
+				return -2 * slack // overload delay
+			}
+			return slack * 0.1 // idle cost
+		},
+	}
+	for k := 0; k < tasks; k++ {
+		vs := make([]float64, options)
+		for i := range vs {
+			vs[i] = rng.Float64() * tmax
+		}
+		p.Values = append(p.Values, vs)
+	}
+	return p
+}
+
+// CurveDetection models the Clarke & Dyer application the paper cites in
+// Section 1 (a systolic array for curve and line detection by DP): stage
+// k's values are candidate edge-point row positions in image column k,
+// and the edge cost penalises curvature — large jumps between adjacent
+// columns — quadratically, so the optimal path traces the smoothest
+// curve through the candidates.
+func CurveDetection(rng *rand.Rand, columns, candidates int, height float64) *multistage.NodeValued {
+	p := &multistage.NodeValued{
+		F: func(x, y float64) float64 { return (x - y) * (x - y) },
+	}
+	// Candidates cluster around a drifting curve plus outliers.
+	center := height / 2
+	for k := 0; k < columns; k++ {
+		center += (rng.Float64() - 0.5) * height / 8
+		if center < 0 {
+			center = 0
+		}
+		if center > height {
+			center = height
+		}
+		vs := make([]float64, candidates)
+		for i := range vs {
+			if i == 0 {
+				vs[i] = center + (rng.Float64()-0.5)*height/16 // true curve point
+			} else {
+				vs[i] = rng.Float64() * height // clutter
+			}
+		}
+		p.Values = append(p.Values, vs)
+	}
+	return p
+}
+
+// MatrixChainDims generates random matrix-chain dimensions r_0..r_n in
+// [lo, hi] for the ordering problem of Section 6.2.
+func MatrixChainDims(rng *rand.Rand, n, lo, hi int) ([]int, error) {
+	if n < 1 || lo < 1 || hi < lo {
+		return nil, fmt.Errorf("workload: bad chain parameters n=%d lo=%d hi=%d", n, lo, hi)
+	}
+	dims := make([]int, n+1)
+	for i := range dims {
+		dims[i] = lo + rng.Intn(hi-lo+1)
+	}
+	return dims, nil
+}
+
+// ByName returns a named node-valued workload generator for the CLI
+// tools: one of "traffic", "circuit", "fluid", "scheduling", "curve".
+func ByName(name string, rng *rand.Rand, stages, values int) (*multistage.NodeValued, error) {
+	switch name {
+	case "traffic":
+		return TrafficControl(rng, stages, values, 90, 12), nil
+	case "circuit":
+		return CircuitDesign(rng, stages, values, 5, 10), nil
+	case "fluid":
+		return FluidFlow(rng, stages, values, 100), nil
+	case "scheduling":
+		return Scheduling(rng, stages, values, 10), nil
+	case "curve":
+		return CurveDetection(rng, stages, values, 64), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown workload %q", name)
+	}
+}
+
+// Names lists the available node-valued workloads.
+func Names() []string {
+	return []string{"traffic", "circuit", "fluid", "scheduling", "curve"}
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"systolicdp/internal/fbarray"
+	"systolicdp/internal/semiring"
+)
+
+var mp = semiring.MinPlus{}
+
+func TestAllWorkloadsValidAndSolvable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, name := range Names() {
+		p, err := ByName(name, rng, 5, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: invalid problem: %v", name, err)
+		}
+		// Costs must be finite and non-negative so min-plus DP applies.
+		for _, xs := range p.Values {
+			for _, x := range xs {
+				for _, ys := range p.Values {
+					for _, y := range ys {
+						c := p.F(x, y)
+						if math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
+							t.Fatalf("%s: cost f(%v,%v) = %v", name, x, y, c)
+						}
+					}
+				}
+			}
+		}
+		// Design 3 must agree with the baseline on every workload.
+		res, err := fbarray.Solve(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if want := p.Solve(mp); math.Abs(res.Cost-want) > 1e-9 {
+			t.Errorf("%s: Design 3 %v != baseline %v", name, res.Cost, want)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope", rand.New(rand.NewSource(1)), 3, 3); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestTrafficCircularDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := TrafficControl(rng, 2, 2, 90, 12)
+	// Offset exactly `travel` later costs zero.
+	if c := p.F(10, 22); c > 1e-9 {
+		t.Errorf("aligned progression cost %v, want 0", c)
+	}
+	// Circular wraparound: 89 -> 11 is 12 seconds later mod 90.
+	if c := p.F(89, 11); c > 1e-9 {
+		t.Errorf("wraparound progression cost %v, want 0", c)
+	}
+	// Symmetric distance is bounded by cycle/2.
+	for x := 0.0; x < 90; x += 7 {
+		for y := 0.0; y < 90; y += 11 {
+			if c := p.F(x, y); c > 45+1e-9 {
+				t.Errorf("circular distance f(%v,%v) = %v > 45", x, y, c)
+			}
+		}
+	}
+}
+
+func TestCircuitQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := CircuitDesign(rng, 2, 2, 5, 10)
+	if c := p.F(3, 1); math.Abs(c-0.4) > 1e-12 {
+		t.Errorf("power = %v, want (3-1)^2/10 = 0.4", c)
+	}
+}
+
+func TestFluidAsymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := FluidFlow(rng, 2, 2, 100)
+	if p.F(10, 5) <= p.F(5, 10) {
+		t.Error("pressure drops must cost more than rises")
+	}
+}
+
+func TestSchedulingAsymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := Scheduling(rng, 2, 2, 10)
+	if p.F(8, 4) <= p.F(4, 8) {
+		t.Error("overload must cost more than idle slack")
+	}
+}
+
+func TestMatrixChainDims(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	dims, err := MatrixChainDims(rng, 10, 2, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dims) != 11 {
+		t.Fatalf("len = %d, want 11", len(dims))
+	}
+	for _, d := range dims {
+		if d < 2 || d > 30 {
+			t.Errorf("dim %d outside [2,30]", d)
+		}
+	}
+	if _, err := MatrixChainDims(rng, 0, 2, 30); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := MatrixChainDims(rng, 3, 5, 2); err == nil {
+		t.Error("hi<lo accepted")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	a := TrafficControl(rand.New(rand.NewSource(7)), 4, 3, 90, 12)
+	b := TrafficControl(rand.New(rand.NewSource(7)), 4, 3, 90, 12)
+	for k := range a.Values {
+		for i := range a.Values[k] {
+			if a.Values[k][i] != b.Values[k][i] {
+				t.Fatal("same seed produced different workloads")
+			}
+		}
+	}
+}

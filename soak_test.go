@@ -1,0 +1,117 @@
+package systolicdp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"systolicdp/internal/andor"
+	"systolicdp/internal/bcastarray"
+	"systolicdp/internal/bnb"
+	"systolicdp/internal/fbarray"
+	"systolicdp/internal/multistage"
+	"systolicdp/internal/pipearray"
+	"systolicdp/internal/semiring"
+)
+
+// TestSoakCrossValidation runs a battery of random instances through the
+// full solver matrix. Skipped under -short; it is the repository's
+// long-running consistency sweep.
+func TestSoakCrossValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped under -short")
+	}
+	s := semiring.MinPlus{}
+	rng := rand.New(rand.NewSource(20260705))
+	const trials = 100
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.Intn(7) // stage-to-stage matrices after wrapping
+		m := 1 + rng.Intn(6)
+		inner := multistage.RandomUniform(rng, n, m, 0, 25)
+		want := multistage.SolveOptimal(s, inner).Cost
+
+		// Designs 1 and 2.
+		g := multistage.SingleSourceSink(s, inner)
+		mats := g.Matrices()
+		k := len(mats)
+		v := mats[k-1].Col(0)
+		d1, err := pipearray.Solve(mats[:k-1], v)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		d2, err := bcastarray.Solve(mats[:k-1], v)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(d1[0]-want) > 1e-9 || math.Abs(d2[0]-want) > 1e-9 {
+			t.Fatalf("trial %d (N=%d m=%d): designs %v/%v, want %v", trial, n, m, d1[0], d2[0], want)
+		}
+
+		// Branch and bound.
+		bb, err := bnb.Solve(inner, bnb.Options{Dominance: true, Bound: bnb.NewBoundStageMin(inner)})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(bb.Cost-want) > 1e-9 {
+			t.Fatalf("trial %d: bnb %v, want %v", trial, bb.Cost, want)
+		}
+
+		// AND/OR reduction when the matrix count is a power of two.
+		if andor.IsPowerOf(inner.Stages()-1, 2) {
+			got, err := andor.SolveRegular(s, inner, 2)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: andor %v, want %v", trial, got, want)
+			}
+		}
+
+		// Node-valued problems on Design 3 (fresh instance).
+		p := multistage.RandomNodeValued(rng, 2+rng.Intn(6), 1+rng.Intn(6), 0, 20)
+		res, err := fbarray.Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if base := p.Solve(s); math.Abs(res.Cost-base) > 1e-9 {
+			t.Fatalf("trial %d: design3 %v, want %v", trial, res.Cost, base)
+		}
+	}
+}
+
+// TestSoakGoroutineRunners repeats a slice of the sweep on the concurrent
+// runners, exercising the channel lock-step under load.
+func TestSoakGoroutineRunners(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped under -short")
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		ms := make([]*Matrix, 1+rng.Intn(5))
+		m := 1 + rng.Intn(5)
+		for i := range ms {
+			ms[i] = randomMatrix(rng, m)
+		}
+		v := make([]float64, m)
+		for i := range v {
+			v[i] = rng.Float64() * 10
+		}
+		arr, err := pipearray.New(ms, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lock, _, err := arr.Run(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		goro, _, err := arr.Run(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range lock {
+			if math.Abs(lock[i]-goro[i]) > 1e-12 {
+				t.Fatalf("trial %d: runner divergence at %d: %v vs %v", trial, i, lock[i], goro[i])
+			}
+		}
+	}
+}
