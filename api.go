@@ -1,6 +1,7 @@
 package systolicdp
 
 import (
+	"context"
 	"math/rand"
 
 	"systolicdp/internal/andor"
@@ -68,6 +69,21 @@ const (
 // Solve classifies the problem and applies the method the paper's Table 1
 // prescribes for its class.
 func Solve(p Problem) (*Solution, error) { return core.Solve(p) }
+
+// SolveCtx is Solve bounded by a context deadline or cancellation. The
+// underlying computation is not interruptible; on early return it
+// finishes in the background and its result is discarded.
+func SolveCtx(ctx context.Context, p Problem) (*Solution, error) { return core.SolveCtx(ctx, p) }
+
+// SolveGraphBatch solves a batch of identically-shaped single-sink
+// multistage graphs in one streamed Design-1 run — all instances share a
+// single pipeline fill. This is the batch entry point the dpserve
+// micro-batcher flushes through.
+func SolveGraphBatch(gs []*Graph) ([]*Solution, error) { return core.SolveGraphBatch(gs) }
+
+// DTW is the dynamic-time-warping problem in classifiable form: Solve
+// routes it to the anti-diagonal systolic array (see DTWDistance).
+type DTW = core.DTWProblem
 
 // TableOne returns the paper's summary table (Table 1).
 func TableOne() []Recommendation { return core.TableOne() }

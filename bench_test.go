@@ -5,9 +5,15 @@
 package systolicdp
 
 import (
+	"bytes"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"systolicdp/internal/andor"
 	"systolicdp/internal/bcastarray"
@@ -24,6 +30,8 @@ import (
 	"systolicdp/internal/obst"
 	"systolicdp/internal/pipearray"
 	"systolicdp/internal/semiring"
+	"systolicdp/internal/serve"
+	"systolicdp/internal/spec"
 	"systolicdp/internal/workload"
 )
 
@@ -589,4 +597,80 @@ func BenchmarkDTW(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ---- Serving benchmarks (cmd/dpserve path) ----
+
+// serveGraphBody renders a distinct Design-1 graph spec; distinct seeds
+// defeat the result cache while keeping one stream-compatible shape.
+func serveGraphBody(b *testing.B, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	inner := multistage.RandomUniform(rng, 4, 6, 1, 10)
+	g := multistage.SingleSourceSink(mp, inner)
+	f, err := spec.FromGraph(g, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := f.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return data
+}
+
+// benchServe drives the HTTP solving service with concurrent clients.
+func benchServe(b *testing.B, cfg serve.Config, body func(int64) []byte) {
+	s := serve.New(cfg)
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	var salt atomic.Int64
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := http.Post(ts.URL+"/solve", "application/json",
+				bytes.NewReader(body(salt.Add(1))))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d", resp.StatusCode)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkServeBatched measures concurrent distinct Design-1 requests
+// with micro-batching on: instances collected within the window share one
+// pipeline fill through the streamed array.
+func BenchmarkServeBatched(b *testing.B) {
+	benchServe(b, serve.Config{
+		QueueSize:   4096,
+		BatchWindow: 500 * time.Microsecond,
+		BatchMax:    32,
+		CacheSize:   -1,
+	}, func(salt int64) []byte { return serveGraphBody(b, salt) })
+}
+
+// BenchmarkServeUnbatched is the ablation: identical traffic with
+// batching disabled (BatchMax 1), one array run per request.
+func BenchmarkServeUnbatched(b *testing.B) {
+	benchServe(b, serve.Config{
+		QueueSize: 4096,
+		BatchMax:  1,
+		CacheSize: -1,
+	}, func(salt int64) []byte { return serveGraphBody(b, salt) })
+}
+
+// BenchmarkServeCacheHit measures the LRU fast path: every request after
+// the first is answered from the cache without touching a solver.
+func BenchmarkServeCacheHit(b *testing.B) {
+	body := serveGraphBody(b, 1)
+	benchServe(b, serve.Config{QueueSize: 4096, CacheSize: 16},
+		func(int64) []byte { return body })
 }

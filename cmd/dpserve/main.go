@@ -1,0 +1,91 @@
+// Command dpserve runs the long-lived DP-solving service: an HTTP/JSON
+// endpoint that accepts internal/spec problem files, micro-batches
+// concurrent Design-1 graph requests through one streamed pipelined
+// array, caches results by canonical spec hash, and exports metrics.
+//
+// Usage:
+//
+//	dpserve -addr :8080
+//	curl -s -X POST localhost:8080/solve -d '{"problem":"chain","dims":[30,35,15,5,10,20,25]}'
+//	curl -s localhost:8080/metrics
+//
+// Endpoints: POST /solve (spec.File in, solution JSON out), GET /healthz,
+// GET /metrics (Prometheus text format).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"systolicdp/internal/serve"
+)
+
+func main() {
+	addr, cfg := parseFlags(os.Args[1:])
+	if err := run(addr, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "dpserve:", err)
+		os.Exit(1)
+	}
+}
+
+// parseFlags builds the listen address and server config from argv.
+func parseFlags(args []string) (string, serve.Config) {
+	fs := flag.NewFlagSet("dpserve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "general-pool workers (0 = NumCPU)")
+	queue := fs.Int("queue", 256, "bounded queue size (full queue answers 429)")
+	window := fs.Duration("batch-window", 2*time.Millisecond, "micro-batch collection window for Design-1 graph requests")
+	batchMax := fs.Int("batch-max", 16, "flush a micro-batch at this many instances (<=1 disables batching)")
+	cacheSize := fs.Int("cache", 1024, "LRU result-cache entries (<0 disables)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request solve budget")
+	fs.Parse(args)
+	return *addr, serve.Config{
+		Workers:     *workers,
+		QueueSize:   *queue,
+		BatchWindow: *window,
+		BatchMax:    *batchMax,
+		CacheSize:   *cacheSize,
+		Timeout:     *timeout,
+	}
+}
+
+func run(addr string, cfg serve.Config) error {
+	s := serve.New(cfg)
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("dpserve listening on %s", addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, let in-flight HTTP exchanges
+	// finish, then drain the solving queues.
+	log.Print("dpserve: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	s.Close()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	addr, cfg := parseFlags(nil)
+	if addr != ":8080" {
+		t.Errorf("addr %q", addr)
+	}
+	if cfg.QueueSize != 256 || cfg.BatchMax != 16 || cfg.CacheSize != 1024 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+	if cfg.BatchWindow != 2*time.Millisecond || cfg.Timeout != 30*time.Second {
+		t.Errorf("duration defaults wrong: %+v", cfg)
+	}
+}
+
+func TestParseFlagsOverrides(t *testing.T) {
+	addr, cfg := parseFlags([]string{
+		"-addr", "127.0.0.1:9999", "-workers", "3", "-queue", "7",
+		"-batch-window", "5ms", "-batch-max", "1", "-cache", "-1",
+		"-timeout", "2s",
+	})
+	if addr != "127.0.0.1:9999" {
+		t.Errorf("addr %q", addr)
+	}
+	if cfg.Workers != 3 || cfg.QueueSize != 7 || cfg.BatchMax != 1 || cfg.CacheSize != -1 {
+		t.Errorf("overrides wrong: %+v", cfg)
+	}
+	if cfg.BatchWindow != 5*time.Millisecond || cfg.Timeout != 2*time.Second {
+		t.Errorf("duration overrides wrong: %+v", cfg)
+	}
+}

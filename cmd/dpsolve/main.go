@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -38,8 +39,15 @@ func main() {
 	specPath := flag.String("spec", "", "path to a JSON problem specification (overrides -problem)")
 	jsonOut := flag.Bool("json", false, "emit the solution as JSON")
 	dump := flag.String("dump", "", "also write the generated instance as a JSON spec to this path (graph and chain problems)")
+	timeout := flag.Duration("timeout", 0, "abort the solve after this long (0 = no limit); same context plumbing dpserve uses")
 	flag.Parse()
 
+	solveCtx = context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		solveCtx, cancel = context.WithTimeout(solveCtx, *timeout)
+		defer cancel()
+	}
 	asJSON = *jsonOut
 	if *specPath != "" {
 		if err := runSpec(*specPath); err != nil {
@@ -128,7 +136,8 @@ func run(problem string, stages, values, design int, dims string, seed int64) er
 	return report(p)
 }
 
-// runSpec loads a JSON specification, solves it, and reports.
+// runSpec loads a JSON specification, solves it, and reports. Errors name
+// the offending file.
 func runSpec(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -136,13 +145,16 @@ func runSpec(path string) error {
 	}
 	p, err := spec.Parse(data)
 	if err != nil {
-		return err
+		return fmt.Errorf("%s: %w", path, err)
 	}
 	return report(p)
 }
 
 // asJSON switches report output to JSON.
 var asJSON bool
+
+// solveCtx bounds every solve; -timeout arms its deadline.
+var solveCtx = context.Background()
 
 // jsonSolution is the machine-readable report shape.
 type jsonSolution struct {
@@ -157,7 +169,7 @@ type jsonSolution struct {
 
 // report solves p and prints the standard summary.
 func report(p core.Problem) error {
-	sol, err := core.Solve(p)
+	sol, err := core.SolveCtx(solveCtx, p)
 	if err != nil {
 		return err
 	}

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"os"
+	"strings"
 	"testing"
 )
 
@@ -94,5 +96,30 @@ func TestMaybeDumpRoundTrip(t *testing.T) {
 	// Dump is rejected for workload problems.
 	if err := run("traffic", 4, 3, 0, "", 7); err == nil {
 		t.Error("dump of node-valued workload should fail")
+	}
+}
+
+func TestRunSpecErrorNamesFile(t *testing.T) {
+	dir := t.TempDir()
+	bad := dir + "/broken.json"
+	if err := writeFile(bad, []byte(`{"problem":"martian"}`)); err != nil {
+		t.Fatal(err)
+	}
+	err := runSpec(bad)
+	if err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if !strings.Contains(err.Error(), bad) {
+		t.Errorf("error %q does not name the file %q", err, bad)
+	}
+}
+
+func TestTimeoutContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	solveCtx = ctx
+	defer func() { solveCtx = context.Background() }()
+	if err := run("chain", 5, 3, 0, "30,35,15,5", 7); err != context.Canceled {
+		t.Errorf("cancelled solve err = %v, want context.Canceled", err)
 	}
 }

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"systolicdp/internal/dtw"
+	"systolicdp/internal/multistage"
+	"systolicdp/internal/pipearray"
+	"systolicdp/internal/semiring"
+)
+
+// DTWProblem is the pattern-recognition DP of the paper's Section 1
+// citations: dynamic time warping of a query series X against a template
+// Y, solved on the anti-diagonal linear systolic array.
+type DTWProblem struct {
+	X, Y []float64
+}
+
+// Classify reports monadic-serial: the DTW lattice is a monadic
+// recurrence swept serially along anti-diagonals.
+func (p *DTWProblem) Classify() Class { return Class{Monadic, Serial} }
+
+// Describe names the problem.
+func (p *DTWProblem) Describe() string {
+	return fmt.Sprintf("dynamic time warping (|x|=%d, |y|=%d), anti-diagonal array", len(p.X), len(p.Y))
+}
+
+func solveDTW(p *DTWProblem) (*Solution, error) {
+	arr, err := dtw.New(p.Y, dtw.AbsDist)
+	if err != nil {
+		return nil, err
+	}
+	d, _, err := arr.Match(p.X, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{Class: p.Classify(), Method: Recommend(p.Classify()).Method, Cost: d}, nil
+}
+
+// SolveCtx is Solve bounded by a context: it returns early with ctx.Err()
+// if the context is cancelled or its deadline passes before the solve
+// completes. The underlying computation is not interruptible, so on early
+// return it continues in a background goroutine and its result is
+// discarded; callers that solve untrusted sizes should bound them before
+// submission.
+func SolveCtx(ctx context.Context, p Problem) (*Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	type outcome struct {
+		sol *Solution
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		sol, err := Solve(p)
+		ch <- outcome{sol, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.sol, o.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// StreamProblemFromGraph converts a validated single-sink multistage
+// graph into one instance of a Design-1 stream batch: the cost-matrix
+// string (all but the last transition) and the initial vector (the final
+// single-column transition). This is the per-instance form
+// pipearray.NewStream consumes.
+func StreamProblemFromGraph(g *multistage.Graph) (pipearray.StreamProblem, error) {
+	var sp pipearray.StreamProblem
+	if err := g.Validate(); err != nil {
+		return sp, err
+	}
+	mats := g.Matrices()
+	k := len(mats)
+	if k < 2 {
+		return sp, fmt.Errorf("core: streamed Design 1 needs at least 2 cost matrices")
+	}
+	if mats[k-1].Cols != 1 {
+		return sp, fmt.Errorf("core: streamed Design 1 needs a single-sink graph (last stage of 1 node); wrap with SingleSourceSink")
+	}
+	sp.Ms = mats[:k-1]
+	sp.V = mats[k-1].Col(0)
+	return sp, nil
+}
+
+// SolveGraphBatch solves a batch of identically-shaped single-sink
+// multistage graphs in ONE streamed Design-1 run: all instances share a
+// single pipeline fill (B*K'*m + m - 1 cycles versus B*(K'*m + m - 1) for
+// separate runs). Returns one Solution per graph, in order. All graphs
+// must share stage count and stage sizes; pipearray.NewStream enforces
+// this.
+func SolveGraphBatch(gs []*multistage.Graph) ([]*Solution, error) {
+	if len(gs) == 0 {
+		return nil, fmt.Errorf("core: empty graph batch")
+	}
+	problems := make([]pipearray.StreamProblem, len(gs))
+	for i, g := range gs {
+		sp, err := StreamProblemFromGraph(g)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch graph %d: %v", i, err)
+		}
+		problems[i] = sp
+	}
+	st, err := pipearray.NewStream(problems)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := st.Run(false)
+	if err != nil {
+		return nil, err
+	}
+	mp := semiring.MinPlus{}
+	class := Class{Monadic, Serial}
+	sols := make([]*Solution, len(outs))
+	for i, out := range outs {
+		sols[i] = &Solution{
+			Class:  class,
+			Method: Recommend(class).Method,
+			Cost:   semiring.Fold(mp, out),
+		}
+	}
+	return sols, nil
+}

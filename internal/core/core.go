@@ -290,6 +290,12 @@ func Solve(p Problem) (*Solution, error) {
 			}
 			sol.Cost = multistage.SolveOptimal(mp, g).Cost
 		}
+	case *DTWProblem:
+		res, err := solveDTW(q)
+		if err != nil {
+			return nil, err
+		}
+		sol.Cost = res.Cost
 	default:
 		return nil, fmt.Errorf("core: unsupported problem type %T", p)
 	}

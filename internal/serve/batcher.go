@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"systolicdp/internal/core"
+	"systolicdp/internal/multistage"
+	"systolicdp/internal/pipearray"
+)
+
+// Batcher micro-batches concurrent Design-1 multistage-graph requests:
+// instances of identical shape that arrive within one collection window
+// are flushed together through the streamed pipelined array
+// (core.SolveGraphBatch), so B instances pay one pipeline fill instead of
+// B. This is the serving-side form of the paper's Section 3.2 observation
+// that successive matrices can be fed with no inter-problem delay.
+type Batcher struct {
+	window   time.Duration // collection window after the first arrival
+	maxBatch int           // flush immediately at this many instances
+	maxQueue int           // total waiting instances before backpressure
+
+	mu       sync.Mutex
+	pending  map[shapeKey]*batch
+	inflight int
+	closed   bool
+	wg       sync.WaitGroup // outstanding flush goroutines
+
+	metrics *Metrics
+}
+
+// shapeKey identifies a stream-compatible problem shape: vector length,
+// matrix-string length, and first-matrix row count (pipearray.NewStream's
+// batching precondition).
+type shapeKey struct{ m, k, rows int }
+
+type batch struct {
+	key   shapeKey
+	items []*batchItem
+	timer *time.Timer
+}
+
+type batchItem struct {
+	graph *multistage.Graph
+	ch    chan batchResult // buffered; flush never blocks on delivery
+}
+
+type batchResult struct {
+	sol *core.Solution
+	err error
+}
+
+// NewBatcher builds a micro-batcher. window <= 0 degenerates to immediate
+// per-request flushes; maxBatch < 1 is treated as 1.
+func NewBatcher(window time.Duration, maxBatch, maxQueue int, m *Metrics) *Batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if maxQueue < 1 {
+		maxQueue = 1
+	}
+	if m == nil {
+		m = NewMetrics()
+	}
+	return &Batcher{
+		window:   window,
+		maxBatch: maxBatch,
+		maxQueue: maxQueue,
+		pending:  make(map[shapeKey]*batch),
+		metrics:  m,
+	}
+}
+
+// Submit enqueues one Design-1 graph and blocks until its batch flushes
+// (or ctx is done). Returns ErrBusy when maxQueue instances are already
+// waiting and ErrShutdown after Close.
+func (b *Batcher) Submit(ctx context.Context, g *multistage.Graph) (*core.Solution, error) {
+	sp, err := core.StreamProblemFromGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	key := shapeKey{m: len(sp.V), k: len(sp.Ms), rows: sp.Ms[0].Rows}
+	item := &batchItem{graph: g, ch: make(chan batchResult, 1)}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrShutdown
+	}
+	if b.inflight >= b.maxQueue {
+		b.mu.Unlock()
+		return nil, ErrBusy
+	}
+	b.inflight++
+	bt, ok := b.pending[key]
+	if !ok {
+		bt = &batch{key: key}
+		b.pending[key] = bt
+		if b.window > 0 && b.maxBatch > 1 {
+			bt.timer = time.AfterFunc(b.window, func() { b.flushKey(key, bt) })
+		}
+	}
+	bt.items = append(bt.items, item)
+	full := len(bt.items) >= b.maxBatch || b.window <= 0
+	if full {
+		b.detachLocked(key, bt)
+	}
+	b.mu.Unlock()
+	if full {
+		b.startFlush(bt)
+	}
+
+	select {
+	case r := <-item.ch:
+		return r.sol, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// detachLocked removes bt from the pending map and stops its timer.
+// Callers hold b.mu.
+func (b *Batcher) detachLocked(key shapeKey, bt *batch) {
+	if b.pending[key] == bt {
+		delete(b.pending, key)
+	}
+	if bt.timer != nil {
+		bt.timer.Stop()
+	}
+}
+
+// flushKey is the timer path: flush bt if it is still pending.
+func (b *Batcher) flushKey(key shapeKey, bt *batch) {
+	b.mu.Lock()
+	if b.pending[key] != bt {
+		b.mu.Unlock()
+		return // already flushed on the size trigger
+	}
+	b.detachLocked(key, bt)
+	b.mu.Unlock()
+	b.startFlush(bt)
+}
+
+func (b *Batcher) startFlush(bt *batch) {
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		b.flush(bt)
+	}()
+}
+
+// flush runs one streamed batch and delivers each instance's result.
+func (b *Batcher) flush(bt *batch) {
+	gs := make([]*multistage.Graph, len(bt.items))
+	for i, it := range bt.items {
+		gs[i] = it.graph
+	}
+	sols, err := core.SolveGraphBatch(gs)
+	b.metrics.Batches.Inc()
+	b.metrics.Batched.Add(int64(len(bt.items)))
+	b.metrics.BatchOccupancy.Observe(float64(len(bt.items)))
+	b.mu.Lock()
+	b.inflight -= len(bt.items)
+	b.mu.Unlock()
+	for i, it := range bt.items {
+		if err != nil {
+			it.ch <- batchResult{err: err}
+		} else {
+			it.ch <- batchResult{sol: sols[i]}
+		}
+	}
+}
+
+// StreamCycles exposes the cycle model for a hypothetical flush of n
+// instances of graph g — used by tests and capacity planning.
+func (b *Batcher) StreamCycles(g *multistage.Graph, n int) (int, error) {
+	sp, err := core.StreamProblemFromGraph(g)
+	if err != nil {
+		return 0, err
+	}
+	problems := make([]pipearray.StreamProblem, n)
+	for i := range problems {
+		problems[i] = sp
+	}
+	st, err := pipearray.NewStream(problems)
+	if err != nil {
+		return 0, err
+	}
+	return st.WallCycles(), nil
+}
+
+// Close flushes every pending batch, waits for outstanding flushes, and
+// rejects subsequent Submits with ErrShutdown.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	b.closed = true
+	remaining := make([]*batch, 0, len(b.pending))
+	for key, bt := range b.pending {
+		b.detachLocked(key, bt)
+		remaining = append(remaining, bt)
+	}
+	b.mu.Unlock()
+	for _, bt := range remaining {
+		b.startFlush(bt)
+	}
+	b.wg.Wait()
+}

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"systolicdp/internal/core"
+	"systolicdp/internal/multistage"
+	"systolicdp/internal/semiring"
+)
+
+func batchGraph(seed int64, stages, m int) *multistage.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	inner := multistage.RandomUniform(rng, stages, m, 1, 10)
+	return multistage.SingleSourceSink(semiring.MinPlus{}, inner)
+}
+
+// Instances arriving inside one window flush together; each waiter gets
+// its own instance's solution.
+func TestBatcherFlushOnWindow(t *testing.T) {
+	met := NewMetrics()
+	b := NewBatcher(60*time.Millisecond, 16, 100, met)
+	defer b.Close()
+
+	const n = 3
+	gs := make([]*multistage.Graph, n)
+	for i := range gs {
+		gs[i] = batchGraph(int64(i+1), 5, 4)
+	}
+	var wg sync.WaitGroup
+	sols := make([]*core.Solution, n)
+	for i := range gs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sol, err := b.Submit(context.Background(), gs[i])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sols[i] = sol
+		}(i)
+	}
+	wg.Wait()
+	if got := met.Batches.Value(); got != 1 {
+		t.Errorf("flushes = %d, want 1 (window batch)", got)
+	}
+	if got := met.Batched.Value(); got != n {
+		t.Errorf("batched instances = %d, want %d", got, n)
+	}
+	for i, g := range gs {
+		want, err := core.Solve(&core.MultistageProblem{Graph: g, Design: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(sols[i].Cost-want.Cost) > 1e-9 {
+			t.Errorf("instance %d: batched cost %v, want %v", i, sols[i].Cost, want.Cost)
+		}
+	}
+}
+
+// Hitting maxBatch flushes immediately, long before the window elapses.
+func TestBatcherFlushOnFull(t *testing.T) {
+	met := NewMetrics()
+	const maxBatch = 4
+	b := NewBatcher(5*time.Second, maxBatch, 100, met)
+	defer b.Close()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < maxBatch; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := b.Submit(context.Background(), batchGraph(int64(i+1), 5, 4)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("size-triggered flush took %v; should not wait for the window", elapsed)
+	}
+	if got := met.Batches.Value(); got != 1 {
+		t.Errorf("flushes = %d, want 1", got)
+	}
+	if got := met.BatchOccupancy.Sum(); got != maxBatch {
+		t.Errorf("occupancy sum = %v, want %v", got, maxBatch)
+	}
+}
+
+// Different graph shapes never share a stream; they flush as separate
+// batches.
+func TestBatcherShardsByShape(t *testing.T) {
+	met := NewMetrics()
+	b := NewBatcher(40*time.Millisecond, 16, 100, met)
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	for _, g := range []*multistage.Graph{batchGraph(1, 5, 4), batchGraph(2, 5, 3)} {
+		wg.Add(1)
+		go func(g *multistage.Graph) {
+			defer wg.Done()
+			if _, err := b.Submit(context.Background(), g); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := met.Batches.Value(); got != 2 {
+		t.Errorf("flushes = %d, want 2 (one per shape)", got)
+	}
+}
+
+// Over-admission is rejected with ErrBusy while the window is still open.
+func TestBatcherBackpressure(t *testing.T) {
+	b := NewBatcher(200*time.Millisecond, 64, 2, NewMetrics())
+	defer b.Close()
+
+	results := make(chan error, 3)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			_, err := b.Submit(context.Background(), batchGraph(int64(i+1), 5, 4))
+			results <- err
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond) // both admitted, window still open
+	if _, err := b.Submit(context.Background(), batchGraph(9, 5, 4)); err != ErrBusy {
+		t.Errorf("over-admission err = %v, want ErrBusy", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Errorf("admitted request failed: %v", err)
+		}
+	}
+}
+
+// Close flushes pending work instead of stranding waiters, then rejects
+// new submissions.
+func TestBatcherCloseDrains(t *testing.T) {
+	met := NewMetrics()
+	b := NewBatcher(10*time.Second, 16, 100, met) // window too long to fire
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Submit(context.Background(), batchGraph(1, 5, 4))
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	b.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("drained request failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not flush the pending batch")
+	}
+	if _, err := b.Submit(context.Background(), batchGraph(2, 5, 4)); err != ErrShutdown {
+		t.Errorf("post-Close err = %v, want ErrShutdown", err)
+	}
+}
+
+// A caller whose context expires before the flush is unblocked by ctx.
+func TestBatcherSubmitTimeout(t *testing.T) {
+	b := NewBatcher(5*time.Second, 16, 100, NewMetrics())
+	defer b.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := b.Submit(ctx, batchGraph(1, 5, 4)); err != context.DeadlineExceeded {
+		t.Errorf("err = %v, want deadline exceeded", err)
+	}
+}

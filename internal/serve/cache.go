@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// LRU is a bounded least-recently-used cache from canonical spec hash to
+// solved response. A zero or negative capacity disables caching.
+type LRU struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recent; values are *lruEntry
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	resp *Response
+}
+
+// NewLRU builds a cache holding at most max responses.
+func NewLRU(max int) *LRU {
+	return &LRU{max: max, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached response for key, promoting it to most recent.
+func (c *LRU) Get(key string) (*Response, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).resp, true
+}
+
+// Put stores a response, evicting the least-recently-used entry if full.
+func (c *LRU) Put(key string, resp *Response) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).resp = resp
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, resp: resp})
+	if c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the number of cached responses.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// flight deduplicates concurrent identical work: the first request for a
+// key starts fn in its own goroutine; later requests for the same key wait
+// on the same result. fn runs detached from any single request's context,
+// so a waiter abandoning early (ctx done) never fails the others.
+type flight struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	resp *Response
+	err  error
+}
+
+func newFlight() *flight {
+	return &flight{calls: make(map[string]*flightCall)}
+}
+
+// do returns fn's result for key, coalescing concurrent callers. shared
+// reports whether this caller joined an already-in-flight solve.
+func (f *flight) do(ctx context.Context, key string, fn func() (*Response, error)) (resp *Response, shared bool, err error) {
+	f.mu.Lock()
+	c, ok := f.calls[key]
+	if !ok {
+		c = &flightCall{done: make(chan struct{})}
+		f.calls[key] = c
+		f.mu.Unlock()
+		go func() {
+			c.resp, c.err = fn()
+			f.mu.Lock()
+			delete(f.calls, key)
+			f.mu.Unlock()
+			close(c.done)
+		}()
+	} else {
+		f.mu.Unlock()
+	}
+	select {
+	case <-c.done:
+		return c.resp, ok, c.err
+	case <-ctx.Done():
+		return nil, ok, ctx.Err()
+	}
+}

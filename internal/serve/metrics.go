@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotone event count.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value reads the counter.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus-style:
+// bucket i counts observations <= Bounds[i], plus an implicit +Inf).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64 // len(bounds)+1; last is the +Inf bucket
+	sum    float64
+	count  int64
+}
+
+// NewHistogram builds a histogram over ascending bucket bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, x)
+	h.counts[i]++
+	h.sum += x
+	h.count++
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observed samples.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// write renders the histogram in Prometheus text exposition format.
+func (h *Histogram) write(w io.Writer, name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+}
+
+func formatBound(b float64) string {
+	if b == math.Trunc(b) && math.Abs(b) < 1e15 {
+		return fmt.Sprintf("%d", int64(b))
+	}
+	return fmt.Sprintf("%g", b)
+}
+
+// Metrics is the server's instrumentation: plain stdlib counters and
+// histograms in the spirit of internal/metrics, exported as Prometheus
+// text format by the /metrics handler.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[string]*Counter // by problem kind
+
+	CacheHits   Counter
+	CacheMisses Counter
+	FlightShare Counter // requests coalesced onto another request's solve
+	Rejected    Counter // 429s from a full queue
+	Timeouts    Counter
+	Errors      Counter // solver / bad-spec failures
+	Batches     Counter // micro-batch flushes
+	Batched     Counter // requests that went through a micro-batch
+
+	BatchOccupancy *Histogram // instances per flush
+	SolveSeconds   *Histogram // end-to-end solve latency
+
+	QueueDepth func() int // sampled at render time; nil reads as 0
+}
+
+// NewMetrics builds the metric set with the server's bucket layout.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests:       make(map[string]*Counter),
+		BatchOccupancy: NewHistogram(1, 2, 4, 8, 16, 32, 64),
+		SolveSeconds:   NewHistogram(0.0001, 0.001, 0.01, 0.1, 1, 10),
+	}
+}
+
+// Request counts one request of the given problem kind.
+func (m *Metrics) Request(kind string) {
+	m.mu.Lock()
+	c, ok := m.requests[kind]
+	if !ok {
+		c = &Counter{}
+		m.requests[kind] = c
+	}
+	m.mu.Unlock()
+	c.Inc()
+}
+
+// Requests returns the count for one problem kind.
+func (m *Metrics) Requests(kind string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.requests[kind]; ok {
+		return c.Value()
+	}
+	return 0
+}
+
+// Write renders all metrics in Prometheus text exposition format, in a
+// deterministic order.
+func (m *Metrics) Write(w io.Writer) {
+	m.mu.Lock()
+	kinds := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	counts := make([]int64, len(kinds))
+	for i, k := range kinds {
+		counts[i] = m.requests[k].Value()
+	}
+	m.mu.Unlock()
+
+	for i, k := range kinds {
+		fmt.Fprintf(w, "dpserve_requests_total{problem=%q} %d\n", k, counts[i])
+	}
+	fmt.Fprintf(w, "dpserve_cache_hits_total %d\n", m.CacheHits.Value())
+	fmt.Fprintf(w, "dpserve_cache_misses_total %d\n", m.CacheMisses.Value())
+	fmt.Fprintf(w, "dpserve_singleflight_shared_total %d\n", m.FlightShare.Value())
+	fmt.Fprintf(w, "dpserve_rejected_total %d\n", m.Rejected.Value())
+	fmt.Fprintf(w, "dpserve_timeouts_total %d\n", m.Timeouts.Value())
+	fmt.Fprintf(w, "dpserve_errors_total %d\n", m.Errors.Value())
+	fmt.Fprintf(w, "dpserve_batches_total %d\n", m.Batches.Value())
+	fmt.Fprintf(w, "dpserve_batched_requests_total %d\n", m.Batched.Value())
+	m.BatchOccupancy.write(w, "dpserve_batch_occupancy")
+	m.SolveSeconds.write(w, "dpserve_solve_latency_seconds")
+	depth := 0
+	if m.QueueDepth != nil {
+		depth = m.QueueDepth()
+	}
+	fmt.Fprintf(w, "dpserve_queue_depth %d\n", depth)
+}

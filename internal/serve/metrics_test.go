@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, x := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(x)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count %d, want 5", h.Count())
+	}
+	if h.Sum() != 556.5 {
+		t.Errorf("sum %v, want 556.5", h.Sum())
+	}
+	var sb strings.Builder
+	h.write(&sb, "x")
+	out := sb.String()
+	// Cumulative: <=1 holds {0.5, 1}, <=10 adds 5, <=100 adds 50, +Inf all.
+	for _, want := range []string{
+		`x_bucket{le="1"} 2`,
+		`x_bucket{le="10"} 3`,
+		`x_bucket{le="100"} 4`,
+		`x_bucket{le="+Inf"} 5`,
+		"x_sum 556.5",
+		"x_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsRenderIsDeterministic(t *testing.T) {
+	m := NewMetrics()
+	m.Request("graph")
+	m.Request("chain")
+	m.Request("graph")
+	var a, b strings.Builder
+	m.Write(&a)
+	m.Write(&b)
+	if a.String() != b.String() {
+		t.Error("metrics render not deterministic")
+	}
+	if !strings.Contains(a.String(), `dpserve_requests_total{problem="graph"} 2`) {
+		t.Errorf("bad request counts:\n%s", a.String())
+	}
+	if m.Requests("graph") != 2 || m.Requests("chain") != 1 || m.Requests("dtw") != 0 {
+		t.Error("Requests getter mismatch")
+	}
+}

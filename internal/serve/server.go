@@ -1,0 +1,356 @@
+// Package serve is the long-lived solving service around the library: an
+// HTTP/JSON endpoint whose wire format is the internal/spec File and
+// whose dispatch is core.Solve. It exists because the one-shot CLIs pay a
+// full pipeline fill per invocation, while the paper's Design 1 amortizes
+// fill across streamed instances — a property only a long-lived process
+// with concurrent traffic can exploit.
+//
+// Architecture:
+//
+//   - a worker pool sharded by problem class: Design-1 multistage-graph
+//     requests go to the micro-batcher (one streamed array run per
+//     batch); everything else (graph designs 0/2, nodevalued, chain,
+//     nonserial, dtw) goes to a bounded general pool;
+//   - an LRU result cache keyed by the canonical spec hash, with
+//     singleflight deduplication so identical in-flight requests solve
+//     once;
+//   - robustness: per-request timeouts, bounded queues with 429
+//     backpressure, graceful shutdown that drains in-flight work;
+//   - observability: /healthz and a Prometheus-text /metrics endpoint.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"systolicdp/internal/core"
+	"systolicdp/internal/spec"
+)
+
+// Sentinel errors mapped to HTTP statuses by the handler.
+var (
+	// ErrBusy means a bounded queue is full; clients get 429.
+	ErrBusy = errors.New("serve: queue full")
+	// ErrShutdown means the server is draining; clients get 503.
+	ErrShutdown = errors.New("serve: shutting down")
+)
+
+// Config parameterizes a Server. Zero values select the defaults noted on
+// each field.
+type Config struct {
+	Workers     int           // general-pool workers; default runtime.NumCPU()
+	QueueSize   int           // bounded general queue; default 256
+	BatchWindow time.Duration // micro-batch collection window; default 2ms
+	BatchMax    int           // flush at this many instances; default 16; <=1 disables batching
+	CacheSize   int           // LRU entries; default 1024; <0 disables caching
+	Timeout     time.Duration // per-solve budget; default 30s
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 256
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.BatchMax == 0 {
+		c.BatchMax = 16
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// Response is the JSON solution shape — the same fields dpsolve -json
+// prints, so a served answer is byte-comparable with the CLI's.
+type Response struct {
+	Problem  string  `json:"problem"`
+	Class    string  `json:"class"`
+	Method   string  `json:"method"`
+	Hardware string  `json:"hardware"`
+	Cost     float64 `json:"cost"`
+	Path     []int   `json:"path,omitempty"`
+	Ordering string  `json:"ordering,omitempty"`
+}
+
+// job is one general-pool work item.
+type job struct {
+	problem core.Problem
+	ctx     context.Context
+	done    chan jobResult
+}
+
+type jobResult struct {
+	sol *core.Solution
+	err error
+}
+
+// Server is the solving service. Create with New, expose via Handler,
+// stop with Close.
+type Server struct {
+	cfg      Config
+	metrics  *Metrics
+	cache    *LRU
+	flight   *flight
+	batcher  *Batcher
+	jobs     chan *job
+	stop     chan struct{} // closed to tell idle workers to exit
+	wg       sync.WaitGroup
+	submitMu sync.RWMutex // excludes submits racing Close's drain
+	draining atomic.Bool
+	mux      *http.ServeMux
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		metrics: NewMetrics(),
+		cache:   NewLRU(cfg.CacheSize),
+		flight:  newFlight(),
+		jobs:    make(chan *job, cfg.QueueSize),
+		stop:    make(chan struct{}),
+		mux:     http.NewServeMux(),
+	}
+	s.batcher = NewBatcher(cfg.BatchWindow, cfg.BatchMax, cfg.QueueSize, s.metrics)
+	s.metrics.QueueDepth = func() int { return len(s.jobs) }
+	s.mux.HandleFunc("/solve", s.handleSolve)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP handler tree (for http.Server or httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's instrumentation (tests, embedding).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// worker drains the general queue; after stop closes it finishes whatever
+// is still queued, then exits.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.jobs:
+			s.runJob(j)
+		case <-s.stop:
+			for {
+				select {
+				case j := <-s.jobs:
+					s.runJob(j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	sol, err := core.SolveCtx(j.ctx, j.problem)
+	j.done <- jobResult{sol, err}
+}
+
+// submit queues a job for the general pool with backpressure. The read
+// lock guarantees no job lands in the queue after Close's final drain.
+func (s *Server) submit(j *job) error {
+	s.submitMu.RLock()
+	defer s.submitMu.RUnlock()
+	if s.draining.Load() {
+		return ErrShutdown
+	}
+	select {
+	case s.jobs <- j:
+		return nil
+	default:
+		return ErrBusy
+	}
+}
+
+// dispatch routes a problem to its shard — the Design-1 micro-batcher or
+// the general pool — and waits for the solution under ctx.
+func (s *Server) dispatch(ctx context.Context, p core.Problem) (*core.Solution, error) {
+	if mp, ok := p.(*core.MultistageProblem); ok && mp.Design == 1 && s.cfg.BatchMax > 1 {
+		return s.batcher.Submit(ctx, mp.Graph)
+	}
+	j := &job{problem: p, ctx: ctx, done: make(chan jobResult, 1)}
+	if err := s.submit(j); err != nil {
+		return nil, err
+	}
+	select {
+	case r := <-j.done:
+		return r.sol, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// solveSpec is the full cache → singleflight → dispatch path for one
+// decoded spec. It is the unit the handler and benchmarks share. cached
+// reports whether the response came straight from the LRU.
+func (s *Server) solveSpec(ctx context.Context, f *spec.File) (resp *Response, cached bool, status int, err error) {
+	key, err := f.Hash()
+	if err != nil {
+		return nil, false, http.StatusBadRequest, err
+	}
+	if resp, ok := s.cache.Get(key); ok {
+		s.metrics.CacheHits.Inc()
+		return resp, true, http.StatusOK, nil
+	}
+	s.metrics.CacheMisses.Inc()
+
+	resp, shared, err := s.flight.do(ctx, key, func() (*Response, error) {
+		p, err := f.Build()
+		if err != nil {
+			return nil, badSpec{err}
+		}
+		sctx, cancel := context.WithTimeout(context.Background(), s.cfg.Timeout)
+		defer cancel()
+		start := time.Now()
+		sol, err := s.dispatch(sctx, p)
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.SolveSeconds.Observe(time.Since(start).Seconds())
+		rec := core.Recommend(sol.Class)
+		r := &Response{
+			Problem:  p.Describe(),
+			Class:    sol.Class.String(),
+			Method:   rec.Method,
+			Hardware: rec.Requirements,
+			Cost:     sol.Cost,
+			Path:     sol.Path,
+			Ordering: sol.Ordering,
+		}
+		s.cache.Put(key, r)
+		return r, nil
+	})
+	if shared {
+		s.metrics.FlightShare.Inc()
+	}
+	if err != nil {
+		return nil, false, statusFor(err), err
+	}
+	return resp, false, http.StatusOK, nil
+}
+
+// badSpec marks spec-construction failures so statusFor maps them to 400.
+type badSpec struct{ err error }
+
+func (b badSpec) Error() string { return b.err.Error() }
+func (b badSpec) Unwrap() error { return b.err }
+
+func statusFor(err error) int {
+	switch {
+	case errors.As(err, &badSpec{}):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrBusy):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrShutdown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// handleSolve answers POST /solve: body is a spec.File, response the
+// Response JSON. Errors map to 400 (bad spec), 429 (backpressure), 503
+// (draining), 504 (timeout), 500 (solver failure).
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a spec.File JSON body", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.draining.Load() {
+		http.Error(w, ErrShutdown.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	f, err := spec.Decode(body)
+	if err != nil {
+		s.metrics.Errors.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.metrics.Request(f.Problem)
+
+	resp, cached, status, err := s.solveSpec(r.Context(), f)
+	if err != nil {
+		switch status {
+		case http.StatusTooManyRequests:
+			s.metrics.Rejected.Inc()
+		case http.StatusGatewayTimeout:
+			s.metrics.Timeouts.Inc()
+		default:
+			s.metrics.Errors.Inc()
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if cached {
+		w.Header().Set("X-Dpserve-Cache", "hit")
+	} else {
+		w.Header().Set("X-Dpserve-Cache", "miss")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}
+
+// handleHealthz reports liveness: 200 while serving, 503 while draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics renders the metric set as Prometheus text.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.Write(w)
+}
+
+// Close gracefully shuts the server down: new requests are rejected with
+// 503, pending micro-batches flush, queued general-pool jobs run to
+// completion, and all workers exit before Close returns.
+func (s *Server) Close() {
+	s.submitMu.Lock()
+	already := s.draining.Swap(true)
+	s.submitMu.Unlock()
+	if already {
+		return
+	}
+	s.batcher.Close()
+	close(s.stop)
+	s.wg.Wait()
+}

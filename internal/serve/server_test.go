@@ -1,0 +1,344 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"systolicdp/internal/core"
+	"systolicdp/internal/spec"
+)
+
+// postSpec posts a raw spec body and returns status, decoded response (on
+// 200), body text, and the cache header.
+func postSpec(t *testing.T, url string, body string) (int, *Response, string, string) {
+	t.Helper()
+	resp, err := http.Post(url+"/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r *Response
+	if resp.StatusCode == http.StatusOK {
+		r = &Response{}
+		if err := json.Unmarshal(raw, r); err != nil {
+			t.Fatalf("bad response body %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, r, string(raw), resp.Header.Get("X-Dpserve-Cache")
+}
+
+func metricsText(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return string(raw)
+}
+
+// graphSpec builds a distinct 1-4-4-1 Design-1 graph spec; salt perturbs
+// one edge cost so specs hash differently but share a stream shape.
+func graphSpec(salt int) string {
+	return fmt.Sprintf(`{"problem":"graph","design":1,"costs":[
+		[[1,2,3,%d]],
+		[[4,5,6,7],[7,8,9,1],[1,1,2,5],[3,2,8,6]],
+		[[2],[3],[4],[5]]]}`, 4+salt)
+}
+
+// The served answer must match what dpsolve -spec computes for the same
+// file: core.Solve on the parsed spec.
+func TestServeMatchesDirectSolve(t *testing.T) {
+	s := New(Config{BatchWindow: -1}) // immediate flushes; no batching delay
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, body := range []string{
+		graphSpec(0),
+		`{"problem":"chain","dims":[30,35,15,5,10,20,25]}`,
+		`{"problem":"nodevalued","values":[[0,10],[5,20],[5,0]],"cost":"absdiff"}`,
+		`{"problem":"nonserial","domains":[[1,2],[1,2],[1,2],[1,2]],"cost":"span"}`,
+		`{"problem":"dtw","x":[0,1,2,3],"y":[0,1,1,2,3]}`,
+	} {
+		status, got, raw, _ := postSpec(t, ts.URL, body)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", body, status, raw)
+		}
+		p, err := spec.Parse([]byte(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Cost-want.Cost) > 1e-9 {
+			t.Errorf("%s: served cost %v, direct cost %v", body, got.Cost, want.Cost)
+		}
+		if got.Class != want.Class.String() {
+			t.Errorf("%s: class %q, want %q", body, got.Class, want.Class)
+		}
+		if len(got.Path) != len(want.Path) {
+			t.Errorf("%s: path %v, want %v", body, got.Path, want.Path)
+		}
+	}
+}
+
+// Acceptance: concurrent identical requests produce ONE underlying solve
+// (singleflight), later identical requests hit the LRU, and /metrics
+// reflects both.
+func TestServeSingleflightAndCache(t *testing.T) {
+	s := New(Config{BatchWindow: 250 * time.Millisecond, BatchMax: 64})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := graphSpec(0)
+	const n = 4
+	var wg sync.WaitGroup
+	costs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, r, raw, _ := postSpec(t, ts.URL, body)
+			if status != http.StatusOK {
+				t.Errorf("status %d: %s", status, raw)
+				return
+			}
+			costs[i] = r.Cost
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if costs[i] != costs[0] {
+			t.Errorf("cost %d = %v, want %v", i, costs[i], costs[0])
+		}
+	}
+	// One underlying solve: the batcher saw exactly one instance.
+	if got := s.Metrics().Batched.Value(); got != 1 {
+		t.Errorf("underlying solves = %d, want 1 (singleflight)", got)
+	}
+	if got := s.Metrics().FlightShare.Value(); got != n-1 {
+		t.Errorf("coalesced waiters = %d, want %d", got, n-1)
+	}
+
+	// A later identical request is a pure cache hit.
+	status, _, _, cacheHdr := postSpec(t, ts.URL, body)
+	if status != http.StatusOK || cacheHdr != "hit" {
+		t.Errorf("repeat request: status %d cache %q, want 200 hit", status, cacheHdr)
+	}
+	if got := s.Metrics().CacheHits.Value(); got != 1 {
+		t.Errorf("cache hits = %d, want 1", got)
+	}
+
+	mt := metricsText(t, ts.URL)
+	for _, want := range []string{
+		`dpserve_requests_total{problem="graph"} 5`,
+		"dpserve_cache_hits_total 1",
+		fmt.Sprintf("dpserve_singleflight_shared_total %d", n-1),
+		"dpserve_batched_requests_total 1",
+	} {
+		if !strings.Contains(mt, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, mt)
+		}
+	}
+}
+
+// Acceptance: concurrent DISTINCT Design-1 graph requests of one shape are
+// solved in a single StreamPipelined batch, and /metrics reflects it.
+func TestServeMicroBatchesConcurrentGraphs(t *testing.T) {
+	s := New(Config{BatchWindow: 250 * time.Millisecond, BatchMax: 64})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 4
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := graphSpec(i)
+			status, r, raw, _ := postSpec(t, ts.URL, body)
+			if status != http.StatusOK {
+				t.Errorf("status %d: %s", status, raw)
+				return
+			}
+			p, _ := spec.Parse([]byte(body))
+			want, _ := core.Solve(p)
+			if math.Abs(r.Cost-want.Cost) > 1e-9 {
+				t.Errorf("graph %d: served %v, want %v", i, r.Cost, want.Cost)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := s.Metrics().Batches.Value(); got != 1 {
+		t.Errorf("stream flushes = %d, want 1 (micro-batch)", got)
+	}
+	if got := s.Metrics().Batched.Value(); got != n {
+		t.Errorf("batched instances = %d, want %d", got, n)
+	}
+	mt := metricsText(t, ts.URL)
+	for _, want := range []string{
+		"dpserve_batches_total 1",
+		fmt.Sprintf("dpserve_batched_requests_total %d", n),
+		fmt.Sprintf("dpserve_batch_occupancy_sum %d", n),
+	} {
+		if !strings.Contains(mt, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, mt)
+		}
+	}
+}
+
+// A full admission queue answers 429 and counts the rejection.
+func TestServeBackpressure429(t *testing.T) {
+	const queue = 2
+	s := New(Config{QueueSize: queue, BatchWindow: time.Second, BatchMax: 64})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Fill the batcher's admission quota; the window keeps them pending.
+	admitted := make(chan int, queue)
+	for i := 0; i < queue; i++ {
+		go func(i int) {
+			status, _, _, _ := postSpec(t, ts.URL, graphSpec(i))
+			admitted <- status
+		}(i)
+	}
+	time.Sleep(100 * time.Millisecond)
+	status, _, raw, _ := postSpec(t, ts.URL, graphSpec(99))
+	if status != http.StatusTooManyRequests {
+		t.Errorf("over-quota status = %d (%s), want 429", status, raw)
+	}
+	if got := s.Metrics().Rejected.Value(); got < 1 {
+		t.Errorf("rejected counter = %d, want >= 1", got)
+	}
+	for i := 0; i < queue; i++ {
+		if st := <-admitted; st != http.StatusOK {
+			t.Errorf("admitted request got %d, want 200", st)
+		}
+	}
+}
+
+// An expired per-request budget answers 504 and counts the timeout.
+func TestServeTimeout504(t *testing.T) {
+	s := New(Config{Timeout: time.Nanosecond, BatchWindow: -1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	status, _, raw, _ := postSpec(t, ts.URL, `{"problem":"chain","dims":[5,6,7]}`)
+	if status != http.StatusGatewayTimeout {
+		t.Errorf("status = %d (%s), want 504", status, raw)
+	}
+	if got := s.Metrics().Timeouts.Value(); got != 1 {
+		t.Errorf("timeouts = %d, want 1", got)
+	}
+}
+
+// Bad requests answer 400.
+func TestServeBadSpec400(t *testing.T) {
+	s := New(Config{BatchWindow: -1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, body := range []string{
+		`{not json`,
+		`{"problem":"warp-drive"}`,
+		`{"problem":"chain","dims":[5]}`,
+	} {
+		status, _, _, _ := postSpec(t, ts.URL, body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", body, status)
+		}
+	}
+	if got := s.Metrics().Errors.Value(); got != 3 {
+		t.Errorf("errors = %d, want 3", got)
+	}
+}
+
+// Graceful shutdown flushes pending batches (waiters get answers, not
+// errors) and flips /healthz and /solve to 503.
+func TestServeGracefulShutdown(t *testing.T) {
+	s := New(Config{BatchWindow: 10 * time.Second, BatchMax: 64}) // window never fires
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	done := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			status, _, _, _ := postSpec(t, ts.URL, graphSpec(i))
+			done <- status
+		}(i)
+	}
+	time.Sleep(100 * time.Millisecond) // both pending in the batcher
+	s.Close()
+	for i := 0; i < 2; i++ {
+		select {
+		case st := <-done:
+			if st != http.StatusOK {
+				t.Errorf("drained request got %d, want 200", st)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("shutdown stranded an in-flight request")
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz after Close = %d, want 503", resp.StatusCode)
+	}
+	status, _, _, _ := postSpec(t, ts.URL, graphSpec(9))
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("solve after Close = %d, want 503", status)
+	}
+}
+
+// Healthz and method guards.
+func TestServeHealthzAndMethods(t *testing.T) {
+	s := New(Config{BatchWindow: -1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("ok")) {
+		t.Errorf("healthz = %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(ts.URL + "/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /solve = %d, want 405", resp.StatusCode)
+	}
+}

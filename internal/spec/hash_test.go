@@ -1,0 +1,96 @@
+package spec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Parse → Marshal → Parse must be a fixed point: re-decoding the marshaled
+// form and marshaling again yields identical bytes, and both decode to
+// specs with equal hashes. This is what the serving cache key relies on.
+func TestMarshalRoundTripDeterministic(t *testing.T) {
+	inputs := []string{
+		`{"problem":"graph","design":1,"costs":[[[1,2,3]],[[4,5,6],[7,8,9],[1,1,1]],[[2],[3],[4]]]}`,
+		`{"problem":"nodevalued","values":[[0,10],[5,20],[5,0]],"cost":"absdiff"}`,
+		`{"problem":"chain","dims":[30,35,15,5,10,20,25]}`,
+		`{"problem":"nonserial","domains":[[1,2],[1,2],[1,2],[1,2]],"cost":"span"}`,
+		`{"problem":"dtw","x":[0,1,2.5,3],"y":[0,1,1,2,3]}`,
+	}
+	for _, in := range inputs {
+		f, err := Decode([]byte(in))
+		if err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		m1, err := f.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Decode(m1)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		m2, err := g.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(m1, m2) {
+			t.Errorf("%s: marshal not a fixed point:\n%s\nvs\n%s", in, m1, m2)
+		}
+		h1, err := f.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := g.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Errorf("%s: hash changed across round trip: %s vs %s", in, h1, h2)
+		}
+	}
+}
+
+// Marshal must be byte-stable across repeated calls on the same File.
+func TestMarshalRepeatable(t *testing.T) {
+	f := &File{Problem: "chain", Dims: []int{3, 7, 2, 9}}
+	a, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("marshal unstable:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// Semantically identical specs hash identically; different problems don't.
+func TestHashCanonicalization(t *testing.T) {
+	// Implicit vs explicit default cost name.
+	a, _ := Decode([]byte(`{"problem":"nodevalued","values":[[0,1],[2,3]]}`))
+	b, _ := Decode([]byte(`{"problem":"nodevalued","values":[[0,1],[2,3]],"cost":"absdiff"}`))
+	// A stray irrelevant field must not perturb the key.
+	c, _ := Decode([]byte(`{"problem":"chain","dims":[2,3,4],"cost":"absdiff"}`))
+	d, _ := Decode([]byte(`{"problem":"chain","dims":[2,3,4]}`))
+	e, _ := Decode([]byte(`{"problem":"chain","dims":[2,3,5]}`))
+
+	ha, _ := a.Hash()
+	hb, _ := b.Hash()
+	if ha != hb {
+		t.Errorf("default cost should canonicalize: %s vs %s", ha, hb)
+	}
+	hc, _ := c.Hash()
+	hd, _ := d.Hash()
+	he, _ := e.Hash()
+	if hc != hd {
+		t.Errorf("irrelevant field should not change hash: %s vs %s", hc, hd)
+	}
+	if hd == he {
+		t.Errorf("different dims must hash differently")
+	}
+	if ha == hd {
+		t.Errorf("different problems must hash differently")
+	}
+}

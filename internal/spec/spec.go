@@ -14,6 +14,8 @@
 //	{"problem":"chain","dims":[30,35,15,5,10,20,25]}
 //
 //	{"problem":"nonserial","domains":[[1,2],[1,2],[1,2],[1,2]],"cost":"span"}
+//
+//	{"problem":"dtw","x":[0,1,2,3],"y":[0,1,1,2,3]}
 package spec
 
 import (
@@ -27,7 +29,10 @@ import (
 	"systolicdp/internal/nonserial"
 )
 
-// File is the JSON shape of a problem specification.
+// File is the JSON shape of a problem specification. Field order here is
+// the wire order: Marshal emits struct fields in declaration order, so the
+// encoding is deterministic — a property the serving cache key (see Hash)
+// depends on.
 type File struct {
 	Problem string        `json:"problem"`
 	Design  int           `json:"design,omitempty"`
@@ -36,6 +41,8 @@ type File struct {
 	Cost    string        `json:"cost,omitempty"`    // named cost function
 	Dims    []int         `json:"dims,omitempty"`    // chain ordering
 	Domains [][]float64   `json:"domains,omitempty"` // nonserial chain
+	X       []float64     `json:"x,omitempty"`       // dtw: query series
+	Y       []float64     `json:"y,omitempty"`       // dtw: template series
 }
 
 // PairCosts maps cost-function names to binary cost functions for
@@ -67,10 +74,25 @@ func TernaryCosts() map[string]func(a, b, c float64) float64 {
 
 // Parse decodes a spec and builds the corresponding core problem.
 func Parse(data []byte) (core.Problem, error) {
+	f, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return f.Build()
+}
+
+// Decode unmarshals a spec File without building the problem. Useful when
+// the caller needs the File itself (e.g. to Hash it for a cache key).
+func Decode(data []byte) (*File, error) {
 	var f File
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("spec: %v", err)
 	}
+	return &f, nil
+}
+
+// Build constructs the core problem the spec describes.
+func (f *File) Build() (core.Problem, error) {
 	switch f.Problem {
 	case "graph":
 		if len(f.Costs) == 0 {
@@ -134,6 +156,12 @@ func Parse(data []byte) (core.Problem, error) {
 		}
 		return &core.NonserialChainProblem{Chain: c}, nil
 
+	case "dtw":
+		if len(f.X) == 0 || len(f.Y) == 0 {
+			return nil, fmt.Errorf("spec: dtw needs non-empty x and y series")
+		}
+		return &core.DTWProblem{X: f.X, Y: f.Y}, nil
+
 	default:
 		return nil, fmt.Errorf("spec: unknown problem kind %q", f.Problem)
 	}
@@ -160,7 +188,10 @@ func FromChain(dims []int) *File {
 	return &File{Problem: "chain", Dims: append([]int(nil), dims...)}
 }
 
-// Marshal renders a spec File as indented JSON.
+// Marshal renders a spec File as indented JSON. The output is
+// deterministic: encoding/json emits struct fields in declaration order
+// and float64 formatting is stable, so identical Files always produce
+// identical bytes (Parse → Marshal → Parse is a fixed point).
 func (f *File) Marshal() ([]byte, error) {
 	return json.MarshalIndent(f, "", "  ")
 }
