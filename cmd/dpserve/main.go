@@ -10,7 +10,9 @@
 //	curl -s localhost:8080/metrics
 //
 // Endpoints: POST /solve (spec.File in, solution JSON out), GET /healthz,
-// GET /metrics (Prometheus text format).
+// GET /metrics (Prometheus text format), GET /debug/dptrace (recent
+// request-lifecycle spans as Perfetto trace-event JSON), and — behind
+// -pprof — the net/http/pprof profiler under /debug/pprof/.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -46,6 +49,8 @@ func parseFlags(args []string) (string, serve.Config) {
 	batchMax := fs.Int("batch-max", 16, "flush a micro-batch at this many instances (<=1 disables batching)")
 	cacheSize := fs.Int("cache", 1024, "LRU result-cache entries (<0 disables)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request solve budget")
+	traceSpans := fs.Int("trace-spans", 256, "request spans retained for /debug/dptrace")
+	pprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	fs.Parse(args)
 	return *addr, serve.Config{
 		Workers:     *workers,
@@ -54,6 +59,9 @@ func parseFlags(args []string) (string, serve.Config) {
 		BatchMax:    *batchMax,
 		CacheSize:   *cacheSize,
 		Timeout:     *timeout,
+		TraceSpans:  *traceSpans,
+		EnablePprof: *pprof,
+		Logger:      slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	}
 }
 

@@ -16,13 +16,19 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.BatchWindow != 2*time.Millisecond || cfg.Timeout != 30*time.Second {
 		t.Errorf("duration defaults wrong: %+v", cfg)
 	}
+	if cfg.TraceSpans != 256 || cfg.EnablePprof {
+		t.Errorf("observability defaults wrong: %+v", cfg)
+	}
+	if cfg.Logger == nil {
+		t.Error("no logger wired by default")
+	}
 }
 
 func TestParseFlagsOverrides(t *testing.T) {
 	addr, cfg := parseFlags([]string{
 		"-addr", "127.0.0.1:9999", "-workers", "3", "-queue", "7",
 		"-batch-window", "5ms", "-batch-max", "1", "-cache", "-1",
-		"-timeout", "2s",
+		"-timeout", "2s", "-trace-spans", "32", "-pprof",
 	})
 	if addr != "127.0.0.1:9999" {
 		t.Errorf("addr %q", addr)
@@ -32,5 +38,8 @@ func TestParseFlagsOverrides(t *testing.T) {
 	}
 	if cfg.BatchWindow != 5*time.Millisecond || cfg.Timeout != 2*time.Second {
 		t.Errorf("duration overrides wrong: %+v", cfg)
+	}
+	if cfg.TraceSpans != 32 || !cfg.EnablePprof {
+		t.Errorf("observability overrides wrong: %+v", cfg)
 	}
 }

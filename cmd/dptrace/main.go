@@ -1,0 +1,254 @@
+// Command dptrace summarizes a Perfetto/Chrome trace-event JSON file
+// produced by this repo (systolicsim -trace-json, or dpserve's
+// /debug/dptrace endpoint) without leaving the terminal:
+//
+//	dptrace /tmp/t.json
+//
+// For a cycle trace it prints the per-PE utilization table, the
+// pipeline-fill and drain cycle counts, and the measured processor
+// utilization against the paper's closed form (eq. 9 for Designs 1-2,
+// the (N-1)m²+m over (N+1)m² ratio for Design 3) via internal/metrics.
+// For a request trace it prints per-phase latency totals instead.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"systolicdp/internal/metrics"
+	"systolicdp/internal/obs"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dptrace <trace.json>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dptrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, w io.Writer) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tr obs.Trace
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		return fmt.Errorf("%s: not a trace-event JSON file: %w", path, err)
+	}
+	if hasPid(&tr, obs.ArrayPid) {
+		return summarizeArray(&tr, w)
+	}
+	if hasPid(&tr, obs.ServePid) {
+		return summarizeRequests(&tr, w)
+	}
+	return fmt.Errorf("%s: no systolic-array or dpserve tracks found", path)
+}
+
+func hasPid(tr *obs.Trace, pid int) bool {
+	for _, e := range tr.TraceEvents {
+		if e.Pid == pid && e.Ph == obs.PhaseComplete {
+			return true
+		}
+	}
+	return false
+}
+
+// peStats aggregates one PE track.
+type peStats struct {
+	tid       int
+	name      string
+	busy      float64
+	firstBusy float64
+	lastEnd   float64
+	seen      bool
+}
+
+func summarizeArray(tr *obs.Trace, w io.Writer) error {
+	names := map[int]string{}
+	stats := map[int]*peStats{}
+	get := func(tid int) *peStats {
+		s, ok := stats[tid]
+		if !ok {
+			s = &peStats{tid: tid}
+			stats[tid] = s
+		}
+		return s
+	}
+	for _, e := range tr.TraceEvents {
+		if e.Pid != obs.ArrayPid {
+			continue
+		}
+		switch {
+		case e.Ph == obs.PhaseMetadata && e.Name == "thread_name":
+			if n, ok := e.Args["name"].(string); ok {
+				names[e.Tid] = n
+			}
+		case e.Ph == obs.PhaseComplete && e.Name == "busy":
+			s := get(e.Tid)
+			s.busy += e.Dur
+			if !s.seen || e.Ts < s.firstBusy {
+				s.firstBusy = e.Ts
+			}
+			if end := e.Ts + e.Dur; end > s.lastEnd {
+				s.lastEnd = end
+			}
+			s.seen = true
+		}
+	}
+	if len(stats) == 0 {
+		return fmt.Errorf("trace has no busy spans")
+	}
+	cycles := metaInt(tr, "cycles")
+	if cycles <= 0 {
+		// Fall back to the furthest span end.
+		for _, s := range stats {
+			if int(s.lastEnd) > cycles {
+				cycles = int(s.lastEnd)
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "design %s, runner %s: %d PEs, %d cycles\n\n",
+		orDash(tr.OtherData["design"]), orDash(tr.OtherData["runner"]), len(stats), cycles)
+
+	tids := make([]int, 0, len(stats))
+	for tid := range stats {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	fmt.Fprintf(w, "%-6s %10s %8s %6s\n", "PE", "busy", "cycles", "PU")
+	totalBusy := 0.0
+	fill, drainEnd := 0.0, 0.0
+	for _, tid := range tids {
+		s := stats[tid]
+		name := names[tid]
+		if name == "" {
+			name = fmt.Sprintf("tid%d", tid)
+		}
+		util := s.busy / float64(cycles)
+		fmt.Fprintf(w, "%-6s %10.0f %8d %6.3f |%s|\n", name, s.busy, cycles, util, bar(util, 30))
+		totalBusy += s.busy
+		if s.firstBusy > fill {
+			fill = s.firstBusy
+		}
+		if s.lastEnd > drainEnd {
+			drainEnd = s.lastEnd
+		}
+	}
+	measured := totalBusy / (float64(cycles) * float64(len(stats)))
+	fmt.Fprintf(w, "\npipeline fill: %.0f cycles until every PE is active\n", fill)
+	fmt.Fprintf(w, "drain: %.0f trailing idle cycles\n", float64(cycles)-drainEnd)
+
+	expected := closedFormPU(tr, len(stats))
+	fmt.Fprintf(w, "\nprocessor utilization (paper eq. 9 family):\n")
+	fmt.Fprintf(w, "  measured  %.4f\n", measured)
+	if expected > 0 {
+		fmt.Fprintf(w, "  closed    %.4f\n", expected)
+		fmt.Fprintf(w, "  delta     %+.4f (fill/drain and padding account for the gap)\n", measured-expected)
+	} else {
+		fmt.Fprintf(w, "  closed    n/a (trace carries no shape metadata)\n")
+	}
+	return nil
+}
+
+// closedFormPU recomputes the paper's PU prediction from the trace's
+// shape metadata, falling back to the pu_expected the producer stamped.
+func closedFormPU(tr *obs.Trace, pes int) float64 {
+	design := metaInt(tr, "design")
+	switch design {
+	case 1, 2:
+		// K matrix phases solve an (N+1)-stage graph with N-1 = K, i.e.
+		// eq (9) with N = K+1 and m PEs.
+		if k := metaInt(tr, "k"); k > 0 {
+			return metrics.PUEq9(k+1, pes)
+		}
+	case 3:
+		if n := metaInt(tr, "n"); n > 0 {
+			return metrics.PU((n-1)*pes*pes+pes, (n+1)*pes, pes)
+		}
+	}
+	if s := tr.OtherData["pu_expected"]; s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil {
+			return v
+		}
+	}
+	return 0
+}
+
+func summarizeRequests(tr *obs.Trace, w io.Writer) error {
+	type agg struct {
+		count int
+		total float64 // us
+	}
+	phases := map[string]*agg{}
+	requests := 0
+	for _, e := range tr.TraceEvents {
+		if e.Pid != obs.ServePid || e.Ph != obs.PhaseComplete {
+			continue
+		}
+		if e.Name == "request" {
+			requests++
+			continue
+		}
+		a, ok := phases[e.Name]
+		if !ok {
+			a = &agg{}
+			phases[e.Name] = a
+		}
+		a.count++
+		a.total += e.Dur
+	}
+	fmt.Fprintf(w, "dpserve request trace: %d requests\n\n", requests)
+	names := make([]string, 0, len(phases))
+	for n := range phases {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-16s %8s %12s %12s\n", "phase", "count", "total_ms", "mean_us")
+	for _, n := range names {
+		a := phases[n]
+		fmt.Fprintf(w, "%-16s %8d %12.3f %12.1f\n", n, a.count, a.total/1e3, a.total/float64(a.count))
+	}
+	return nil
+}
+
+func metaInt(tr *obs.Trace, key string) int {
+	v, err := strconv.Atoi(tr.OtherData[key])
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return strings.Repeat("#", n) + strings.Repeat(" ", width-n)
+}

@@ -24,6 +24,7 @@ import (
 
 	"systolicdp/internal/matrix"
 	"systolicdp/internal/semiring"
+	"systolicdp/internal/systolic"
 )
 
 // Array is a configured Design-2 broadcast array for one matrix string.
@@ -93,9 +94,21 @@ func (a *Array) Iterations() int { return a.K * a.M }
 // Design 1.
 func (a *Array) WallCycles() int { return a.Iterations() }
 
+// ObservedCycles reports the number of iterations an observed run
+// executes, for sizing cycle recorders (one iteration = one cycle: the
+// broadcast bus removes the pipeline skew).
+func (a *Array) ObservedCycles() int { return a.Iterations() }
+
 // RunLockstep simulates the array cycle by cycle and returns the result
 // vector (live entries only) and the per-PE busy counts.
 func (a *Array) RunLockstep() ([]float64, []int) {
+	return a.RunLockstepObserved(nil)
+}
+
+// RunLockstepObserved is RunLockstep with a per-PE trace hook invoked
+// once per PE per iteration (Design 2 keeps every PE busy every
+// iteration — the broadcast bus has no fill or drain).
+func (a *Array) RunLockstepObserved(peTrace systolic.PETrace) ([]float64, []int) {
 	m := a.M
 	acc := make([]float64, m) // A_i accumulators
 	gated := make([]float64, m)
@@ -114,6 +127,9 @@ func (a *Array) RunLockstep() ([]float64, []int) {
 			for i := 0; i < m; i++ {
 				acc[i] = a.s.Add(acc[i], a.s.Mul(a.feed[k][i][j], x))
 				busy[i]++
+				if peTrace != nil {
+					peTrace(i, k*m+j, true)
+				}
 			}
 		}
 		// MOVE: gate accumulators into the S registers.
@@ -136,6 +152,14 @@ type busMsg struct {
 // and collects the gated S values at phase boundaries (the circulating
 // token of the paper). Results and busy counts match RunLockstep exactly.
 func (a *Array) RunGoroutines() ([]float64, []int) {
+	return a.RunGoroutinesObserved(nil)
+}
+
+// RunGoroutinesObserved is RunGoroutines with a per-PE trace hook: each
+// PE goroutine reports its own iterations concurrently (see
+// systolic.PETrace for the contract). The iteration index matches the
+// lock-step schedule: k*m + j for phase k, broadcast step j.
+func (a *Array) RunGoroutinesObserved(peTrace systolic.PETrace) ([]float64, []int) {
 	m := a.M
 	bus := make([]chan busMsg, m)   // coordinator -> PE i
 	gate := make([]chan float64, m) // PE i -> coordinator at phase end
@@ -155,6 +179,9 @@ func (a *Array) RunGoroutines() ([]float64, []int) {
 				for j := 0; j < m; j++ {
 					msg := <-bus[i]
 					acc = a.s.Add(acc, a.s.Mul(a.feed[msg.phase][i][j], msg.x))
+					if peTrace != nil {
+						peTrace(i, msg.phase*m+j, true)
+					}
 					b++
 				}
 				gate[i] <- acc

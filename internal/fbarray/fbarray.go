@@ -220,14 +220,36 @@ type Result struct {
 // Run executes the array. If goroutines is true the goroutine-per-PE
 // runner is used, otherwise the lock-step runner.
 func (a *Array) Run(goroutines bool) (*Result, error) {
+	return a.RunObserved(goroutines, nil, nil)
+}
+
+// RunTraced is Run on the lock-step runner with a wire-trace callback
+// (see the trace package) invoked after every cycle with the latched
+// wire values.
+func (a *Array) RunTraced(trace func(cycle int, wires []systolic.Token)) (*Result, error) {
+	return a.RunObserved(false, trace, nil)
+}
+
+// ObservedCycles reports the number of cycles an observed run executes,
+// for sizing cycle recorders.
+func (a *Array) ObservedCycles() int { return a.Iterations() }
+
+// RunObserved is Run with observability hooks: peTrace receives every
+// PE's busy bit each cycle (both runners; see systolic.PETrace for the
+// concurrency contract), and wireTrace receives per-cycle wire snapshots
+// (lock-step only).
+func (a *Array) RunObserved(goroutines bool, wireTrace func(cycle int, wires []systolic.Token), peTrace systolic.PETrace) (*Result, error) {
+	if goroutines && wireTrace != nil {
+		return nil, fmt.Errorf("fbarray: wire traces require the lock-step runner")
+	}
 	a.net.Reset()
 	cycles := a.Iterations()
 	var res *systolic.Result
 	var err error
 	if goroutines {
-		res, err = a.net.RunGoroutines(cycles)
+		res, err = a.net.RunGoroutinesObserved(cycles, peTrace)
 	} else {
-		res, err = a.net.RunLockstep(cycles, nil)
+		res, err = a.net.RunLockstepObserved(cycles, wireTrace, peTrace)
 	}
 	if err != nil {
 		return nil, err
@@ -278,6 +300,21 @@ func Solve(p *multistage.NodeValued) (*Result, error) {
 		return nil, err
 	}
 	return a.Run(false)
+}
+
+// WireNames labels the array's wires for trace rendering: the stage-value
+// source, the pipe stages, the feedback-bus fan-out, and the sink.
+func (a *Array) WireNames() []string {
+	names := make([]string, 0, len(a.net.Wires))
+	names = append(names, "x>P1")
+	for i := 0; i+1 < a.M; i++ {
+		names = append(names, fmt.Sprintf("P%d>P%d", i+1, i+2))
+	}
+	for i := 0; i < a.M; i++ {
+		names = append(names, fmt.Sprintf("fb>P%d", i+1))
+	}
+	names = append(names, fmt.Sprintf("P%d>out", a.M))
+	return names
 }
 
 // InputWordsPerCycle reports the external input bandwidth of Design 3:

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"fmt"
+
+	"systolicdp/internal/systolic"
+)
+
+// ArrayPid is the trace-event process id used for cycle-level array
+// traces (request-lifecycle traces use ServePid).
+const ArrayPid = 1
+
+// ArrayMeta describes the run a cycle trace came from; it is embedded in
+// the exported trace's otherData so cmd/dptrace can compare the measured
+// utilization against the paper's closed forms without re-running.
+type ArrayMeta struct {
+	Design     int     // 1 (pipelined), 2 (broadcast), 3 (feedback)
+	Runner     string  // "lockstep" or "goroutines"
+	M          int     // PEs
+	K          int     // matrix phases (designs 1-2; 0 otherwise)
+	N          int     // stages (design 3; 0 otherwise)
+	PUExpected float64 // the paper's closed-form PU for this shape; 0 if n/a
+}
+
+// CycleRecorder accumulates per-PE busy bits and optional per-cycle
+// valid-token counts for one array run. It is a sink for both engine
+// hooks:
+//
+//   - PETrace plugs into RunLockstepObserved / RunGoroutinesObserved.
+//     Distinct PEs write distinct rows, so concurrent invocation from the
+//     goroutine runner's per-PE goroutines is race-free by construction.
+//   - WireTrace plugs into the lock-step wire trace and counts valid
+//     tokens per cycle (the goroutine runner has no global wire snapshot,
+//     so that counter track is absent from its exports).
+type CycleRecorder struct {
+	cycles int
+	busy   [][]bool // [pe][cycle]
+	valid  []int    // [cycle] valid tokens on wires; nil until WireTrace records
+}
+
+// NewCycleRecorder sizes a recorder for pes PEs running the given number
+// of cycles. Out-of-range hook invocations are dropped rather than grown:
+// the recorder is sized from the array's own cycle model, so a drop would
+// indicate an engine bug, not a recording need.
+func NewCycleRecorder(pes, cycles int) *CycleRecorder {
+	r := &CycleRecorder{cycles: cycles, busy: make([][]bool, pes)}
+	for i := range r.busy {
+		r.busy[i] = make([]bool, cycles)
+	}
+	return r
+}
+
+// PETrace returns the hook to pass to RunLockstepObserved or
+// RunGoroutinesObserved.
+func (r *CycleRecorder) PETrace() systolic.PETrace {
+	return func(pe, cycle int, busy bool) {
+		if pe < 0 || pe >= len(r.busy) || cycle < 0 || cycle >= r.cycles {
+			return
+		}
+		r.busy[pe][cycle] = busy
+	}
+}
+
+// WireTrace returns the lock-step wire-trace callback; it records the
+// number of valid tokens latched each cycle for the valid_tokens counter
+// track.
+func (r *CycleRecorder) WireTrace() func(cycle int, wires []systolic.Token) {
+	return func(cycle int, wires []systolic.Token) {
+		if r.valid == nil {
+			r.valid = make([]int, r.cycles)
+		}
+		if cycle < 0 || cycle >= r.cycles {
+			return
+		}
+		n := 0
+		for _, w := range wires {
+			if w.Valid {
+				n++
+			}
+		}
+		r.valid[cycle] = n
+	}
+}
+
+// Cycles returns the recorder's cycle capacity.
+func (r *CycleRecorder) Cycles() int { return r.cycles }
+
+// PEs returns the number of recorded PEs.
+func (r *CycleRecorder) PEs() int { return len(r.busy) }
+
+// BusyTotals returns per-PE busy-cycle totals; they equal the engine
+// Result's Busy counts because both are driven by the same Step busy bit.
+func (r *CycleRecorder) BusyTotals() []int {
+	totals := make([]int, len(r.busy))
+	for pe, row := range r.busy {
+		for _, b := range row {
+			if b {
+				totals[pe]++
+			}
+		}
+	}
+	return totals
+}
+
+// Utilization returns the measured fraction of PE-cycles that were busy.
+func (r *CycleRecorder) Utilization() float64 {
+	if r.cycles == 0 || len(r.busy) == 0 {
+		return 0
+	}
+	total := 0
+	for _, t := range r.BusyTotals() {
+		total += t
+	}
+	return float64(total) / float64(r.cycles*len(r.busy))
+}
+
+// span is one coalesced run of same-state cycles.
+type span struct {
+	start, length int
+	busy          bool
+}
+
+// spans coalesces one PE's cycle row into busy/idle runs.
+func coalesce(row []bool) []span {
+	var out []span
+	for t := 0; t < len(row); {
+		s := span{start: t, busy: row[t]}
+		for t < len(row) && row[t] == s.busy {
+			t++
+		}
+		s.length = t - s.start
+		out = append(out, s)
+	}
+	return out
+}
+
+// Trace exports the recording as a Perfetto-loadable trace: one thread
+// track per PE with coalesced busy/idle spans (1 logical cycle = 1us),
+// counter tracks for busy-PE count, instantaneous utilization, and — when
+// a lock-step wire trace fed the recorder — valid tokens in flight. Run
+// metadata lands in otherData.
+func (r *CycleRecorder) Trace(meta ArrayMeta) *Trace {
+	tr := NewTrace()
+	tr.OtherData["design"] = fmt.Sprintf("%d", meta.Design)
+	tr.OtherData["runner"] = meta.Runner
+	tr.OtherData["pes"] = fmt.Sprintf("%d", len(r.busy))
+	tr.OtherData["cycles"] = fmt.Sprintf("%d", r.cycles)
+	if meta.K > 0 {
+		tr.OtherData["k"] = fmt.Sprintf("%d", meta.K)
+	}
+	if meta.N > 0 {
+		tr.OtherData["n"] = fmt.Sprintf("%d", meta.N)
+	}
+	if meta.PUExpected > 0 {
+		tr.OtherData["pu_expected"] = fmt.Sprintf("%.6f", meta.PUExpected)
+	}
+	tr.OtherData["pu_measured"] = fmt.Sprintf("%.6f", r.Utilization())
+
+	tr.NameProcess(ArrayPid, fmt.Sprintf("systolic design %d (%s)", meta.Design, meta.Runner))
+	for pe := range r.busy {
+		tr.NameThread(ArrayPid, pe+1, fmt.Sprintf("PE %d", pe+1))
+		for _, s := range coalesce(r.busy[pe]) {
+			name := "idle"
+			if s.busy {
+				name = "busy"
+			}
+			tr.Span(ArrayPid, pe+1, name, "pe", float64(s.start), float64(s.length), nil)
+		}
+	}
+	for t := 0; t < r.cycles; t++ {
+		n := 0
+		for pe := range r.busy {
+			if r.busy[pe][t] {
+				n++
+			}
+		}
+		args := map[string]any{"busy": n}
+		tr.Counter(ArrayPid, "busy_pes", float64(t), args)
+		util := 0.0
+		if len(r.busy) > 0 {
+			util = float64(n) / float64(len(r.busy))
+		}
+		tr.Counter(ArrayPid, "utilization", float64(t), map[string]any{"pu": util})
+		if r.valid != nil {
+			tr.Counter(ArrayPid, "valid_tokens", float64(t), map[string]any{"valid": r.valid[t]})
+		}
+	}
+	return tr
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+
+	"systolicdp/internal/systolic"
+)
+
+// passPE forwards its input and reports busy whenever the token is valid.
+type passPE struct{}
+
+func (passPE) NumIn() int  { return 1 }
+func (passPE) NumOut() int { return 1 }
+func (passPE) Reset()      {}
+func (passPE) Step(in []systolic.Token) ([]systolic.Token, bool) {
+	return []systolic.Token{in[0]}, in[0].Valid
+}
+
+// chainArray builds a linear pass-through chain of n PEs fed with k valid
+// tokens: PE i is busy exactly at cycles [i, i+k), the simplest skewed
+// pipeline.
+func chainArray(n, k int) *systolic.Array {
+	a := &systolic.Array{}
+	for i := 0; i < n; i++ {
+		a.PEs = append(a.PEs, passPE{})
+	}
+	a.Wires = append(a.Wires, systolic.Wire{
+		From: systolic.Endpoint{PE: systolic.External, Port: 0},
+		To:   systolic.Endpoint{PE: 0, Port: 0},
+		Source: func(t int) systolic.Token {
+			if t < k {
+				return systolic.Token{V: float64(t), Valid: true}
+			}
+			return systolic.Bubble()
+		},
+	})
+	for i := 0; i+1 < n; i++ {
+		a.Wires = append(a.Wires, systolic.Wire{
+			From: systolic.Endpoint{PE: i, Port: 0},
+			To:   systolic.Endpoint{PE: i + 1, Port: 0},
+			Init: systolic.Bubble(),
+		})
+	}
+	a.Wires = append(a.Wires, systolic.Wire{
+		From: systolic.Endpoint{PE: n - 1, Port: 0},
+		To:   systolic.Endpoint{PE: systolic.External, Port: 0},
+	})
+	return a
+}
+
+func TestCycleRecorderMatchesResultBusy(t *testing.T) {
+	const pes, tokens, cycles = 3, 4, 8
+	arr := chainArray(pes, tokens)
+
+	lock := NewCycleRecorder(pes, cycles)
+	resLock, err := arr.RunLockstepObserved(cycles, lock.WireTrace(), lock.PETrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lock.BusyTotals(); !reflect.DeepEqual(got, resLock.Busy) {
+		t.Errorf("lockstep recorder busy %v != result busy %v", got, resLock.Busy)
+	}
+
+	arr.Reset()
+	goro := NewCycleRecorder(pes, cycles)
+	resGoro, err := arr.RunGoroutinesObserved(cycles, goro.PETrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := goro.BusyTotals(); !reflect.DeepEqual(got, resGoro.Busy) {
+		t.Errorf("goroutine recorder busy %v != result busy %v", got, resGoro.Busy)
+	}
+
+	// The two runners must agree span-for-span, not just in totals: the
+	// marked-graph construction aligns each PE's local iteration index
+	// with the lock-step cycle index.
+	if !reflect.DeepEqual(lock.busy, goro.busy) {
+		t.Errorf("per-cycle busy matrices differ:\nlockstep  %v\ngoroutine %v", lock.busy, goro.busy)
+	}
+	// PE i busy exactly at cycles [i, i+tokens).
+	for pe := 0; pe < pes; pe++ {
+		for c := 0; c < cycles; c++ {
+			want := c >= pe && c < pe+tokens
+			if lock.busy[pe][c] != want {
+				t.Errorf("PE %d cycle %d busy=%v, want %v", pe, c, lock.busy[pe][c], want)
+			}
+		}
+	}
+}
+
+func TestCycleRecorderUtilizationAndCoalesce(t *testing.T) {
+	r := NewCycleRecorder(2, 4)
+	pt := r.PETrace()
+	for _, c := range []struct {
+		pe, cycle int
+		busy      bool
+	}{{0, 0, true}, {0, 1, true}, {0, 2, false}, {0, 3, true}, {1, 0, false}, {1, 1, true}, {1, 2, true}, {1, 3, false}} {
+		pt(c.pe, c.cycle, c.busy)
+	}
+	if got := r.Utilization(); got != 5.0/8.0 {
+		t.Errorf("utilization %v, want 0.625", got)
+	}
+	spans := coalesce(r.busy[0])
+	want := []span{{0, 2, true}, {2, 1, false}, {3, 1, true}}
+	if !reflect.DeepEqual(spans, want) {
+		t.Errorf("coalesce %v, want %v", spans, want)
+	}
+	// Out-of-range hook calls are dropped, not grown and not panicking.
+	pt(-1, 0, true)
+	pt(0, 99, true)
+	pt(99, 0, true)
+	if got := r.BusyTotals(); !reflect.DeepEqual(got, []int{3, 2}) {
+		t.Errorf("busy totals %v after out-of-range calls, want [3 2]", got)
+	}
+}
+
+func TestCycleTraceMetadata(t *testing.T) {
+	r := NewCycleRecorder(2, 3)
+	pt := r.PETrace()
+	pt(0, 0, true)
+	pt(1, 1, true)
+	tr := r.Trace(ArrayMeta{Design: 3, Runner: "goroutines", M: 2, N: 4, PUExpected: 0.9})
+	for _, key := range []string{"design", "runner", "pes", "cycles", "n", "pu_expected", "pu_measured"} {
+		if tr.OtherData[key] == "" {
+			t.Errorf("otherData missing %q", key)
+		}
+	}
+	if tr.OtherData["design"] != "3" || tr.OtherData["cycles"] != "3" {
+		t.Errorf("bad otherData: %v", tr.OtherData)
+	}
+	busySpans := 0
+	for _, e := range tr.TraceEvents {
+		if e.Ph == PhaseComplete && e.Name == "busy" {
+			busySpans++
+		}
+	}
+	if busySpans != 2 {
+		t.Errorf("busy spans %d, want 2", busySpans)
+	}
+}

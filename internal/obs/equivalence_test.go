@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"systolicdp/internal/bcastarray"
+	"systolicdp/internal/fbarray"
+	"systolicdp/internal/multistage"
+	"systolicdp/internal/pipearray"
+	"systolicdp/internal/semiring"
+)
+
+// These are the ISSUE's runner-equivalence tests on the real designs:
+// for the same array, the lock-step and goroutine runners must produce
+// identical per-PE busy-span totals in the exported trace, and those
+// totals must equal the engine's own Result busy counts.
+
+func graphInstance(t *testing.T, seed int64) ([]float64, *multistage.Graph) {
+	t.Helper()
+	mp := semiring.MinPlus{}
+	rng := rand.New(rand.NewSource(seed))
+	inner := multistage.RandomUniform(rng, 3, 3, 1, 10)
+	g := multistage.SingleSourceSink(mp, inner)
+	mats := g.Matrices()
+	return mats[len(mats)-1].Col(0), g
+}
+
+func TestDesign1RunnerBusyEquivalence(t *testing.T) {
+	v, g := graphInstance(t, 7)
+	mats := g.Matrices()
+	build := func() *pipearray.Array {
+		arr, err := pipearray.New(mats[:len(mats)-1], v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return arr
+	}
+
+	arr := build()
+	lock := NewCycleRecorder(arr.M, arr.ObservedCycles())
+	_, resLock, err := arr.RunObserved(false, lock.WireTrace(), lock.PETrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	goro := NewCycleRecorder(arr.M, arr.ObservedCycles())
+	_, resGoro, err := build().RunObserved(true, nil, goro.PETrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lock.BusyTotals(), goro.BusyTotals()) {
+		t.Errorf("design 1 busy-span totals differ: lockstep %v goroutines %v", lock.BusyTotals(), goro.BusyTotals())
+	}
+	if !reflect.DeepEqual(lock.BusyTotals(), resLock.Busy) || !reflect.DeepEqual(goro.BusyTotals(), resGoro.Busy) {
+		t.Errorf("recorder totals diverge from engine Result busy counts")
+	}
+	// Wire trace on the goroutine runner must be rejected loudly.
+	if _, _, err := build().RunObserved(true, lock.WireTrace(), nil); err == nil {
+		t.Error("goroutine runner accepted a wire trace")
+	}
+}
+
+func TestDesign2RunnerBusyEquivalence(t *testing.T) {
+	v, g := graphInstance(t, 11)
+	mats := g.Matrices()
+	arr, err := bcastarray.New(mats[:len(mats)-1], v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock := NewCycleRecorder(arr.M, arr.ObservedCycles())
+	_, busyLock := arr.RunLockstepObserved(lock.PETrace())
+	goro := NewCycleRecorder(arr.M, arr.ObservedCycles())
+	_, busyGoro := arr.RunGoroutinesObserved(goro.PETrace())
+	if !reflect.DeepEqual(lock.BusyTotals(), goro.BusyTotals()) {
+		t.Errorf("design 2 busy-span totals differ: lockstep %v goroutines %v", lock.BusyTotals(), goro.BusyTotals())
+	}
+	if !reflect.DeepEqual(lock.BusyTotals(), busyLock) || !reflect.DeepEqual(goro.BusyTotals(), busyGoro) {
+		t.Errorf("recorder totals diverge from runner busy counts")
+	}
+}
+
+func TestDesign3RunnerBusyEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := multistage.RandomNodeValued(rng, 4, 3, 0, 10)
+	build := func() *fbarray.Array {
+		arr, err := fbarray.New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return arr
+	}
+	arr := build()
+	lock := NewCycleRecorder(arr.M, arr.ObservedCycles())
+	resLock, err := arr.RunObserved(false, lock.WireTrace(), lock.PETrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	goro := NewCycleRecorder(arr.M, arr.ObservedCycles())
+	resGoro, err := build().RunObserved(true, nil, goro.PETrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lock.BusyTotals(), goro.BusyTotals()) {
+		t.Errorf("design 3 busy-span totals differ: lockstep %v goroutines %v", lock.BusyTotals(), goro.BusyTotals())
+	}
+	if !reflect.DeepEqual(lock.BusyTotals(), resLock.Busy) || !reflect.DeepEqual(goro.BusyTotals(), resGoro.Busy) {
+		t.Errorf("recorder totals diverge from engine Result busy counts")
+	}
+	if resLock.Cost != resGoro.Cost {
+		t.Errorf("costs diverge under observation: %v vs %v", resLock.Cost, resGoro.Cost)
+	}
+}

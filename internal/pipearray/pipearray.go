@@ -244,20 +244,36 @@ func (a *Array) WallCycles() int { return a.K*a.M + a.M - 1 }
 // removed) together with the engine run result. If goroutines is true the
 // goroutine-per-PE runner is used, otherwise the lock-step runner.
 func (a *Array) Run(goroutines bool) ([]float64, *systolic.Result, error) {
+	return a.RunObserved(goroutines, nil, nil)
+}
+
+// RunObserved is Run with observability hooks: peTrace receives every
+// PE's busy bit each cycle (both runners; see systolic.PETrace for the
+// concurrency contract), and wireTrace receives per-cycle wire snapshots
+// (lock-step only — the goroutine runner has no global latch instant, so
+// passing a wireTrace with goroutines=true is an error).
+func (a *Array) RunObserved(goroutines bool, wireTrace func(cycle int, wires []systolic.Token), peTrace systolic.PETrace) ([]float64, *systolic.Result, error) {
+	if goroutines && wireTrace != nil {
+		return nil, nil, fmt.Errorf("pipearray: wire traces require the lock-step runner")
+	}
 	a.net.Reset()
 	cycles := a.WallCycles() + 1
 	var res *systolic.Result
 	var err error
 	if goroutines {
-		res, err = a.net.RunGoroutines(cycles)
+		res, err = a.net.RunGoroutinesObserved(cycles, peTrace)
 	} else {
-		res, err = a.net.RunLockstep(cycles, nil)
+		res, err = a.net.RunLockstepObserved(cycles, wireTrace, peTrace)
 	}
 	if err != nil {
 		return nil, nil, err
 	}
 	return a.decode(res), res, nil
 }
+
+// ObservedCycles reports the number of cycles an observed run executes,
+// for sizing cycle recorders.
+func (a *Array) ObservedCycles() int { return a.WallCycles() + 1 }
 
 // decode extracts the result vector from a finished run.
 func (a *Array) decode(res *systolic.Result) []float64 {
@@ -309,12 +325,7 @@ func (a *Array) InputWordsPerCycle() int { return a.M + 1 }
 // RunTraced is Run with a lock-step trace callback (see the trace
 // package) invoked after every cycle with the latched wire values.
 func (a *Array) RunTraced(trace func(cycle int, wires []systolic.Token)) ([]float64, *systolic.Result, error) {
-	a.net.Reset()
-	res, err := a.net.RunLockstep(a.WallCycles()+1, trace)
-	if err != nil {
-		return nil, nil, err
-	}
-	return a.decode(res), res, nil
+	return a.RunObserved(false, trace, nil)
 }
 
 // WireNames labels the array's wires for trace rendering: matrix feeds,

@@ -7,6 +7,7 @@ import (
 
 	"systolicdp/internal/core"
 	"systolicdp/internal/multistage"
+	"systolicdp/internal/obs"
 	"systolicdp/internal/pipearray"
 )
 
@@ -42,8 +43,10 @@ type batch struct {
 }
 
 type batchItem struct {
-	graph *multistage.Graph
-	ch    chan batchResult // buffered; flush never blocks on delivery
+	graph    *multistage.Graph
+	ch       chan batchResult // buffered; flush never blocks on delivery
+	enqueued time.Time
+	span     *obs.ReqSpan // request-lifecycle span; nil-safe
 }
 
 type batchResult struct {
@@ -81,7 +84,12 @@ func (b *Batcher) Submit(ctx context.Context, g *multistage.Graph) (*core.Soluti
 		return nil, err
 	}
 	key := shapeKey{m: len(sp.V), k: len(sp.Ms), rows: sp.Ms[0].Rows}
-	item := &batchItem{graph: g, ch: make(chan batchResult, 1)}
+	item := &batchItem{
+		graph:    g,
+		ch:       make(chan batchResult, 1),
+		enqueued: time.Now(),
+		span:     obs.SpanFrom(ctx),
+	}
 
 	b.mu.Lock()
 	if b.closed {
@@ -151,19 +159,34 @@ func (b *Batcher) startFlush(bt *batch) {
 }
 
 // flush runs one streamed batch and delivers each instance's result.
+// Stage accounting: each item's queue_wait is its enqueue -> flush start;
+// the flush's batch_assembly is the oldest item's wait (what the batching
+// window added to tail latency); solve is the shared streamed array run.
 func (b *Batcher) flush(bt *batch) {
+	flushStart := time.Now()
 	gs := make([]*multistage.Graph, len(bt.items))
+	earliest := flushStart
 	for i, it := range bt.items {
 		gs[i] = it.graph
+		if it.enqueued.Before(earliest) {
+			earliest = it.enqueued
+		}
 	}
+	solveStart := time.Now()
 	sols, err := core.SolveGraphBatch(gs)
+	solveEnd := time.Now()
 	b.metrics.Batches.Inc()
 	b.metrics.Batched.Add(int64(len(bt.items)))
 	b.metrics.BatchOccupancy.Observe(float64(len(bt.items)))
+	b.metrics.BatchAssemblySeconds.Observe(flushStart.Sub(earliest).Seconds())
 	b.mu.Lock()
 	b.inflight -= len(bt.items)
 	b.mu.Unlock()
 	for i, it := range bt.items {
+		b.metrics.QueueWaitSeconds.Observe(flushStart.Sub(it.enqueued).Seconds())
+		it.span.Observe("queue_wait", it.enqueued, flushStart)
+		it.span.Observe("batch_assembly", flushStart, solveStart)
+		it.span.Observe("solve", solveStart, solveEnd)
 		if err != nil {
 			it.ch <- batchResult{err: err}
 		} else {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -60,6 +61,42 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// Quantile estimates the p-quantile (0 <= p <= 1) by linear interpolation
+// within the bucket containing the target rank, the same estimator
+// Prometheus's histogram_quantile applies server-side. The first bucket
+// interpolates from 0 (observations here are non-negative latencies), and
+// ranks landing in the +Inf bucket clamp to the highest finite bound.
+// With no observations it returns NaN.
+func (h *Histogram) Quantile(p float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(h.count)
+	cum := 0.0
+	lo := 0.0
+	for i, b := range h.bounds {
+		c := float64(h.counts[i])
+		if c > 0 && cum+c >= rank {
+			frac := (rank - cum) / c
+			return lo + frac*(b-lo)
+		}
+		cum += c
+		lo = b
+	}
+	if len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // write renders the histogram in Prometheus text exposition format.
 func (h *Histogram) write(w io.Writer, name string) {
 	h.mu.Lock()
@@ -101,15 +138,21 @@ type Metrics struct {
 	BatchOccupancy *Histogram // instances per flush
 	SolveSeconds   *Histogram // end-to-end solve latency
 
+	// Per-stage latency histograms: where a request's time actually went.
+	QueueWaitSeconds     *Histogram // enqueue -> worker pickup / batch flush
+	BatchAssemblySeconds *Histogram // first batch arrival -> flush (per flush)
+
 	QueueDepth func() int // sampled at render time; nil reads as 0
 }
 
 // NewMetrics builds the metric set with the server's bucket layout.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		requests:       make(map[string]*Counter),
-		BatchOccupancy: NewHistogram(1, 2, 4, 8, 16, 32, 64),
-		SolveSeconds:   NewHistogram(0.0001, 0.001, 0.01, 0.1, 1, 10),
+		requests:             make(map[string]*Counter),
+		BatchOccupancy:       NewHistogram(1, 2, 4, 8, 16, 32, 64),
+		SolveSeconds:         NewHistogram(0.0001, 0.001, 0.01, 0.1, 1, 10),
+		QueueWaitSeconds:     NewHistogram(0.00001, 0.0001, 0.001, 0.01, 0.1, 1),
+		BatchAssemblySeconds: NewHistogram(0.00001, 0.0001, 0.001, 0.01, 0.1, 1),
 	}
 }
 
@@ -163,9 +206,25 @@ func (m *Metrics) Write(w io.Writer) {
 	fmt.Fprintf(w, "dpserve_batched_requests_total %d\n", m.Batched.Value())
 	m.BatchOccupancy.write(w, "dpserve_batch_occupancy")
 	m.SolveSeconds.write(w, "dpserve_solve_latency_seconds")
+	m.QueueWaitSeconds.write(w, "dpserve_queue_wait_seconds")
+	m.BatchAssemblySeconds.write(w, "dpserve_batch_assembly_seconds")
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		fmt.Fprintf(w, "dpserve_solve_latency_seconds{quantile=\"%g\"} %g\n", q, m.SolveSeconds.Quantile(q))
+	}
 	depth := 0
 	if m.QueueDepth != nil {
 		depth = m.QueueDepth()
 	}
 	fmt.Fprintf(w, "dpserve_queue_depth %d\n", depth)
+}
+
+// WriteRuntime appends Go-runtime gauges (goroutines, heap bytes, GC
+// cycles). It lives outside Write so Metrics.Write stays deterministic
+// for a fixed observation set; the /metrics handler emits both.
+func WriteRuntime(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "dpserve_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(w, "dpserve_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	fmt.Fprintf(w, "dpserve_gc_cycles_total %d\n", ms.NumGC)
 }

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"systolicdp/internal/obs"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram should yield NaN")
+	}
+	for _, x := range []float64{0.5, 1.5, 3} {
+		h.Observe(x)
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0.5, 1.5}, // rank 1.5 lands mid-bucket (1,2]
+		{1, 4},     // rank 3 exhausts the last finite bucket
+		{-1, 0},    // clamps to p=0, start of the first bucket
+		{1.0 / 3, 1}}
+	for _, c := range cases {
+		if got := h.Quantile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(h.Quantile(math.NaN())) {
+		t.Error("Quantile(NaN) should be NaN")
+	}
+
+	// Observations past the last bound land in +Inf and clamp to the
+	// highest finite bound instead of extrapolating to infinity.
+	inf := NewHistogram(1, 2)
+	inf.Observe(100)
+	if got := inf.Quantile(0.99); got != 2 {
+		t.Errorf("+Inf bucket quantile = %v, want clamp to 2", got)
+	}
+}
+
+// metricValue extracts the value of an exact metric line ("name value").
+func metricValue(t *testing.T, text, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				t.Fatalf("metric %s: bad value %q", name, fields[1])
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, text)
+	return 0
+}
+
+// lockedBuffer makes a bytes.Buffer safe for concurrent slog writes from
+// handler goroutines.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// Acceptance: under load the server exposes non-empty queue_wait and
+// solve histograms with quantiles on /metrics, retains request spans on
+// /debug/dptrace, propagates or generates X-Request-ID, and emits one
+// structured log line per request.
+func TestServeObservability(t *testing.T) {
+	logs := &lockedBuffer{}
+	s := New(Config{
+		BatchWindow: -1,
+		Logger:      slog.New(slog.NewTextHandler(logs, nil)),
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A propagated request id must round-trip to the response header.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/solve",
+		strings.NewReader(`{"problem":"chain","dims":[30,35,15,5,10,20,25]}`))
+	req.Header.Set("X-Request-ID", "client-supplied-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chain solve: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != "client-supplied-7" {
+		t.Errorf("X-Request-ID = %q, want propagated client id", got)
+	}
+
+	// A request without an id gets a generated one.
+	resp2, err := http.Post(ts.URL+"/solve", "application/json",
+		strings.NewReader(graphSpec(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("graph solve: status %d", resp2.StatusCode)
+	}
+	if resp2.Header.Get("X-Request-ID") == "" {
+		t.Error("no generated X-Request-ID on response")
+	}
+
+	text := metricsText(t, ts.URL)
+	if n := metricValue(t, text, "dpserve_queue_wait_seconds_count"); n < 1 {
+		t.Errorf("queue_wait histogram empty (count %v)", n)
+	}
+	if n := metricValue(t, text, "dpserve_solve_latency_seconds_count"); n < 1 {
+		t.Errorf("solve histogram empty (count %v)", n)
+	}
+	for _, want := range []string{
+		`dpserve_solve_latency_seconds{quantile="0.5"}`,
+		`dpserve_solve_latency_seconds{quantile="0.99"}`,
+		"dpserve_batch_assembly_seconds_bucket",
+		"dpserve_goroutines",
+		"dpserve_heap_alloc_bytes",
+		"dpserve_gc_cycles_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// /debug/dptrace must hold at least one finished request span.
+	tresp, err := http.Get(ts.URL + "/debug/dptrace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	var tr obs.Trace
+	if err := json.NewDecoder(tresp.Body).Decode(&tr); err != nil {
+		t.Fatalf("/debug/dptrace is not trace-event JSON: %v", err)
+	}
+	requests, stages := 0, 0
+	for _, e := range tr.TraceEvents {
+		if e.Pid != obs.ServePid || e.Ph != obs.PhaseComplete {
+			continue
+		}
+		if e.Name == "request" {
+			requests++
+		} else {
+			stages++
+		}
+	}
+	if requests < 2 {
+		t.Errorf("trace has %d request spans, want >= 2", requests)
+	}
+	if stages < 2 {
+		t.Errorf("trace has %d stage spans, want >= 2 (decode/queue_wait/solve/encode)", stages)
+	}
+
+	logged := logs.String()
+	if !strings.Contains(logged, "client-supplied-7") {
+		t.Errorf("structured log missing propagated request id:\n%s", logged)
+	}
+	if !strings.Contains(logged, "problem=chain") {
+		t.Errorf("structured log missing problem kind:\n%s", logged)
+	}
+}
+
+// pprof handlers mount only behind Config.EnablePprof.
+func TestServePprofGate(t *testing.T) {
+	off := New(Config{})
+	defer off.Close()
+	tsOff := httptest.NewServer(off.Handler())
+	defer tsOff.Close()
+	r, err := http.Get(tsOff.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if r.StatusCode == http.StatusOK {
+		t.Error("pprof served without EnablePprof")
+	}
+
+	on := New(Config{EnablePprof: true})
+	defer on.Close()
+	tsOn := httptest.NewServer(on.Handler())
+	defer tsOn.Close()
+	r, err = http.Get(tsOn.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Errorf("pprof index: status %d with EnablePprof", r.StatusCode)
+	}
+}

@@ -25,13 +25,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	httppprof "net/http/pprof"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"systolicdp/internal/core"
+	"systolicdp/internal/obs"
 	"systolicdp/internal/spec"
 )
 
@@ -52,6 +55,9 @@ type Config struct {
 	BatchMax    int           // flush at this many instances; default 16; <=1 disables batching
 	CacheSize   int           // LRU entries; default 1024; <0 disables caching
 	Timeout     time.Duration // per-solve budget; default 30s
+	TraceSpans  int           // request spans retained for /debug/dptrace; default 256
+	EnablePprof bool          // mount net/http/pprof under /debug/pprof/
+	Logger      *slog.Logger  // structured request logs; nil discards
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +79,12 @@ func (c Config) withDefaults() Config {
 	if c.Timeout <= 0 {
 		c.Timeout = 30 * time.Second
 	}
+	if c.TraceSpans <= 0 {
+		c.TraceSpans = 256
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return c
 }
 
@@ -90,9 +102,11 @@ type Response struct {
 
 // job is one general-pool work item.
 type job struct {
-	problem core.Problem
-	ctx     context.Context
-	done    chan jobResult
+	problem  core.Problem
+	ctx      context.Context
+	done     chan jobResult
+	enqueued time.Time
+	span     *obs.ReqSpan // request-lifecycle span; nil-safe
 }
 
 type jobResult struct {
@@ -108,6 +122,8 @@ type Server struct {
 	cache    *LRU
 	flight   *flight
 	batcher  *Batcher
+	spans    *obs.SpanRecorder
+	logger   *slog.Logger
 	jobs     chan *job
 	stop     chan struct{} // closed to tell idle workers to exit
 	wg       sync.WaitGroup
@@ -124,6 +140,8 @@ func New(cfg Config) *Server {
 		metrics: NewMetrics(),
 		cache:   NewLRU(cfg.CacheSize),
 		flight:  newFlight(),
+		spans:   obs.NewSpanRecorder(cfg.TraceSpans),
+		logger:  cfg.Logger,
 		jobs:    make(chan *job, cfg.QueueSize),
 		stop:    make(chan struct{}),
 		mux:     http.NewServeMux(),
@@ -133,6 +151,14 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/solve", s.handleSolve)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/dptrace", s.handleTrace)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -168,7 +194,11 @@ func (s *Server) worker() {
 }
 
 func (s *Server) runJob(j *job) {
+	start := time.Now()
+	s.metrics.QueueWaitSeconds.Observe(start.Sub(j.enqueued).Seconds())
+	j.span.Observe("queue_wait", j.enqueued, start)
 	sol, err := core.SolveCtx(j.ctx, j.problem)
+	j.span.Observe("solve", start, time.Now())
 	j.done <- jobResult{sol, err}
 }
 
@@ -194,7 +224,13 @@ func (s *Server) dispatch(ctx context.Context, p core.Problem) (*core.Solution, 
 	if mp, ok := p.(*core.MultistageProblem); ok && mp.Design == 1 && s.cfg.BatchMax > 1 {
 		return s.batcher.Submit(ctx, mp.Graph)
 	}
-	j := &job{problem: p, ctx: ctx, done: make(chan jobResult, 1)}
+	j := &job{
+		problem:  p,
+		ctx:      ctx,
+		done:     make(chan jobResult, 1),
+		enqueued: time.Now(),
+		span:     obs.SpanFrom(ctx),
+	}
 	if err := s.submit(j); err != nil {
 		return nil, err
 	}
@@ -225,8 +261,12 @@ func (s *Server) solveSpec(ctx context.Context, f *spec.File) (resp *Response, c
 		if err != nil {
 			return nil, badSpec{err}
 		}
+		// The solve context is detached from the request (singleflight may
+		// outlive its first caller), so the request span is re-attached
+		// explicitly for stage accounting.
 		sctx, cancel := context.WithTimeout(context.Background(), s.cfg.Timeout)
 		defer cancel()
+		sctx = obs.WithSpan(sctx, obs.SpanFrom(ctx))
 		start := time.Now()
 		sol, err := s.dispatch(sctx, p)
 		if err != nil {
@@ -278,30 +318,53 @@ func statusFor(err error) int {
 
 // handleSolve answers POST /solve: body is a spec.File, response the
 // Response JSON. Errors map to 400 (bad spec), 429 (backpressure), 503
-// (draining), 504 (timeout), 500 (solver failure).
+// (draining), 504 (timeout), 500 (solver failure). Every request gets a
+// lifecycle span (decode/queue_wait/batch_assembly/solve/encode) retained
+// for /debug/dptrace, an X-Request-ID (propagated from the client or
+// generated), and one structured log line.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST a spec.File JSON body", http.StatusMethodNotAllowed)
 		return
 	}
+	start := time.Now()
+	reqID := r.Header.Get("X-Request-ID")
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	w.Header().Set("X-Request-ID", reqID)
+
+	span := obs.NewReqSpan(reqID, "", start)
+	fail := func(status int, err error) {
+		span.Finish(time.Now(), status, false)
+		s.spans.Add(span)
+		s.logger.Warn("solve failed",
+			"id", reqID, "status", status, "err", err,
+			"duration", time.Since(start))
+		http.Error(w, err.Error(), status)
+	}
+
 	if s.draining.Load() {
-		http.Error(w, ErrShutdown.Error(), http.StatusServiceUnavailable)
+		fail(http.StatusServiceUnavailable, ErrShutdown)
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		fail(http.StatusBadRequest, err)
 		return
 	}
 	f, err := spec.Decode(body)
+	span.Observe("decode", start, time.Now())
 	if err != nil {
 		s.metrics.Errors.Inc()
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		fail(http.StatusBadRequest, err)
 		return
 	}
+	span.SetKind(f.Problem)
 	s.metrics.Request(f.Problem)
 
-	resp, cached, status, err := s.solveSpec(r.Context(), f)
+	ctx := obs.WithSpan(r.Context(), span)
+	resp, cached, status, err := s.solveSpec(ctx, f)
 	if err != nil {
 		switch status {
 		case http.StatusTooManyRequests:
@@ -311,7 +374,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		default:
 			s.metrics.Errors.Inc()
 		}
-		http.Error(w, err.Error(), status)
+		fail(status, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -320,9 +383,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	} else {
 		w.Header().Set("X-Dpserve-Cache", "miss")
 	}
+	encStart := time.Now()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(resp)
+	end := time.Now()
+	span.Observe("encode", encStart, end)
+	span.Finish(end, status, cached)
+	s.spans.Add(span)
+	s.logger.Info("solve",
+		"id", reqID, "problem", f.Problem, "status", status,
+		"cached", cached, "duration", end.Sub(start))
 }
 
 // handleHealthz reports liveness: 200 while serving, 503 while draining.
@@ -334,10 +405,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// handleMetrics renders the metric set as Prometheus text.
+// handleMetrics renders the metric set plus Go-runtime gauges as
+// Prometheus text.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.Write(w)
+	WriteRuntime(w)
+}
+
+// handleTrace serves the retained request-lifecycle spans as a Perfetto
+// trace-event JSON document (load it in ui.perfetto.dev, or summarize
+// with cmd/dptrace).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.spans.Trace().Write(w)
 }
 
 // Close gracefully shuts the server down: new requests are rejected with

@@ -182,12 +182,30 @@ func (a *Array) wiring() (in [][]int, out [][]int) {
 	return in, out
 }
 
+// PETrace observes one PE-cycle: the PE index, the logical cycle, and
+// whether that cycle performed useful work (the Step busy bit). It is the
+// per-PE counterpart of the lock-step wire trace, usable by both runners:
+// the lock-step runner invokes it in cycle order from one goroutine; the
+// goroutine runner invokes it concurrently, one call stream per PE, each
+// stream in its own cycle order (the marked-graph construction guarantees
+// PE i's local iteration t corresponds exactly to lock-step cycle t).
+// Implementations must therefore be safe for concurrent calls with
+// distinct pe values; internal/obs.CycleRecorder is one such sink.
+type PETrace func(pe, cycle int, busy bool)
+
 // RunLockstep executes the array for the given number of cycles under a
 // global two-phase clock: all PEs step on the current register values, then
 // all wires latch the new outputs. Trace, if non-nil, is invoked after each
 // cycle with the cycle index and freshly latched wire values (for the
 // systolicsim debugger).
 func (a *Array) RunLockstep(cycles int, trace func(cycle int, wires []Token)) (*Result, error) {
+	return a.RunLockstepObserved(cycles, trace, nil)
+}
+
+// RunLockstepObserved is RunLockstep with an additional per-PE trace hook
+// invoked once per PE per cycle with the busy bit, before the cycle's wire
+// snapshot is delivered to trace.
+func (a *Array) RunLockstepObserved(cycles int, trace func(cycle int, wires []Token), peTrace PETrace) (*Result, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
@@ -226,6 +244,9 @@ func (a *Array) RunLockstep(cycles int, trace func(cycle int, wires []Token)) (*
 			if busy {
 				res.Busy[pi]++
 			}
+			if peTrace != nil {
+				peTrace(pi, t, busy)
+			}
 			for _, wi := range outW[pi] {
 				next[wi] = out[a.Wires[wi].From.Port]
 			}
@@ -252,6 +273,13 @@ func (a *Array) RunLockstep(cycles int, trace func(cycle int, wires []Token)) (*
 // execution is deterministic and deadlock-free, and each PE's local cycle
 // ordering matches the lock-step schedule exactly.
 func (a *Array) RunGoroutines(cycles int) (*Result, error) {
+	return a.RunGoroutinesObserved(cycles, nil)
+}
+
+// RunGoroutinesObserved is RunGoroutines with a per-PE trace hook: each
+// PE's goroutine invokes peTrace(pe, t, busy) after its t-th Step. Calls
+// for different PEs are concurrent; see PETrace for the contract.
+func (a *Array) RunGoroutinesObserved(cycles int, peTrace PETrace) (*Result, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
@@ -347,6 +375,9 @@ func (a *Array) RunGoroutines(cycles int) (*Result, error) {
 				}
 				if b {
 					busy++
+				}
+				if peTrace != nil {
+					peTrace(pi, t, b)
 				}
 				for _, wi := range outW[pi] {
 					tok := out[a.Wires[wi].From.Port]

@@ -1,0 +1,17 @@
+package trace
+
+import (
+	"io"
+
+	"systolicdp/internal/obs"
+)
+
+// ExportPerfetto writes a recorded run as Chrome trace-event / Perfetto
+// JSON, loadable directly in ui.perfetto.dev: one track per PE with
+// busy/idle spans, counter tracks for busy-PE count, utilization and (for
+// lock-step runs) valid tokens in flight, and the array metadata in the
+// trace header. The heavy lifting lives in internal/obs; this is the
+// waveform package's JSON counterpart to Render's ASCII diagram.
+func ExportPerfetto(w io.Writer, rec *obs.CycleRecorder, meta obs.ArrayMeta) error {
+	return rec.Trace(meta).Write(w)
+}

@@ -51,7 +51,7 @@ func (r *Recorder) At(t, w int) (systolic.Token, error) {
 
 // name returns the label for wire w.
 func (r *Recorder) name(w int) string {
-	if w < len(r.names) && r.names[w] != "" {
+	if w >= 0 && w < len(r.names) && r.names[w] != "" {
 		return r.names[w]
 	}
 	return fmt.Sprintf("w%d", w)
@@ -113,6 +113,12 @@ func (r *Recorder) Render(wires []int, from, to int) string {
 	fmt.Fprintf(&b, "%s-+%s\n", strings.Repeat("-", nameW), strings.Repeat("-", (to-from)*(width+1)))
 	for _, w := range wires {
 		fmt.Fprintf(&b, "%-*s |", nameW, r.name(w))
+		if w < 0 || w >= len(r.history[0]) {
+			// An out-of-range wire index (caller-supplied watch list) is a
+			// render error, not a panic: At performs the same check.
+			fmt.Fprintf(&b, " <wire %d out of range [0,%d)>\n", w, len(r.history[0]))
+			continue
+		}
 		for t := from; t < to; t++ {
 			b.WriteByte(' ')
 			b.WriteString(cell(r.history[t][w], width))
@@ -120,6 +126,20 @@ func (r *Recorder) Render(wires []int, from, to int) string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// ValidCounts returns the number of valid tokens latched at each recorded
+// cycle: the data series behind the Perfetto valid_tokens counter track.
+func (r *Recorder) ValidCounts() []int {
+	counts := make([]int, len(r.history))
+	for t, snap := range r.history {
+		for _, tok := range snap {
+			if tok.Valid {
+				counts[t]++
+			}
+		}
+	}
+	return counts
 }
 
 // BusyProfile renders per-PE busy counts as a bar chart: the utilization

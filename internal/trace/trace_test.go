@@ -135,6 +135,48 @@ func TestRenderInfinities(t *testing.T) {
 	}
 }
 
+func TestRenderOutOfRangeWire(t *testing.T) {
+	a := buildChain(2, func(c int) systolic.Token {
+		return systolic.Token{V: float64(c), Valid: true}
+	})
+	rec := NewRecorder(nil)
+	if _, err := a.RunLockstep(3, rec.Callback()); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range indices in the watch list must render an error line,
+	// not panic (they used to index history unchecked).
+	out := rec.Render([]int{0, 99, -1}, 0, 0)
+	if !strings.Contains(out, "wire 99 out of range") || !strings.Contains(out, "wire -1 out of range") {
+		t.Errorf("out-of-range wires not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "w0") {
+		t.Errorf("in-range wire missing from render:\n%s", out)
+	}
+}
+
+func TestValidCounts(t *testing.T) {
+	a := buildChain(2, func(c int) systolic.Token {
+		if c == 0 {
+			return systolic.Token{V: 1, Valid: true}
+		}
+		return systolic.Bubble()
+	})
+	rec := NewRecorder(nil)
+	if _, err := a.RunLockstep(4, rec.Callback()); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot at cycle 0: the combinational source wire holds the token
+	// and PE0's output is freshly latched on the pipe wire (2 valid).
+	// Cycle 1: only the sink wire carries it (1). Then the array drains.
+	got := rec.ValidCounts()
+	want := []int{2, 1, 0, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("valid counts %v, want %v", got, want)
+		}
+	}
+}
+
 func TestRenderEmpty(t *testing.T) {
 	rec := NewRecorder(nil)
 	if out := rec.Render(nil, 0, 0); !strings.Contains(out, "empty") {
