@@ -51,17 +51,21 @@ func parseFlags(args []string) (string, serve.Config) {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request solve budget")
 	traceSpans := fs.Int("trace-spans", 256, "request spans retained for /debug/dptrace")
 	pprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	engineParallel := fs.Int("engine-parallel", 0, "lock-step engine compute-phase workers for streamed batch solves: 0/1 sequential, -1 = GOMAXPROCS")
+	engineThreshold := fs.Int("engine-parallel-threshold", 0, "minimum PE count before the parallel compute phase engages (0 = engine default)")
 	fs.Parse(args)
 	return *addr, serve.Config{
-		Workers:     *workers,
-		QueueSize:   *queue,
-		BatchWindow: *window,
-		BatchMax:    *batchMax,
-		CacheSize:   *cacheSize,
-		Timeout:     *timeout,
-		TraceSpans:  *traceSpans,
-		EnablePprof: *pprof,
-		Logger:      slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		Workers:                 *workers,
+		QueueSize:               *queue,
+		BatchWindow:             *window,
+		BatchMax:                *batchMax,
+		CacheSize:               *cacheSize,
+		Timeout:                 *timeout,
+		TraceSpans:              *traceSpans,
+		EnablePprof:             *pprof,
+		EngineParallelism:       *engineParallel,
+		EngineParallelThreshold: *engineThreshold,
+		Logger:                  slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	}
 }
 

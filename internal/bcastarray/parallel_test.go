@@ -1,0 +1,81 @@
+package bcastarray
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// The sharded lock-step loop must be bit-identical to the sequential one:
+// same result vector (exact float comparison — the per-PE accumulation
+// order is unchanged), same busy counts, same per-PE trace observations,
+// across odd and even PE counts and worker counts ∈ {1, 2, NumCPU, > m}.
+func TestParallelLockstepBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, m := range []int{1, 2, 3, 6, 9} {
+		for _, k := range []int{1, 2, 5} {
+			ms, v := randomChain(rng, k, m)
+			seq, err := New(ms, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqBusy := make(map[int]int)
+			var mu sync.Mutex
+			wantOut, wantCnt := seq.RunLockstepObserved(func(pe, cycle int, busy bool) {
+				mu.Lock()
+				seqBusy[pe]++
+				mu.Unlock()
+			})
+			for _, workers := range []int{2, runtime.NumCPU(), m + 3} {
+				par, err := New(ms, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				par.SetParallelism(workers)
+				par.SetParallelThreshold(1)
+				if got := par.LockstepWorkers(); got < 1 || got > m {
+					t.Fatalf("m=%d workers=%d: LockstepWorkers = %d out of range", m, workers, got)
+				}
+				parBusy := make(map[int]int)
+				gotOut, gotCnt := par.RunLockstepObserved(func(pe, cycle int, busy bool) {
+					mu.Lock()
+					parBusy[pe]++
+					mu.Unlock()
+				})
+				if !reflect.DeepEqual(wantOut, gotOut) {
+					t.Errorf("m=%d k=%d workers=%d: result %v, want %v", m, k, workers, gotOut, wantOut)
+				}
+				if !reflect.DeepEqual(wantCnt, gotCnt) {
+					t.Errorf("m=%d k=%d workers=%d: busy %v, want %v", m, k, workers, gotCnt, wantCnt)
+				}
+				if !reflect.DeepEqual(seqBusy, parBusy) {
+					t.Errorf("m=%d k=%d workers=%d: trace observations %v, want %v", m, k, workers, parBusy, seqBusy)
+				}
+			}
+		}
+	}
+}
+
+// Below the threshold the parallel loop must not engage.
+func TestParallelThresholdGating(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ms, v := randomChain(rng, 2, 4)
+	a, err := New(ms, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetParallelism(4)
+	if got := a.LockstepWorkers(); got != 1 {
+		t.Errorf("below default threshold: workers = %d, want 1", got)
+	}
+	a.SetParallelThreshold(4)
+	if got := a.LockstepWorkers(); got != 4 {
+		t.Errorf("at threshold: workers = %d, want 4", got)
+	}
+	a.SetParallelThreshold(5)
+	if got := a.LockstepWorkers(); got != 1 {
+		t.Errorf("just below threshold: workers = %d, want 1", got)
+	}
+}

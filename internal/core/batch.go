@@ -95,24 +95,51 @@ func StreamProblemFromGraph(g *multistage.Graph) (pipearray.StreamProblem, error
 // must share stage count and stage sizes; pipearray.NewStream enforces
 // this.
 func SolveGraphBatch(gs []*multistage.Graph) ([]*Solution, error) {
+	sols, _, err := SolveGraphBatchParallel(gs, 0, 0)
+	return sols, err
+}
+
+// BatchStats reports the engine-side measurements of one streamed batch
+// run: the wall-cycle count, the compute-phase worker count the lock-step
+// engine used after threshold gating, and the measured processor
+// utilization (the paper's PU, observed through the serving path).
+type BatchStats struct {
+	Cycles      int
+	Workers     int
+	Utilization float64
+}
+
+// SolveGraphBatchParallel is SolveGraphBatch with the lock-step engine's
+// parallel compute phase configured: parallelism is the worker-count knob
+// (<=1 sequential, negative = GOMAXPROCS) and threshold the minimum PE
+// count at which it engages (0 = engine default). It additionally returns
+// the run's BatchStats.
+func SolveGraphBatchParallel(gs []*multistage.Graph, parallelism, threshold int) ([]*Solution, *BatchStats, error) {
 	if len(gs) == 0 {
-		return nil, fmt.Errorf("core: empty graph batch")
+		return nil, nil, fmt.Errorf("core: empty graph batch")
 	}
 	problems := make([]pipearray.StreamProblem, len(gs))
 	for i, g := range gs {
 		sp, err := StreamProblemFromGraph(g)
 		if err != nil {
-			return nil, fmt.Errorf("core: batch graph %d: %v", i, err)
+			return nil, nil, fmt.Errorf("core: batch graph %d: %v", i, err)
 		}
 		problems[i] = sp
 	}
 	st, err := pipearray.NewStream(problems)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	outs, err := st.Run(false)
+	st.SetParallelism(parallelism)
+	st.SetParallelThreshold(threshold)
+	outs, res, err := st.RunObserved(false)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	stats := &BatchStats{
+		Cycles:      res.Cycles,
+		Workers:     st.LockstepWorkers(),
+		Utilization: res.Utilization(),
 	}
 	mp := semiring.MinPlus{}
 	class := Class{Monadic, Serial}
@@ -124,5 +151,5 @@ func SolveGraphBatch(gs []*multistage.Graph) ([]*Solution, error) {
 			Cost:   semiring.Fold(mp, out),
 		}
 	}
-	return sols, nil
+	return sols, stats, nil
 }

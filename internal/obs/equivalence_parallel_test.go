@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"systolicdp/internal/bcastarray"
+	"systolicdp/internal/fbarray"
+	"systolicdp/internal/multistage"
+	"systolicdp/internal/pipearray"
+	"systolicdp/internal/semiring"
+)
+
+// The ISSUE's engine-equivalence requirement for the parallel compute
+// phase: sequential lock-step, parallel lock-step, and the goroutine
+// runner must produce identical results, cycle counts, and per-PE busy
+// totals for designs 1-3, across odd and even PE counts and parallelism
+// ∈ {1, 2, NumCPU}.
+
+var workerGrid = []int{1, 2, runtime.NumCPU()}
+
+// graphInstanceM is graphInstance with a configurable per-stage width, so
+// the grid covers odd and even PE counts.
+func graphInstanceM(t *testing.T, seed int64, m int) ([]float64, *multistage.Graph) {
+	t.Helper()
+	mp := semiring.MinPlus{}
+	rng := rand.New(rand.NewSource(seed))
+	inner := multistage.RandomUniform(rng, 3, m, 1, 10)
+	g := multistage.SingleSourceSink(mp, inner)
+	mats := g.Matrices()
+	return mats[len(mats)-1].Col(0), g
+}
+
+func TestDesign1ParallelEngineEquivalence(t *testing.T) {
+	for _, m := range []int{3, 4} {
+		v, g := graphInstanceM(t, 7, m)
+		mats := g.Matrices()
+		build := func() *pipearray.Array {
+			arr, err := pipearray.New(mats[:len(mats)-1], v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return arr
+		}
+		seq := build()
+		seqRec := NewCycleRecorder(seq.M, seq.ObservedCycles())
+		seqOut, seqRes, err := seq.RunObserved(false, nil, seqRec.PETrace())
+		if err != nil {
+			t.Fatal(err)
+		}
+		goroOut, goroRes, err := build().RunObserved(true, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seqOut, goroOut) || !reflect.DeepEqual(seqRes.Busy, goroRes.Busy) || seqRes.Cycles != goroRes.Cycles {
+			t.Fatalf("m=%d: goroutine runner disagrees with sequential lock-step", m)
+		}
+		for _, workers := range workerGrid {
+			par := build()
+			par.SetParallelism(workers)
+			par.SetParallelThreshold(1)
+			parRec := NewCycleRecorder(par.M, par.ObservedCycles())
+			parOut, parRes, err := par.RunObserved(false, nil, parRec.PETrace())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seqOut, parOut) {
+				t.Errorf("m=%d workers=%d: outputs %v, want %v", m, workers, parOut, seqOut)
+			}
+			if !reflect.DeepEqual(seqRes, parRes) {
+				t.Errorf("m=%d workers=%d: engine Result differs (cycles %d vs %d, busy %v vs %v)",
+					m, workers, parRes.Cycles, seqRes.Cycles, parRes.Busy, seqRes.Busy)
+			}
+			if !reflect.DeepEqual(seqRec.BusyTotals(), parRec.BusyTotals()) {
+				t.Errorf("m=%d workers=%d: trace busy totals %v, want %v", m, workers, parRec.BusyTotals(), seqRec.BusyTotals())
+			}
+		}
+	}
+}
+
+func TestDesign2ParallelEngineEquivalence(t *testing.T) {
+	for _, m := range []int{3, 4} {
+		v, g := graphInstanceM(t, 11, m)
+		mats := g.Matrices()
+		arr, err := bcastarray.New(mats[:len(mats)-1], v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqRec := NewCycleRecorder(arr.M, arr.ObservedCycles())
+		seqOut, seqBusy := arr.RunLockstepObserved(seqRec.PETrace())
+		goroOut, goroBusy := arr.RunGoroutinesObserved(nil)
+		if !reflect.DeepEqual(seqOut, goroOut) || !reflect.DeepEqual(seqBusy, goroBusy) {
+			t.Fatalf("m=%d: goroutine runner disagrees with sequential lock-step", m)
+		}
+		for _, workers := range workerGrid {
+			par, err := bcastarray.New(mats[:len(mats)-1], v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par.SetParallelism(workers)
+			par.SetParallelThreshold(1)
+			parRec := NewCycleRecorder(par.M, par.ObservedCycles())
+			parOut, parBusy := par.RunLockstepObserved(parRec.PETrace())
+			if !reflect.DeepEqual(seqOut, parOut) {
+				t.Errorf("m=%d workers=%d: outputs %v, want %v", m, workers, parOut, seqOut)
+			}
+			if !reflect.DeepEqual(seqBusy, parBusy) {
+				t.Errorf("m=%d workers=%d: busy %v, want %v", m, workers, parBusy, seqBusy)
+			}
+			if !reflect.DeepEqual(seqRec.BusyTotals(), parRec.BusyTotals()) {
+				t.Errorf("m=%d workers=%d: trace busy totals %v, want %v", m, workers, parRec.BusyTotals(), seqRec.BusyTotals())
+			}
+		}
+	}
+}
+
+func TestDesign3ParallelEngineEquivalence(t *testing.T) {
+	for _, m := range []int{3, 4} {
+		rng := rand.New(rand.NewSource(5))
+		p := multistage.RandomNodeValued(rng, 4, m, 0, 10)
+		build := func() *fbarray.Array {
+			arr, err := fbarray.New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return arr
+		}
+		seq := build()
+		seqRec := NewCycleRecorder(seq.M, seq.ObservedCycles())
+		seqRes, err := seq.RunObserved(false, nil, seqRec.PETrace())
+		if err != nil {
+			t.Fatal(err)
+		}
+		goroRes, err := build().RunObserved(true, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seqRes.Cost != goroRes.Cost || !reflect.DeepEqual(seqRes.Busy, goroRes.Busy) {
+			t.Fatalf("m=%d: goroutine runner disagrees with sequential lock-step", m)
+		}
+		for _, workers := range workerGrid {
+			par := build()
+			par.SetParallelism(workers)
+			par.SetParallelThreshold(1)
+			parRec := NewCycleRecorder(par.M, par.ObservedCycles())
+			parRes, err := par.RunObserved(false, nil, parRec.PETrace())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seqRes, parRes) {
+				t.Errorf("m=%d workers=%d: Result %+v, want %+v", m, workers, parRes, seqRes)
+			}
+			if !reflect.DeepEqual(seqRec.BusyTotals(), parRec.BusyTotals()) {
+				t.Errorf("m=%d workers=%d: trace busy totals %v, want %v", m, workers, parRec.BusyTotals(), seqRec.BusyTotals())
+			}
+		}
+	}
+}

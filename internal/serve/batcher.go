@@ -22,6 +22,11 @@ type Batcher struct {
 	maxBatch int           // flush immediately at this many instances
 	maxQueue int           // total waiting instances before backpressure
 
+	// Lock-step engine parallel-compute knobs for the streamed run; see
+	// systolic.Array.Parallelism / ParallelThreshold.
+	engineParallelism int
+	engineThreshold   int
+
 	mu       sync.Mutex
 	pending  map[shapeKey]*batch
 	inflight int
@@ -44,6 +49,7 @@ type batch struct {
 
 type batchItem struct {
 	graph    *multistage.Graph
+	ctx      context.Context  // the submitter's context; cancelled items are dropped at flush
 	ch       chan batchResult // buffered; flush never blocks on delivery
 	enqueued time.Time
 	span     *obs.ReqSpan // request-lifecycle span; nil-safe
@@ -86,6 +92,7 @@ func (b *Batcher) Submit(ctx context.Context, g *multistage.Graph) (*core.Soluti
 	key := shapeKey{m: len(sp.V), k: len(sp.Ms), rows: sp.Ms[0].Rows}
 	item := &batchItem{
 		graph:    g,
+		ctx:      ctx,
 		ch:       make(chan batchResult, 1),
 		enqueued: time.Now(),
 		span:     obs.SpanFrom(ctx),
@@ -159,30 +166,54 @@ func (b *Batcher) startFlush(bt *batch) {
 }
 
 // flush runs one streamed batch and delivers each instance's result.
-// Stage accounting: each item's queue_wait is its enqueue -> flush start;
-// the flush's batch_assembly is the oldest item's wait (what the batching
-// window added to tail latency); solve is the shared streamed array run.
+// Items whose submitter already gave up (ctx done) are dropped at
+// assembly: their slots are released immediately, they consume no array
+// cycles, and no spans are recorded for them — the submitter has long
+// since returned ctx.Err(). Stage accounting for live items: each item's
+// queue_wait is its enqueue -> flush start; the flush's batch_assembly is
+// the oldest item's wait (what the batching window added to tail
+// latency); solve is the shared streamed array run.
 func (b *Batcher) flush(bt *batch) {
 	flushStart := time.Now()
-	gs := make([]*multistage.Graph, len(bt.items))
+	live := make([]*batchItem, 0, len(bt.items))
+	for _, it := range bt.items {
+		if it.ctx.Err() != nil {
+			continue
+		}
+		live = append(live, it)
+	}
+	if abandoned := len(bt.items) - len(live); abandoned > 0 {
+		b.metrics.BatchAbandoned.Add(int64(abandoned))
+		b.mu.Lock()
+		b.inflight -= abandoned
+		b.mu.Unlock()
+	}
+	if len(live) == 0 {
+		return // nothing left to solve: the array never spins up
+	}
+	gs := make([]*multistage.Graph, len(live))
 	earliest := flushStart
-	for i, it := range bt.items {
+	for i, it := range live {
 		gs[i] = it.graph
 		if it.enqueued.Before(earliest) {
 			earliest = it.enqueued
 		}
 	}
 	solveStart := time.Now()
-	sols, err := core.SolveGraphBatch(gs)
+	sols, stats, err := core.SolveGraphBatchParallel(gs, b.engineParallelism, b.engineThreshold)
 	solveEnd := time.Now()
 	b.metrics.Batches.Inc()
-	b.metrics.Batched.Add(int64(len(bt.items)))
-	b.metrics.BatchOccupancy.Observe(float64(len(bt.items)))
+	b.metrics.Batched.Add(int64(len(live)))
+	b.metrics.BatchOccupancy.Observe(float64(len(live)))
 	b.metrics.BatchAssemblySeconds.Observe(flushStart.Sub(earliest).Seconds())
+	if stats != nil {
+		b.metrics.EngineWorkers.Set(float64(stats.Workers))
+		b.metrics.EngineUtilization.Set(stats.Utilization)
+	}
 	b.mu.Lock()
-	b.inflight -= len(bt.items)
+	b.inflight -= len(live)
 	b.mu.Unlock()
-	for i, it := range bt.items {
+	for i, it := range live {
 		b.metrics.QueueWaitSeconds.Observe(flushStart.Sub(it.enqueued).Seconds())
 		it.span.Observe("queue_wait", it.enqueued, flushStart)
 		it.span.Observe("batch_assembly", flushStart, solveStart)
@@ -193,6 +224,15 @@ func (b *Batcher) flush(bt *batch) {
 			it.ch <- batchResult{sol: sols[i]}
 		}
 	}
+}
+
+// SetEngineParallelism configures the lock-step engine's parallel compute
+// phase for this batcher's streamed runs: parallelism is the worker-count
+// knob (<=1 sequential, negative = GOMAXPROCS), threshold the minimum PE
+// count at which it engages (0 = engine default). Call before serving.
+func (b *Batcher) SetEngineParallelism(parallelism, threshold int) {
+	b.engineParallelism = parallelism
+	b.engineThreshold = threshold
 }
 
 // StreamCycles exposes the cycle model for a hypothetical flush of n

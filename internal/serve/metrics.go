@@ -22,6 +22,15 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Value reads the counter.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// Gauge is a last-write-wins float value (atomic bit-pattern store).
+type Gauge struct{ v atomic.Uint64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(x float64) { g.v.Store(math.Float64bits(x)) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
 // Histogram is a fixed-bucket cumulative histogram (Prometheus-style:
 // bucket i counts observations <= Bounds[i], plus an implicit +Inf).
 type Histogram struct {
@@ -126,14 +135,19 @@ type Metrics struct {
 	mu       sync.Mutex
 	requests map[string]*Counter // by problem kind
 
-	CacheHits   Counter
-	CacheMisses Counter
-	FlightShare Counter // requests coalesced onto another request's solve
-	Rejected    Counter // 429s from a full queue
-	Timeouts    Counter
-	Errors      Counter // solver / bad-spec failures
-	Batches     Counter // micro-batch flushes
-	Batched     Counter // requests that went through a micro-batch
+	CacheHits      Counter
+	CacheMisses    Counter
+	FlightShare    Counter // requests coalesced onto another request's solve
+	Rejected       Counter // 429s from a full queue
+	Timeouts       Counter // server-side deadline expiries (504s)
+	ClientCancel   Counter // client disconnects before a result (499s)
+	Errors         Counter // solver / bad-spec failures
+	Batches        Counter // micro-batch flushes
+	Batched        Counter // requests that went through a micro-batch
+	BatchAbandoned Counter // cancelled items dropped at flush assembly
+
+	EngineWorkers     Gauge // compute-phase workers of the last streamed run
+	EngineUtilization Gauge // measured PU of the last streamed run
 
 	BatchOccupancy *Histogram // instances per flush
 	SolveSeconds   *Histogram // end-to-end solve latency
@@ -201,9 +215,13 @@ func (m *Metrics) Write(w io.Writer) {
 	fmt.Fprintf(w, "dpserve_singleflight_shared_total %d\n", m.FlightShare.Value())
 	fmt.Fprintf(w, "dpserve_rejected_total %d\n", m.Rejected.Value())
 	fmt.Fprintf(w, "dpserve_timeouts_total %d\n", m.Timeouts.Value())
+	fmt.Fprintf(w, "dpserve_client_cancel_total %d\n", m.ClientCancel.Value())
 	fmt.Fprintf(w, "dpserve_errors_total %d\n", m.Errors.Value())
 	fmt.Fprintf(w, "dpserve_batches_total %d\n", m.Batches.Value())
 	fmt.Fprintf(w, "dpserve_batched_requests_total %d\n", m.Batched.Value())
+	fmt.Fprintf(w, "dpserve_batch_abandoned_total %d\n", m.BatchAbandoned.Value())
+	fmt.Fprintf(w, "dpserve_engine_workers %g\n", m.EngineWorkers.Value())
+	fmt.Fprintf(w, "dpserve_engine_worker_utilization %g\n", m.EngineUtilization.Value())
 	m.BatchOccupancy.write(w, "dpserve_batch_occupancy")
 	m.SolveSeconds.write(w, "dpserve_solve_latency_seconds")
 	m.QueueWaitSeconds.write(w, "dpserve_queue_wait_seconds")

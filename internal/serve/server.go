@@ -58,6 +58,15 @@ type Config struct {
 	TraceSpans  int           // request spans retained for /debug/dptrace; default 256
 	EnablePprof bool          // mount net/http/pprof under /debug/pprof/
 	Logger      *slog.Logger  // structured request logs; nil discards
+
+	// EngineParallelism is the lock-step engine's compute-phase worker
+	// count for streamed Design-1 batch runs: 0 or 1 solves sequentially,
+	// >1 shards the per-cycle PE loop, negative uses GOMAXPROCS.
+	EngineParallelism int
+	// EngineParallelThreshold is the minimum PE count (vector length m) at
+	// which the parallel compute phase engages; 0 keeps the engine default
+	// (systolic.DefaultParallelThreshold).
+	EngineParallelThreshold int
 }
 
 func (c Config) withDefaults() Config {
@@ -147,6 +156,7 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 	}
 	s.batcher = NewBatcher(cfg.BatchWindow, cfg.BatchMax, cfg.QueueSize, s.metrics)
+	s.batcher.SetEngineParallelism(cfg.EngineParallelism, cfg.EngineParallelThreshold)
 	s.metrics.QueueDepth = func() int { return len(s.jobs) }
 	s.mux.HandleFunc("/solve", s.handleSolve)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -256,7 +266,7 @@ func (s *Server) solveSpec(ctx context.Context, f *spec.File) (resp *Response, c
 	}
 	s.metrics.CacheMisses.Inc()
 
-	resp, shared, err := s.flight.do(ctx, key, func() (*Response, error) {
+	fn := func() (*Response, error) {
 		p, err := f.Build()
 		if err != nil {
 			return nil, badSpec{err}
@@ -285,14 +295,29 @@ func (s *Server) solveSpec(ctx context.Context, f *spec.File) (resp *Response, c
 		}
 		s.cache.Put(key, r)
 		return r, nil
-	})
-	if shared {
-		s.metrics.FlightShare.Inc()
 	}
+	resp, err = s.flightSolve(ctx, key, fn)
 	if err != nil {
 		return nil, false, statusFor(err), err
 	}
 	return resp, false, http.StatusOK, nil
+}
+
+// flightSolve runs fn through the singleflight group. A waiter that
+// inherits the lead caller's transient answer (ErrBusy / ErrShutdown)
+// retries the solve path once: the lead's queue-full or draining verdict
+// reflects conditions at *its* submit instant, and inheriting it would
+// turn one full queue into N rejections of deduplicated requests. Only
+// successful coalescing counts toward FlightShare.
+func (s *Server) flightSolve(ctx context.Context, key string, fn func() (*Response, error)) (*Response, error) {
+	resp, shared, err := s.flight.do(ctx, key, fn)
+	if shared && (errors.Is(err, ErrBusy) || errors.Is(err, ErrShutdown)) {
+		resp, shared, err = s.flight.do(ctx, key, fn)
+	}
+	if shared && err == nil {
+		s.metrics.FlightShare.Inc()
+	}
+	return resp, err
 }
 
 // badSpec marks spec-construction failures so statusFor maps them to 400.
@@ -300,6 +325,12 @@ type badSpec struct{ err error }
 
 func (b badSpec) Error() string { return b.err.Error() }
 func (b badSpec) Unwrap() error { return b.err }
+
+// StatusClientClosedRequest is nginx's non-standard 499 "client closed
+// request": the client went away before a response existed. It is kept
+// distinct from 504 so dashboards don't blame server capacity for client
+// disconnects.
+const StatusClientClosedRequest = 499
 
 func statusFor(err error) int {
 	switch {
@@ -309,8 +340,13 @@ func statusFor(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrShutdown):
 		return http.StatusServiceUnavailable
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// A cancelled request context means the *client* abandoned the
+		// exchange (server deadlines surface as DeadlineExceeded), so this
+		// must not count against server timeouts.
+		return StatusClientClosedRequest
 	default:
 		return http.StatusInternalServerError
 	}
@@ -371,6 +407,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			s.metrics.Rejected.Inc()
 		case http.StatusGatewayTimeout:
 			s.metrics.Timeouts.Inc()
+		case StatusClientClosedRequest:
+			s.metrics.ClientCancel.Inc()
 		default:
 			s.metrics.Errors.Inc()
 		}
@@ -386,11 +424,21 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	encStart := time.Now()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(resp)
+	encErr := enc.Encode(resp)
 	end := time.Now()
 	span.Observe("encode", encStart, end)
 	span.Finish(end, status, cached)
 	s.spans.Add(span)
+	if encErr != nil {
+		// Headers are already on the wire, so the status cannot be
+		// rewritten — but a half-written body is not a success and must not
+		// be logged as one.
+		s.metrics.Errors.Inc()
+		s.logger.Warn("solve response write failed",
+			"id", reqID, "problem", f.Problem, "err", encErr,
+			"duration", end.Sub(start))
+		return
+	}
 	s.logger.Info("solve",
 		"id", reqID, "problem", f.Problem, "status", status,
 		"cached", cached, "duration", end.Sub(start))

@@ -1,0 +1,184 @@
+package systolic
+
+import (
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// buildChain returns a fresh add-chain array of n PEs over the same input
+// stream, so sequential and parallel runs start from identical state.
+func buildChain(n int) *Array {
+	pes := make([]PE, n)
+	for i := range pes {
+		pes[i] = &addPE{c: float64(i + 1)}
+	}
+	return chainArray(pes, seqSource(n+3))
+}
+
+// The parallel compute phase must be bit-identical to the sequential
+// schedule: same Result (cycles, busy counts, sink streams) and the same
+// per-PE trace observations, across odd and even PE counts and worker
+// counts ∈ {1, 2, NumCPU, > PEs}.
+func TestLockstepParallelBitIdentical(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 17} {
+		cycles := 2*n + 5
+		seq := buildChain(n)
+		seqBusy := make(map[int]int)
+		var mu sync.Mutex
+		wantRes, err := seq.RunLockstepObserved(cycles, nil, func(pe, cycle int, busy bool) {
+			if busy {
+				mu.Lock()
+				seqBusy[pe]++
+				mu.Unlock()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, runtime.NumCPU(), n + 5} {
+			if workers < 1 {
+				workers = 1
+			}
+			par := buildChain(n)
+			par.Parallelism = workers
+			par.ParallelThreshold = 1
+			parBusy := make(map[int]int)
+			gotRes, err := par.RunLockstepObserved(cycles, nil, func(pe, cycle int, busy bool) {
+				if busy {
+					mu.Lock()
+					parBusy[pe]++
+					mu.Unlock()
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(wantRes, gotRes) {
+				t.Errorf("n=%d workers=%d: parallel Result differs: %+v vs %+v", n, workers, gotRes, wantRes)
+			}
+			if !reflect.DeepEqual(seqBusy, parBusy) {
+				t.Errorf("n=%d workers=%d: PETrace busy observations differ: %v vs %v", n, workers, parBusy, seqBusy)
+			}
+		}
+	}
+}
+
+// The wire-trace callback still fires in cycle order from the coordinator
+// under the parallel compute phase, with the same latched snapshots.
+func TestLockstepParallelWireTrace(t *testing.T) {
+	const n, cycles = 5, 12
+	record := func(a *Array) [][]Token {
+		var snaps [][]Token
+		if _, err := a.RunLockstepObserved(cycles, func(cycle int, wires []Token) {
+			if cycle != len(snaps) {
+				t.Fatalf("wire trace out of order: cycle %d at position %d", cycle, len(snaps))
+			}
+			snaps = append(snaps, wires)
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+		return snaps
+	}
+	want := record(buildChain(n))
+	par := buildChain(n)
+	par.Parallelism = 3
+	par.ParallelThreshold = 1
+	if got := record(par); !reflect.DeepEqual(want, got) {
+		t.Error("parallel run latched different wire snapshots")
+	}
+}
+
+// LockstepWorkers gates on the threshold and clamps to the PE count.
+func TestLockstepWorkersGating(t *testing.T) {
+	cases := []struct {
+		pes, parallelism, threshold, want int
+	}{
+		{8, 0, 0, 1},                        // default: sequential
+		{8, 1, 0, 1},                        // explicit sequential
+		{8, 4, 0, 1},                        // below default threshold
+		{8, 4, 8, 4},                        // at threshold
+		{8, 4, 9, 1},                        // just below threshold
+		{8, 16, 1, 8},                       // clamped to PE count
+		{DefaultParallelThreshold, 2, 0, 2}, // default threshold engages
+		{DefaultParallelThreshold - 1, 2, 0, 1},
+	}
+	for _, c := range cases {
+		a := &Array{PEs: make([]PE, c.pes), Parallelism: c.parallelism, ParallelThreshold: c.threshold}
+		if got := a.LockstepWorkers(); got != c.want {
+			t.Errorf("pes=%d parallelism=%d threshold=%d: workers = %d, want %d",
+				c.pes, c.parallelism, c.threshold, got, c.want)
+		}
+	}
+	a := &Array{PEs: make([]PE, 4), Parallelism: -1, ParallelThreshold: 1}
+	want := runtime.GOMAXPROCS(0)
+	if want > 4 {
+		want = 4
+	}
+	if want <= 1 {
+		want = 1
+	}
+	if got := a.LockstepWorkers(); got != want {
+		t.Errorf("negative parallelism: workers = %d, want %d (GOMAXPROCS clamped)", got, want)
+	}
+}
+
+// faultyPE violates the Step contract when bad is set.
+type faultyPE struct{ bad bool }
+
+func (p *faultyPE) NumIn() int  { return 1 }
+func (p *faultyPE) NumOut() int { return 1 }
+func (p *faultyPE) Step(in []Token) ([]Token, bool) {
+	if p.bad {
+		return nil, false
+	}
+	return []Token{in[0]}, in[0].Valid
+}
+func (p *faultyPE) Reset() {}
+
+// A contract violation under the parallel phase reports the same
+// lowest-numbered failing PE as the sequential schedule, and the worker
+// pool shuts down cleanly.
+func TestLockstepParallelErrorDeterministic(t *testing.T) {
+	build := func() *Array {
+		pes := make([]PE, 9)
+		for i := range pes {
+			pes[i] = &faultyPE{bad: i == 4 || i == 7}
+		}
+		return chainArray(pes, seqSource(4))
+	}
+	_, wantErr := build().RunLockstep(6, nil)
+	if wantErr == nil {
+		t.Fatal("sequential run accepted a contract violation")
+	}
+	par := build()
+	par.Parallelism = 3
+	par.ParallelThreshold = 1
+	_, gotErr := par.RunLockstep(6, nil)
+	if gotErr == nil {
+		t.Fatal("parallel run accepted a contract violation")
+	}
+	if gotErr.Error() != wantErr.Error() {
+		t.Errorf("parallel error %q, want sequential's %q", gotErr, wantErr)
+	}
+}
+
+// The goroutine runner is unaffected by the knob.
+func TestGoroutineRunnerIgnoresParallelism(t *testing.T) {
+	a := buildChain(4)
+	a.Parallelism = 8
+	a.ParallelThreshold = 1
+	res, err := a.RunGoroutines(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := buildChain(4)
+	want, err := b.RunGoroutines(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Busy, want.Busy) {
+		t.Errorf("busy %v, want %v", res.Busy, want.Busy)
+	}
+}
