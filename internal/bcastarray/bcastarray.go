@@ -133,7 +133,8 @@ func (a *Array) WallCycles() int { return a.Iterations() }
 func (a *Array) ObservedCycles() int { return a.Iterations() }
 
 // RunLockstep simulates the array cycle by cycle and returns the result
-// vector (live entries only) and the per-PE busy counts.
+// vector (live entries only) and the per-PE busy counts. All state is
+// per-run, so the array is re-runnable: repeated runs are bit-identical.
 func (a *Array) RunLockstep() ([]float64, []int) {
 	return a.RunLockstepObserved(nil)
 }

@@ -1,0 +1,122 @@
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"systolicdp/internal/spec"
+)
+
+// jsonFloat is a float64 whose JSON form can express the non-finite
+// values standard JSON cannot: single-edge degenerate graphs carry
+// semiring-Zero (±Inf) edges, and a reproducer must round-trip them.
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "+Inf", "Inf":
+			*f = jsonFloat(math.Inf(1))
+		case "-Inf":
+			*f = jsonFloat(math.Inf(-1))
+		case "NaN":
+			*f = jsonFloat(math.NaN())
+		default:
+			return fmt.Errorf("check: bad float literal %q", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = jsonFloat(v)
+	return nil
+}
+
+// fileJSON shadows spec.File's costs with the Inf-capable float type;
+// every other field is always finite by construction.
+type fileJSON struct {
+	spec.File
+	Costs [][][]jsonFloat `json:"costs,omitempty"`
+}
+
+type instanceJSON struct {
+	File     fileJSON `json:"spec"`
+	Semiring string   `json:"semiring,omitempty"`
+	Label    string   `json:"label,omitempty"`
+}
+
+// MarshalJSON renders the instance with non-finite cost entries encoded
+// as the strings "+Inf"/"-Inf"/"NaN".
+func (in Instance) MarshalJSON() ([]byte, error) {
+	fj := fileJSON{File: in.File}
+	fj.File.Costs = nil
+	fj.Costs = costsToJSON(in.File.Costs)
+	return json.Marshal(instanceJSON{File: fj, Semiring: in.Semiring, Label: in.Label})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (in *Instance) UnmarshalJSON(data []byte) error {
+	var a instanceJSON
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	in.File = a.File.File
+	in.File.Costs = costsFromJSON(a.File.Costs)
+	in.Semiring = a.Semiring
+	in.Label = a.Label
+	return nil
+}
+
+func costsToJSON(costs [][][]float64) [][][]jsonFloat {
+	if costs == nil {
+		return nil
+	}
+	out := make([][][]jsonFloat, len(costs))
+	for k, stage := range costs {
+		out[k] = make([][]jsonFloat, len(stage))
+		for i, row := range stage {
+			out[k][i] = make([]jsonFloat, len(row))
+			for j, v := range row {
+				out[k][i][j] = jsonFloat(v)
+			}
+		}
+	}
+	return out
+}
+
+func costsFromJSON(costs [][][]jsonFloat) [][][]float64 {
+	if costs == nil {
+		return nil
+	}
+	out := make([][][]float64, len(costs))
+	for k, stage := range costs {
+		out[k] = make([][]float64, len(stage))
+		for i, row := range stage {
+			out[k][i] = make([]float64, len(row))
+			for j, v := range row {
+				out[k][i][j] = float64(v)
+			}
+		}
+	}
+	return out
+}

@@ -54,6 +54,14 @@ func SolveCtx(ctx context.Context, p Problem) (*Solution, error) {
 	}
 	ch := make(chan outcome, 1)
 	go func() {
+		// This goroutine is detached once the caller's context fires; a
+		// panicking Problem implementation must not crash the process
+		// (dpserve runs every solve through here).
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{nil, fmt.Errorf("core: solve panicked: %v", r)}
+			}
+		}()
 		sol, err := Solve(p)
 		ch <- outcome{sol, err}
 	}()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 
@@ -89,5 +90,24 @@ func TestDTWProblemViaSolve(t *testing.T) {
 	}
 	if sol.Class.String() != "monadic-serial" {
 		t.Errorf("class %v", sol.Class)
+	}
+}
+
+// panicProblem explodes as soon as Solve touches it.
+type panicProblem struct{}
+
+func (panicProblem) Classify() Class  { panic("malformed problem state") }
+func (panicProblem) Describe() string { return "panic stub" }
+
+// Regression: a panic inside the detached solve goroutine used to crash
+// the whole process (dpserve routes every request through SolveCtx); it
+// must surface as an ordinary error instead.
+func TestSolveCtxRecoversPanic(t *testing.T) {
+	sol, err := SolveCtx(context.Background(), panicProblem{})
+	if sol != nil || err == nil {
+		t.Fatalf("SolveCtx = (%v, %v), want nil solution and panic-derived error", sol, err)
+	}
+	if !strings.Contains(err.Error(), "panic") {
+		t.Errorf("err = %v, want mention of panic", err)
 	}
 }

@@ -231,7 +231,9 @@ type Result struct {
 }
 
 // Run executes the array. If goroutines is true the goroutine-per-PE
-// runner is used, otherwise the lock-step runner.
+// runner is used, otherwise the lock-step runner. The array is
+// re-runnable: every run resets the network first, so repeated runs are
+// bit-identical (cost, path, and busy counts).
 func (a *Array) Run(goroutines bool) (*Result, error) {
 	return a.RunObserved(goroutines, nil, nil)
 }

@@ -256,7 +256,9 @@ func (a *Array) WallCycles() int { return a.K*a.M + a.M - 1 }
 
 // Run executes the array and returns the result vector (padded entries
 // removed) together with the engine run result. If goroutines is true the
-// goroutine-per-PE runner is used, otherwise the lock-step runner.
+// goroutine-per-PE runner is used, otherwise the lock-step runner. The
+// array is re-runnable: every run resets the network first, so repeated
+// runs (any runner) are bit-identical.
 func (a *Array) Run(goroutines bool) ([]float64, *systolic.Result, error) {
 	return a.RunObserved(goroutines, nil, nil)
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
@@ -34,6 +35,10 @@ type Batcher struct {
 	wg       sync.WaitGroup // outstanding flush goroutines
 
 	metrics *Metrics
+
+	// solveBatch is the batch solve entry point; tests override it to
+	// exercise the flush failure paths. Nil means the real engine.
+	solveBatch func(gs []*multistage.Graph, parallelism, threshold int) ([]*core.Solution, *core.BatchStats, error)
 }
 
 // shapeKey identifies a stream-compatible problem shape: vector length,
@@ -200,7 +205,22 @@ func (b *Batcher) flush(bt *batch) {
 		}
 	}
 	solveStart := time.Now()
-	sols, stats, err := core.SolveGraphBatchParallel(gs, b.engineParallelism, b.engineThreshold)
+	// The batch run executes in a detached goroutine: a panic here would
+	// take down the whole process and strand every waiting submitter, so
+	// it is converted to a per-item error instead.
+	sols, stats, err := func() (sols []*core.Solution, stats *core.BatchStats, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				sols, stats = nil, nil
+				err = fmt.Errorf("serve: batch solve panicked: %v", r)
+			}
+		}()
+		solve := b.solveBatch
+		if solve == nil {
+			solve = core.SolveGraphBatchParallel
+		}
+		return solve(gs, b.engineParallelism, b.engineThreshold)
+	}()
 	solveEnd := time.Now()
 	b.metrics.Batches.Inc()
 	b.metrics.Batched.Add(int64(len(live)))

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -172,5 +173,50 @@ func TestBatcherSubmitTimeout(t *testing.T) {
 	defer cancel()
 	if _, err := b.Submit(ctx, batchGraph(1, 5, 4)); err != context.DeadlineExceeded {
 		t.Errorf("err = %v, want deadline exceeded", err)
+	}
+}
+
+// Regression: a panic during the batch solve ran in a detached flush
+// goroutine and crashed the whole process, stranding every submitter. It
+// must be delivered to each live item as an error, with the inflight
+// slots released so the batcher keeps serving.
+func TestBatcherFlushPanicDeliversErrors(t *testing.T) {
+	met := NewMetrics()
+	b := NewBatcher(20*time.Millisecond, 16, 4, met)
+	defer b.Close()
+	b.solveBatch = func([]*multistage.Graph, int, int) ([]*core.Solution, *core.BatchStats, error) {
+		panic("engine blew up")
+	}
+
+	const n = 3
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = b.Submit(context.Background(), batchGraph(int64(i+1), 4, 3))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil || !strings.Contains(err.Error(), "panic") {
+			t.Errorf("submitter %d err = %v, want panic-derived error", i, err)
+		}
+	}
+
+	// Slots were released and the batcher still works with a healthy engine.
+	b.solveBatch = nil
+	g := batchGraph(99, 4, 3)
+	sol, err := b.Submit(context.Background(), g)
+	if err != nil {
+		t.Fatalf("post-panic submit: %v", err)
+	}
+	want, err := core.Solve(&core.MultistageProblem{Graph: g, Design: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != want.Cost {
+		t.Errorf("post-panic cost %v, want %v", sol.Cost, want.Cost)
 	}
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"container/list"
 	"context"
+	"fmt"
 	"sync"
 )
 
@@ -96,11 +97,21 @@ func (f *flight) do(ctx context.Context, key string, fn func() (*Response, error
 		f.calls[key] = c
 		f.mu.Unlock()
 		go func() {
+			// LIFO defers: the recover runs first so a panicking fn still
+			// reaches the cleanup below — the key is always unwedged and
+			// done is always closed, even when fn never returns normally.
+			defer func() {
+				f.mu.Lock()
+				delete(f.calls, key)
+				f.mu.Unlock()
+				close(c.done)
+			}()
+			defer func() {
+				if r := recover(); r != nil {
+					c.resp, c.err = nil, fmt.Errorf("serve: solve panicked: %v", r)
+				}
+			}()
 			c.resp, c.err = fn()
-			f.mu.Lock()
-			delete(f.calls, key)
-			f.mu.Unlock()
-			close(c.done)
 		}()
 	} else {
 		f.mu.Unlock()

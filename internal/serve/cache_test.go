@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -114,5 +115,52 @@ func TestFlightWaiterTimeout(t *testing.T) {
 	})
 	if err != nil || resp.Cost != 7 {
 		t.Errorf("resp %v err %v", resp, err)
+	}
+}
+
+// Regression: a panicking fn used to strand every waiter forever (done
+// was only closed after the map delete, which the panic skipped) and
+// permanently wedge the key. Now the panic surfaces as an error and the
+// key is immediately reusable.
+func TestFlightPanicUnwedgesKeyAndWaiters(t *testing.T) {
+	f := newFlight()
+	started := make(chan struct{})
+	boom := make(chan struct{})
+	var wg sync.WaitGroup
+	const waiters = 3
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = f.do(context.Background(), "k", func() (*Response, error) {
+				close(started)
+				<-boom
+				panic("solver exploded")
+			})
+		}(i)
+	}
+	<-started
+	close(boom)
+
+	waited := make(chan struct{})
+	go func() { wg.Wait(); close(waited) }()
+	select {
+	case <-waited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiters still stranded after fn panicked")
+	}
+	for i, err := range errs {
+		if err == nil || !strings.Contains(err.Error(), "panic") {
+			t.Errorf("waiter %d err = %v, want panic-derived error", i, err)
+		}
+	}
+
+	// The key must not be wedged: a fresh call runs a fresh fn.
+	resp, shared, err := f.do(context.Background(), "k", func() (*Response, error) {
+		return &Response{Cost: 11}, nil
+	})
+	if err != nil || shared || resp.Cost != 11 {
+		t.Errorf("post-panic call: resp %+v shared %v err %v, want fresh successful run", resp, shared, err)
 	}
 }

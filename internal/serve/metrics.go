@@ -136,8 +136,9 @@ type Metrics struct {
 	requests map[string]*Counter // by problem kind
 
 	CacheHits      Counter
-	CacheMisses    Counter
+	CacheMisses    Counter // flight leaders that actually solved (not coalesced waiters)
 	FlightShare    Counter // requests coalesced onto another request's solve
+	FlightWait     Counter // waits on an in-flight solve, successful or not
 	Rejected       Counter // 429s from a full queue
 	Timeouts       Counter // server-side deadline expiries (504s)
 	ClientCancel   Counter // client disconnects before a result (499s)
@@ -213,6 +214,7 @@ func (m *Metrics) Write(w io.Writer) {
 	fmt.Fprintf(w, "dpserve_cache_hits_total %d\n", m.CacheHits.Value())
 	fmt.Fprintf(w, "dpserve_cache_misses_total %d\n", m.CacheMisses.Value())
 	fmt.Fprintf(w, "dpserve_singleflight_shared_total %d\n", m.FlightShare.Value())
+	fmt.Fprintf(w, "dpserve_flight_wait_total %d\n", m.FlightWait.Value())
 	fmt.Fprintf(w, "dpserve_rejected_total %d\n", m.Rejected.Value())
 	fmt.Fprintf(w, "dpserve_timeouts_total %d\n", m.Timeouts.Value())
 	fmt.Fprintf(w, "dpserve_client_cancel_total %d\n", m.ClientCancel.Value())

@@ -264,9 +264,13 @@ func (s *Server) solveSpec(ctx context.Context, f *spec.File) (resp *Response, c
 		s.metrics.CacheHits.Inc()
 		return resp, true, http.StatusOK, nil
 	}
-	s.metrics.CacheMisses.Inc()
 
 	fn := func() (*Response, error) {
+		// Counted here — inside the flight leader — not at the LRU miss
+		// above: coalesced waiters fall through the cache check too, and
+		// counting them would inflate the miss rate under dedup-heavy
+		// load. Waiters are visible as dpserve_flight_wait_total instead.
+		s.metrics.CacheMisses.Inc()
 		p, err := f.Build()
 		if err != nil {
 			return nil, badSpec{err}
@@ -311,8 +315,14 @@ func (s *Server) solveSpec(ctx context.Context, f *spec.File) (resp *Response, c
 // successful coalescing counts toward FlightShare.
 func (s *Server) flightSolve(ctx context.Context, key string, fn func() (*Response, error)) (*Response, error) {
 	resp, shared, err := s.flight.do(ctx, key, fn)
+	if shared {
+		s.metrics.FlightWait.Inc()
+	}
 	if shared && (errors.Is(err, ErrBusy) || errors.Is(err, ErrShutdown)) {
 		resp, shared, err = s.flight.do(ctx, key, fn)
+		if shared {
+			s.metrics.FlightWait.Inc()
+		}
 	}
 	if shared && err == nil {
 		s.metrics.FlightShare.Inc()

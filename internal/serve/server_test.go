@@ -137,6 +137,14 @@ func TestServeSingleflightAndCache(t *testing.T) {
 	if got := s.Metrics().FlightShare.Value(); got != n-1 {
 		t.Errorf("coalesced waiters = %d, want %d", got, n-1)
 	}
+	// Regression: only the flight leader solves, so only the leader may
+	// count a cache miss — waiters used to inflate this to n.
+	if got := s.Metrics().CacheMisses.Value(); got != 1 {
+		t.Errorf("cache misses = %d, want 1 (leader only)", got)
+	}
+	if got := s.Metrics().FlightWait.Value(); got != n-1 {
+		t.Errorf("flight waits = %d, want %d", got, n-1)
+	}
 
 	// A later identical request is a pure cache hit.
 	status, _, _, cacheHdr := postSpec(t, ts.URL, body)
@@ -151,7 +159,9 @@ func TestServeSingleflightAndCache(t *testing.T) {
 	for _, want := range []string{
 		`dpserve_requests_total{problem="graph"} 5`,
 		"dpserve_cache_hits_total 1",
+		"dpserve_cache_misses_total 1",
 		fmt.Sprintf("dpserve_singleflight_shared_total %d", n-1),
+		fmt.Sprintf("dpserve_flight_wait_total %d", n-1),
 		"dpserve_batched_requests_total 1",
 	} {
 		if !strings.Contains(mt, want) {

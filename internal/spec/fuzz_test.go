@@ -15,13 +15,24 @@ func FuzzParse(f *testing.F) {
 	f.Add([]byte(`{"problem":"nonserial","domains":[[1,2],[1,2],[1,2]],"cost":"span"}`))
 	f.Add([]byte(`{`))
 	f.Add([]byte(`{"problem":"graph","costs":[[[1e308,2]],[[3],[4]]]}`))
+	// Shapes Decode must reject: zero/negative/absurd dimensions and
+	// out-of-range weights (JSON itself cannot carry NaN/Inf literals, so
+	// 1e999 and friends arrive as unmarshal errors; the dims checks are
+	// the wire-reachable half of Validate).
+	f.Add([]byte(`{"problem":"chain","dims":[0,5]}`))
+	f.Add([]byte(`{"problem":"chain","dims":[-3,5,7]}`))
+	f.Add([]byte(`{"problem":"chain","dims":[2000000,5]}`))
+	f.Add([]byte(`{"problem":"dtw","x":[1e999],"y":[0]}`))
+	f.Add([]byte(`{"problem":"graph","costs":[[[1e999]]]}`))
+	f.Add([]byte(`{"problem":"nodevalued","values":[[-1e999],[2]]}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, err := Parse(data)
 		if err != nil {
 			return
 		}
 		// Accepted specs must solve cleanly. Cap sizes to keep the fuzz
-		// loop fast: the parser itself imposes no limits.
+		// loop fast: Validate imposes wire-level limits, but they are far
+		// above what a fuzz iteration should execute.
 		switch q := p.(type) {
 		case *core.ChainOrderingProblem:
 			if len(q.Dims) > 40 {

@@ -83,10 +83,16 @@ func Parse(data []byte) (core.Problem, error) {
 
 // Decode unmarshals a spec File without building the problem. Useful when
 // the caller needs the File itself (e.g. to Hash it for a cache key).
+// Every decoded File is validated: NaN/±Inf weights and absurd
+// dimensions are rejected here, before they can flow into semiring
+// comparisons or array sizing.
 func Decode(data []byte) (*File, error) {
 	var f File
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("spec: %v", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
 	}
 	return &f, nil
 }

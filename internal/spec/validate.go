@@ -1,0 +1,120 @@
+package spec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Wire-level sanity limits enforced at Decode time, before any weight
+// reaches a (MIN,+)/(MAX,+) comparison or a solver sizes an array from
+// attacker-controlled dimensions. They are far above anything the
+// engines handle in practice but small enough that a hostile spec cannot
+// request absurd allocations.
+const (
+	MaxSpecStages   = 4096    // stage matrices / value rows / domains
+	MaxSpecNodes    = 4096    // nodes (columns) per stage
+	MaxSpecSeries   = 1 << 20 // dtw series length
+	MaxSpecChainLen = 4096    // entries of a chain-ordering dims vector
+	MaxSpecDim      = 1 << 20 // a single matrix dimension in a chain
+	MaxSpecElems    = 1 << 24 // total numeric payload across all fields
+)
+
+// Validate rejects NaN/±Inf weights and absurd dimensions. Decode calls
+// it on every wire payload, so a bad spec fails with a clear 400-class
+// error instead of flowing into semiring comparisons (where NaN poisons
+// every min/max) or into array sizing.
+func (f *File) Validate() error {
+	elems := 0
+	count := func(n int) error {
+		elems += n
+		if elems > MaxSpecElems {
+			return fmt.Errorf("spec: payload exceeds %d numeric entries", MaxSpecElems)
+		}
+		return nil
+	}
+
+	if len(f.Costs) > MaxSpecStages {
+		return fmt.Errorf("spec: costs has %d stage matrices, max %d", len(f.Costs), MaxSpecStages)
+	}
+	for si, rows := range f.Costs {
+		if len(rows) > MaxSpecNodes {
+			return fmt.Errorf("spec: costs[%d] has %d rows, max %d", si, len(rows), MaxSpecNodes)
+		}
+		for ri, row := range rows {
+			if len(row) > MaxSpecNodes {
+				return fmt.Errorf("spec: costs[%d][%d] has %d entries, max %d", si, ri, len(row), MaxSpecNodes)
+			}
+			if err := count(len(row)); err != nil {
+				return err
+			}
+			for ci, w := range row {
+				if !finite(w) {
+					return fmt.Errorf("spec: costs[%d][%d][%d]: non-finite weight %v", si, ri, ci, w)
+				}
+			}
+		}
+	}
+
+	if len(f.Values) > MaxSpecStages {
+		return fmt.Errorf("spec: values has %d stages, max %d", len(f.Values), MaxSpecStages)
+	}
+	for si, row := range f.Values {
+		if len(row) > MaxSpecNodes {
+			return fmt.Errorf("spec: values[%d] has %d entries, max %d", si, len(row), MaxSpecNodes)
+		}
+		if err := count(len(row)); err != nil {
+			return err
+		}
+		for vi, w := range row {
+			if !finite(w) {
+				return fmt.Errorf("spec: values[%d][%d]: non-finite value %v", si, vi, w)
+			}
+		}
+	}
+
+	if len(f.Domains) > MaxSpecStages {
+		return fmt.Errorf("spec: domains has %d variables, max %d", len(f.Domains), MaxSpecStages)
+	}
+	for di, dom := range f.Domains {
+		if len(dom) > MaxSpecNodes {
+			return fmt.Errorf("spec: domains[%d] has %d entries, max %d", di, len(dom), MaxSpecNodes)
+		}
+		if err := count(len(dom)); err != nil {
+			return err
+		}
+		for vi, w := range dom {
+			if !finite(w) {
+				return fmt.Errorf("spec: domains[%d][%d]: non-finite value %v", di, vi, w)
+			}
+		}
+	}
+
+	if len(f.Dims) > MaxSpecChainLen {
+		return fmt.Errorf("spec: dims has %d entries, max %d", len(f.Dims), MaxSpecChainLen)
+	}
+	for i, d := range f.Dims {
+		if d < 1 {
+			return fmt.Errorf("spec: dims[%d] = %d, must be >= 1", i, d)
+		}
+		if d > MaxSpecDim {
+			return fmt.Errorf("spec: dims[%d] = %d, max %d", i, d, MaxSpecDim)
+		}
+	}
+
+	for name, xs := range map[string][]float64{"x": f.X, "y": f.Y} {
+		if len(xs) > MaxSpecSeries {
+			return fmt.Errorf("spec: %s has %d samples, max %d", name, len(xs), MaxSpecSeries)
+		}
+		if err := count(len(xs)); err != nil {
+			return err
+		}
+		for i, w := range xs {
+			if !finite(w) {
+				return fmt.Errorf("spec: %s[%d]: non-finite sample %v", name, i, w)
+			}
+		}
+	}
+	return nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -206,7 +206,10 @@ func (a *Array) Validate() error {
 	return nil
 }
 
-// Reset restores every PE to its initial state.
+// Reset restores every PE to its initial state. Runners that Reset
+// before executing make their Array re-runnable: repeated runs of the
+// same array are bit-identical, an invariant internal/check enforces
+// across all three designs.
 func (a *Array) Reset() {
 	for _, pe := range a.PEs {
 		pe.Reset()
