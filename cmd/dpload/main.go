@@ -1,0 +1,454 @@
+// Command dpload is the closed-loop load generator for dpserve: it
+// drives a ramped request rate of randomized spec instances (the
+// internal/check generator's mix) at a solving service, tallies
+// responses by status, measures success-latency percentiles and
+// goodput, and writes a machine-readable report.
+//
+// Against an external server:
+//
+//	dpload -addr http://localhost:8080 -rps 200 -duration 30s -out BENCH_5.json
+//
+// Self-contained (no -addr): dpload starts an in-process dpserve on a
+// loopback port, probes its capacity with a short closed-loop burst,
+// then drives it at -overload times the measured capacity. With
+// -compare it runs the identical workload twice — admission control off,
+// then on — which is the experiment behind the EXPERIMENTS.md overload
+// table:
+//
+//	dpload -duration 10s -compare -out BENCH_5.json
+//
+// The load loop is closed: at most -conc requests are in flight, and
+// pacing slots that find every lane busy are counted as client-side
+// drops rather than queued without bound. That keeps dpload itself from
+// becoming an unbounded buffer in front of the server under overload —
+// the same discipline the paper's fixed-length pipeline imposes.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"systolicdp/internal/check"
+	"systolicdp/internal/serve"
+)
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpload:", err)
+		os.Exit(2)
+	}
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dpload:", err)
+		os.Exit(1)
+	}
+}
+
+// config is the parsed command line.
+type config struct {
+	addr     string        // target base URL; empty = in-process server
+	duration time.Duration // measured window per run
+	rps      float64       // target request rate; 0 = probe capacity and use overload x it
+	overload float64       // auto-rate multiplier on probed capacity
+	ramp     float64       // leading fraction of the window spent ramping up to the target rate
+	conc     int           // closed-loop bound: max in-flight requests
+	mix      []string      // instance kinds to generate
+	scale    int           // instance-size multiplier on the generator defaults
+	seed     int64         // generator seed (runs are reproducible)
+	out      string        // report path; empty = stdout only
+	compare  bool          // in-process only: run admission off then on
+
+	// In-process server knobs (ignored with -addr).
+	workers       int
+	timeout       time.Duration
+	admit         bool
+	admitHeadroom float64
+}
+
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("dpload", flag.ContinueOnError)
+	addr := fs.String("addr", "", "target server base URL (empty: start an in-process dpserve)")
+	duration := fs.Duration("duration", 10*time.Second, "measured load window per run")
+	rps := fs.Float64("rps", 0, "target request rate (0: probe capacity, drive at -overload x it)")
+	overload := fs.Float64("overload", 2, "auto-rate multiplier on probed capacity when -rps is 0")
+	ramp := fs.Float64("ramp", 0.2, "fraction of the window spent ramping linearly up to the target rate")
+	conc := fs.Int("conc", 64, "closed-loop concurrency bound (max in-flight requests)")
+	mix := fs.String("mix", strings.Join(check.Kinds(), ","), "comma-separated instance kinds to generate")
+	scale := fs.Int("scale", 1, "instance-size multiplier on the generator's default bounds (heavier solves per request)")
+	seed := fs.Int64("seed", 1, "instance-generator seed")
+	out := fs.String("out", "", "write the JSON report here as well as stdout")
+	compare := fs.Bool("compare", false, "in-process only: run the workload with admission off, then on")
+	workers := fs.Int("workers", 0, "in-process server: general-pool workers (0 = NumCPU)")
+	timeout := fs.Duration("timeout", 2*time.Second, "in-process server: per-request solve budget (the deadline admission prices against)")
+	admit := fs.Bool("admit", false, "in-process server: enable cycle-model admission control (single-run mode)")
+	admitHeadroom := fs.Float64("admit-headroom", 1.2, "in-process server: admission safety factor")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	kinds := strings.Split(*mix, ",")
+	known := map[string]bool{}
+	for _, k := range check.Kinds() {
+		known[k] = true
+	}
+	for i, k := range kinds {
+		kinds[i] = strings.TrimSpace(k)
+		if !known[kinds[i]] {
+			return config{}, fmt.Errorf("unknown mix kind %q (have %s)", kinds[i], strings.Join(check.Kinds(), ","))
+		}
+	}
+	if *compare && *addr != "" {
+		return config{}, fmt.Errorf("-compare needs the in-process server (drop -addr)")
+	}
+	return config{
+		addr:     *addr,
+		duration: *duration,
+		rps:      *rps,
+		overload: *overload,
+		ramp:     *ramp,
+		conc:     *conc,
+		mix:      kinds,
+		scale:    *scale,
+		seed:     *seed,
+		out:      *out,
+		compare:  *compare,
+
+		workers:       *workers,
+		timeout:       *timeout,
+		admit:         *admit,
+		admitHeadroom: *admitHeadroom,
+	}, nil
+}
+
+// bodies is a concurrency-safe stream of marshalled spec instances drawn
+// from the check generator. Instances the wire format cannot express
+// (±Inf single-edge graphs) are skipped and regenerated.
+type bodies struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	mix  []string
+	gcfg check.GenConfig
+}
+
+func newBodies(seed int64, mix []string, scale int) *bodies {
+	if scale < 1 {
+		scale = 1
+	}
+	// The generator's defaults are sized for fast differential checks;
+	// scaling them up makes each request a meaningful unit of solve work
+	// so overload is reachable at sane request rates.
+	gcfg := check.GenConfig{
+		MaxStages: 7 * scale,
+		MaxM:      6 * scale,
+		MaxLen:    12 * scale,
+		MaxChain:  8 * scale,
+		MaxVars:   6 * scale,
+	}
+	return &bodies{rng: rand.New(rand.NewSource(seed)), mix: mix, gcfg: gcfg}
+}
+
+func (b *bodies) next() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		in := check.GenKind(b.rng, b.mix[b.rng.Intn(len(b.mix))], b.gcfg)
+		if in.File.Validate() != nil {
+			continue
+		}
+		raw, err := in.File.Marshal()
+		if err != nil {
+			continue
+		}
+		return raw
+	}
+}
+
+// RunReport is the measured outcome of one load run.
+type RunReport struct {
+	Name        string         `json:"name"`
+	TargetRPS   float64        `json:"target_rps"`
+	Duration    string         `json:"duration"`
+	Sent        int64          `json:"sent"`
+	Dropped     int64          `json:"dropped_client_side"` // pacing slots with no free lane
+	Statuses    map[string]int `json:"statuses"`
+	RetryAfter  int64          `json:"retry_after_headers"` // 429s carrying Retry-After
+	NetErrors   int64          `json:"net_errors"`
+	GoodputRPS  float64        `json:"goodput_rps"` // 200s per second of window
+	P50ms       float64        `json:"p50_ms"`      // latency of 200s
+	P95ms       float64        `json:"p95_ms"`
+	P99ms       float64        `json:"p99_ms"`
+	ShedP50ms   float64        `json:"shed_p50_ms"` // latency of 429s (0 if none)
+	AdmitConfig string         `json:"admit,omitempty"`
+}
+
+// Report is the full dpload output.
+type Report struct {
+	GeneratedBy string      `json:"generated_by"`
+	Target      string      `json:"target"`
+	Mix         []string    `json:"mix"`
+	Seed        int64       `json:"seed"`
+	CapacityRPS float64     `json:"probed_capacity_rps,omitempty"`
+	Runs        []RunReport `json:"runs"`
+}
+
+// loadRun drives one measured window against base and tallies outcomes.
+func loadRun(base string, cfg config, name string, targetRPS float64, gen *bodies) RunReport {
+	client := &http.Client{Timeout: cfg.timeout + 10*time.Second}
+	type sample struct {
+		status     int
+		latency    time.Duration
+		retryAfter bool
+	}
+	samples := make(chan sample, cfg.conc)
+	launch := make(chan []byte, cfg.conc)
+	var sent, dropped, netErrs atomic.Int64
+
+	var workers sync.WaitGroup
+	for i := 0; i < cfg.conc; i++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for body := range launch {
+				start := time.Now()
+				resp, err := client.Post(base+"/solve", "application/json", bytes.NewReader(body))
+				if err != nil {
+					netErrs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				samples <- sample{
+					status:     resp.StatusCode,
+					latency:    time.Since(start),
+					retryAfter: resp.Header.Get("Retry-After") != "",
+				}
+			}
+		}()
+	}
+
+	// Collector drains samples so workers never block on the channel.
+	statuses := map[string]int{}
+	var okLat, shedLat []time.Duration
+	var retryAfter int64
+	var collect sync.WaitGroup
+	collect.Add(1)
+	go func() {
+		defer collect.Done()
+		for s := range samples {
+			statuses[fmt.Sprintf("%d", s.status)]++
+			switch s.status {
+			case http.StatusOK:
+				okLat = append(okLat, s.latency)
+			case http.StatusTooManyRequests:
+				shedLat = append(shedLat, s.latency)
+				if s.retryAfter {
+					retryAfter++
+				}
+			}
+		}
+	}()
+
+	// Pacer: accumulate launch credit at the (ramping) target rate and
+	// spend the deficit each tick — per-request sleeps cannot reach
+	// thousands of rps through the scheduler's sleep granularity. A slot
+	// that finds every lane busy is a client-side drop, keeping the loop
+	// closed rather than buffering unbounded offered load.
+	start := time.Now()
+	rampDur := time.Duration(cfg.ramp * float64(cfg.duration))
+	const tick = 2 * time.Millisecond
+	due := 0.0
+	last := start
+	for {
+		now := time.Now()
+		elapsed := now.Sub(start)
+		if elapsed >= cfg.duration {
+			break
+		}
+		rate := targetRPS
+		if rampDur > 0 && elapsed < rampDur {
+			frac := float64(elapsed) / float64(rampDur)
+			rate = targetRPS * (0.1 + 0.9*frac)
+		}
+		due += rate * now.Sub(last).Seconds()
+		last = now
+		for due >= 1 {
+			due--
+			select {
+			case launch <- gen.next():
+				sent.Add(1)
+			default:
+				dropped.Add(1)
+			}
+		}
+		time.Sleep(tick)
+	}
+	close(launch)
+	workers.Wait()
+	close(samples)
+	collect.Wait()
+	window := time.Since(start)
+
+	pct := func(lats []time.Duration, p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		idx := int(p * float64(len(lats)-1))
+		return float64(lats[idx]) / float64(time.Millisecond)
+	}
+	return RunReport{
+		Name:       name,
+		TargetRPS:  targetRPS,
+		Duration:   window.Round(time.Millisecond).String(),
+		Sent:       sent.Load(),
+		Dropped:    dropped.Load(),
+		Statuses:   statuses,
+		RetryAfter: retryAfter,
+		NetErrors:  netErrs.Load(),
+		GoodputRPS: float64(statuses["200"]) / window.Seconds(),
+		P50ms:      pct(okLat, 0.50),
+		P95ms:      pct(okLat, 0.95),
+		P99ms:      pct(okLat, 0.99),
+		ShedP50ms:  pct(shedLat, 0.50),
+	}
+}
+
+// probeCapacity measures the server's sustainable rate with a short
+// flat-out closed loop (a few lanes, no pacing): completed requests per
+// second approximate capacity under the given mix.
+func probeCapacity(base string, cfg config, gen *bodies) float64 {
+	const lanes = 4
+	window := cfg.duration / 4
+	if window < time.Second {
+		window = time.Second
+	}
+	if window > 5*time.Second {
+		window = 5 * time.Second
+	}
+	client := &http.Client{Timeout: cfg.timeout + 10*time.Second}
+	var done atomic.Int64
+	ctx, cancel := context.WithTimeout(context.Background(), window)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < lanes; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				resp, err := client.Post(base+"/solve", "application/json", bytes.NewReader(gen.next()))
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					done.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rps := float64(done.Load()) / window.Seconds()
+	if rps < 1 {
+		rps = 1
+	}
+	return rps
+}
+
+// inprocServer starts a loopback dpserve and returns its base URL and a
+// shutdown func.
+func inprocServer(cfg config, admit bool) (string, func(), error) {
+	s := serve.New(serve.Config{
+		Workers:       cfg.workers,
+		Timeout:       cfg.timeout,
+		AdmitEnabled:  admit,
+		AdmitHeadroom: cfg.admitHeadroom,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		s.Close()
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		s.Close()
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+func run(cfg config, stdout io.Writer) error {
+	report := Report{
+		GeneratedBy: "dpload",
+		Target:      cfg.addr,
+		Mix:         cfg.mix,
+		Seed:        cfg.seed,
+	}
+	if cfg.addr == "" {
+		report.Target = "in-process"
+	}
+
+	// Each measured run gets a fresh generator with the same seed, so
+	// admission-off and admission-on face byte-identical workloads.
+	type phase struct {
+		name  string
+		admit bool
+	}
+	phases := []phase{{"run", cfg.admit}}
+	if cfg.compare {
+		phases = []phase{{"admit-off", false}, {"admit-on", true}}
+	}
+
+	target := cfg.rps
+	for _, ph := range phases {
+		base := cfg.addr
+		stop := func() {}
+		if base == "" {
+			var err error
+			base, stop, err = inprocServer(cfg, ph.admit)
+			if err != nil {
+				return err
+			}
+		}
+		if target == 0 {
+			// Probe once, on the first phase's server, and reuse the rate so
+			// every phase sees the same offered load.
+			report.CapacityRPS = probeCapacity(base, cfg, newBodies(cfg.seed+1000, cfg.mix, cfg.scale))
+			target = report.CapacityRPS * cfg.overload
+		}
+		fmt.Fprintf(stdout, "dpload: %s at %.0f rps for %v against %s\n", ph.name, target, cfg.duration, base)
+		rr := loadRun(base, cfg, ph.name, target, newBodies(cfg.seed, cfg.mix, cfg.scale))
+		if cfg.addr == "" {
+			rr.AdmitConfig = fmt.Sprintf("enabled=%v headroom=%g", ph.admit, cfg.admitHeadroom)
+		}
+		report.Runs = append(report.Runs, rr)
+		stop()
+	}
+
+	raw, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, string(raw))
+	if cfg.out != "" {
+		if err := os.WriteFile(cfg.out, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

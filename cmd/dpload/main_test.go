@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{"-duration", "3s", "-rps", "50", "-mix", "chain, dtw", "-compare"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.duration != 3*time.Second || cfg.rps != 50 || !cfg.compare {
+		t.Errorf("parsed config = %+v", cfg)
+	}
+	if len(cfg.mix) != 2 || cfg.mix[0] != "chain" || cfg.mix[1] != "dtw" {
+		t.Errorf("mix = %v, want [chain dtw] (whitespace trimmed)", cfg.mix)
+	}
+
+	if _, err := parseFlags([]string{"-mix", "nosuchkind"}); err == nil {
+		t.Error("unknown mix kind accepted")
+	}
+	if _, err := parseFlags([]string{"-compare", "-addr", "http://x"}); err == nil {
+		t.Error("-compare with -addr accepted (needs the in-process server)")
+	}
+}
+
+// The generator stream only yields wire-valid bodies, and scaling keeps
+// them valid.
+func TestBodiesAreValidSpecs(t *testing.T) {
+	gen := newBodies(7, []string{"graph", "chain", "nonserial"}, 3)
+	for i := 0; i < 30; i++ {
+		raw := gen.next()
+		var v map[string]any
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Fatalf("body %d is not JSON: %v\n%s", i, err, raw)
+		}
+		if v["problem"] == "" {
+			t.Fatalf("body %d has no problem kind: %s", i, raw)
+		}
+	}
+}
+
+// End to end: a short in-process run produces a report with traffic in
+// it and writes the JSON artifact.
+func TestDploadInProcessSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	cfg, err := parseFlags([]string{
+		"-duration", "1s", "-rps", "100", "-conc", "8",
+		"-mix", "chain,dtw", "-timeout", "2s", "-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(cfg, &sb); err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("artifact is not a Report: %v\n%s", err, raw)
+	}
+	if len(rep.Runs) != 1 {
+		t.Fatalf("report has %d runs, want 1", len(rep.Runs))
+	}
+	rr := rep.Runs[0]
+	if rr.Sent == 0 || rr.Statuses["200"] == 0 {
+		t.Errorf("no successful traffic recorded: %+v", rr)
+	}
+	if rr.NetErrors != 0 {
+		t.Errorf("net errors against in-process server: %+v", rr)
+	}
+}

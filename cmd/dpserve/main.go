@@ -53,6 +53,8 @@ func parseFlags(args []string) (string, serve.Config) {
 	pprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	engineParallel := fs.Int("engine-parallel", 0, "lock-step engine compute-phase workers for streamed batch solves: 0/1 sequential, -1 = GOMAXPROCS")
 	engineThreshold := fs.Int("engine-parallel-threshold", 0, "minimum PE count before the parallel compute phase engages (0 = engine default)")
+	admit := fs.Bool("admit", false, "cycle-model admission control: shed requests predicted to miss their deadline with 429 + Retry-After")
+	admitHeadroom := fs.Float64("admit-headroom", 1.2, "safety factor on predicted completion time (shed iff predicted*headroom > deadline)")
 	fs.Parse(args)
 	return *addr, serve.Config{
 		Workers:                 *workers,
@@ -65,6 +67,8 @@ func parseFlags(args []string) (string, serve.Config) {
 		EnablePprof:             *pprof,
 		EngineParallelism:       *engineParallel,
 		EngineParallelThreshold: *engineThreshold,
+		AdmitEnabled:            *admit,
+		AdmitHeadroom:           *admitHeadroom,
 		Logger:                  slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	}
 }

@@ -35,10 +35,17 @@ type Batcher struct {
 	wg       sync.WaitGroup // outstanding flush goroutines
 
 	metrics *Metrics
+	admit   *Admitter // calibration sink for measured stream rates; may be nil
 
 	// solveBatch is the batch solve entry point; tests override it to
 	// exercise the flush failure paths. Nil means the real engine.
 	solveBatch func(gs []*multistage.Graph, parallelism, threshold int) ([]*core.Solution, *core.BatchStats, error)
+
+	// testPreFlush is a test seam that runs in Submit between releasing
+	// b.mu and spawning the size-triggered flush goroutine — the window in
+	// which Close used to be able to slip past an admitted flush. Nil
+	// outside tests.
+	testPreFlush func()
 }
 
 // shapeKey identifies a stream-compatible problem shape: vector length,
@@ -58,6 +65,7 @@ type batchItem struct {
 	ch       chan batchResult // buffered; flush never blocks on delivery
 	enqueued time.Time
 	span     *obs.ReqSpan // request-lifecycle span; nil-safe
+	released bool         // admission slot freed; guarded by Batcher.mu
 }
 
 type batchResult struct {
@@ -125,18 +133,39 @@ func (b *Batcher) Submit(ctx context.Context, g *multistage.Graph) (*core.Soluti
 	full := len(bt.items) >= b.maxBatch || b.window <= 0
 	if full {
 		b.detachLocked(key, bt)
+		b.wg.Add(1) // registered under b.mu — see runFlush
 	}
 	b.mu.Unlock()
 	if full {
-		b.startFlush(bt)
+		if b.testPreFlush != nil {
+			b.testPreFlush()
+		}
+		b.runFlush(bt)
 	}
 
 	select {
 	case r := <-item.ch:
 		return r.sol, r.err
 	case <-ctx.Done():
+		// Free the admission slot now rather than at the window flush: a
+		// burst of cancellations must not hold maxQueue hostage (spurious
+		// 429s) for the rest of the collection window. The flush will
+		// still see ctx.Err() and skip the item; releaseSlot is idempotent
+		// so the two paths cannot double-free.
+		b.releaseSlot(item)
 		return nil, ctx.Err()
 	}
+}
+
+// releaseSlot frees item's admission slot exactly once, whichever of the
+// cancelling submitter or the flush gets there first.
+func (b *Batcher) releaseSlot(it *batchItem) {
+	b.mu.Lock()
+	if !it.released {
+		it.released = true
+		b.inflight--
+	}
+	b.mu.Unlock()
 }
 
 // detachLocked removes bt from the pending map and stops its timer.
@@ -158,12 +187,18 @@ func (b *Batcher) flushKey(key shapeKey, bt *batch) {
 		return // already flushed on the size trigger
 	}
 	b.detachLocked(key, bt)
+	b.wg.Add(1)
 	b.mu.Unlock()
-	b.startFlush(bt)
+	b.runFlush(bt)
 }
 
-func (b *Batcher) startFlush(bt *batch) {
-	b.wg.Add(1)
+// runFlush runs one flush registered with the WaitGroup. The wg.Add(1)
+// MUST have happened under b.mu, before the closed flag could have been
+// observed unset: doing it here (after the mutex is released) races
+// Close — Close can set closed, find no pending work, and reach wg.Wait
+// before the Add lands, which is the documented WaitGroup misuse and
+// lets a flush outlive Close.
+func (b *Batcher) runFlush(bt *batch) {
 	go func() {
 		defer b.wg.Done()
 		b.flush(bt)
@@ -189,9 +224,11 @@ func (b *Batcher) flush(bt *batch) {
 	}
 	if abandoned := len(bt.items) - len(live); abandoned > 0 {
 		b.metrics.BatchAbandoned.Add(int64(abandoned))
-		b.mu.Lock()
-		b.inflight -= abandoned
-		b.mu.Unlock()
+		for _, it := range bt.items {
+			if it.ctx.Err() != nil {
+				b.releaseSlot(it) // usually a no-op: the submitter released eagerly
+			}
+		}
 	}
 	if len(live) == 0 {
 		return // nothing left to solve: the array never spins up
@@ -229,10 +266,16 @@ func (b *Batcher) flush(bt *batch) {
 	if stats != nil {
 		b.metrics.EngineWorkers.Set(float64(stats.Workers))
 		b.metrics.EngineUtilization.Set(stats.Utilization)
+		if b.admit != nil && err == nil {
+			// Calibrate the admission model with the measured stream rate:
+			// the engine reports exactly the cycle count the closed form
+			// predicts, so cycles/second here prices future Design-1 work.
+			b.admit.Observe("graph-stream", float64(stats.Cycles), solveEnd.Sub(solveStart).Seconds())
+		}
 	}
-	b.mu.Lock()
-	b.inflight -= len(live)
-	b.mu.Unlock()
+	for _, it := range live {
+		b.releaseSlot(it)
+	}
 	for i, it := range live {
 		b.metrics.QueueWaitSeconds.Observe(flushStart.Sub(it.enqueued).Seconds())
 		it.span.Observe("queue_wait", it.enqueued, flushStart)
@@ -245,6 +288,10 @@ func (b *Batcher) flush(bt *batch) {
 		}
 	}
 }
+
+// SetAdmitter points batch-solve rate observations at the admission
+// controller's calibration. Call before serving.
+func (b *Batcher) SetAdmitter(a *Admitter) { b.admit = a }
 
 // SetEngineParallelism configures the lock-step engine's parallel compute
 // phase for this batcher's streamed runs: parallelism is the worker-count
@@ -283,9 +330,10 @@ func (b *Batcher) Close() {
 		b.detachLocked(key, bt)
 		remaining = append(remaining, bt)
 	}
+	b.wg.Add(len(remaining))
 	b.mu.Unlock()
 	for _, bt := range remaining {
-		b.startFlush(bt)
+		b.runFlush(bt)
 	}
 	b.wg.Wait()
 }

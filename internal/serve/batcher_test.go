@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"strings"
@@ -173,6 +174,153 @@ func TestBatcherSubmitTimeout(t *testing.T) {
 	defer cancel()
 	if _, err := b.Submit(ctx, batchGraph(1, 5, 4)); err != context.DeadlineExceeded {
 		t.Errorf("err = %v, want deadline exceeded", err)
+	}
+}
+
+// Regression (deterministic): Submit used to call wg.Add(1) for a
+// size-triggered flush AFTER releasing b.mu, so Close could set closed,
+// find nothing pending, and return from wg.Wait before the Add landed —
+// a WaitGroup misuse that let the flush outlive Close. The testPreFlush
+// seam parks the submitter exactly in that window; Close must block
+// until the admitted flush completes.
+func TestBatcherCloseWaitsForAdmittedFlush(t *testing.T) {
+	b := NewBatcher(time.Hour, 1, 100, NewMetrics())
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	b.testPreFlush = func() {
+		once.Do(func() { close(entered) })
+		<-release
+	}
+
+	subErr := make(chan error, 1)
+	go func() {
+		_, err := b.Submit(context.Background(), batchGraph(1, 4, 3))
+		subErr <- err
+	}()
+	<-entered // the submitter holds a slot; its flush is not yet spawned
+
+	closeDone := make(chan struct{})
+	go func() {
+		b.Close()
+		close(closeDone)
+	}()
+	time.Sleep(20 * time.Millisecond) // let Close reach wg.Wait
+	select {
+	case <-closeDone:
+		t.Fatal("Close returned while an admitted flush had not run: the flush escaped wg.Wait")
+	default:
+	}
+	close(release)
+	select {
+	case <-closeDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close never returned after the flush was released")
+	}
+	if err := <-subErr; err != nil {
+		t.Errorf("admitted submit err = %v, want its flushed solution", err)
+	}
+	b.mu.Lock()
+	inflight := b.inflight
+	b.mu.Unlock()
+	if inflight != 0 {
+		t.Errorf("inflight = %d after Close, want 0", inflight)
+	}
+}
+
+// The same race, probabilistically: loop Submit-vs-Close churn under
+// -race. Every admitted flush must complete before Close returns
+// (observable as inflight == 0 at that instant: an escaped flush would
+// not yet have released its slots).
+func TestBatcherCloseSubmitRace(t *testing.T) {
+	for round := 0; round < 200; round++ {
+		// maxBatch 1 makes every Submit take the size-trigger path.
+		b := NewBatcher(time.Hour, 1, 100, NewMetrics())
+		const subs = 4
+		var wg sync.WaitGroup
+		for i := 0; i < subs; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, err := b.Submit(context.Background(), batchGraph(int64(i+1), 4, 3))
+				if err != nil && err != ErrShutdown {
+					t.Errorf("round %d submit %d: %v", round, i, err)
+				}
+			}(i)
+		}
+		b.Close()
+		b.mu.Lock()
+		inflight := b.inflight
+		b.mu.Unlock()
+		if inflight != 0 {
+			t.Fatalf("round %d: inflight = %d immediately after Close; a flush escaped Close's wg.Wait", round, inflight)
+		}
+		wg.Wait()
+	}
+}
+
+// Regression: a submitter that returned on ctx.Done used to stay counted
+// in inflight until the window flush, so a burst of cancellations caused
+// spurious 429s for up to a full batch window. The slot must come back
+// the moment Submit returns.
+func TestBatcherCancelledReleasesSlotEagerly(t *testing.T) {
+	const quota = 3
+	// Window far longer than the test: if release waited for the flush,
+	// the final Submit below would see ErrBusy.
+	b := NewBatcher(time.Hour, 64, quota, NewMetrics())
+	defer b.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errs := make(chan error, quota)
+	for i := 0; i < quota; i++ {
+		go func(i int) {
+			_, err := b.Submit(ctx, batchGraph(int64(i+1), 4, 3))
+			errs <- err
+		}(i)
+	}
+	// Wait until all three hold slots, then cancel them.
+	deadline := time.After(2 * time.Second)
+	for {
+		b.mu.Lock()
+		n := b.inflight
+		b.mu.Unlock()
+		if n == quota {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("submitters never admitted: inflight = %d", n)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if _, err := b.Submit(context.Background(), batchGraph(9, 4, 3)); err != ErrBusy {
+		t.Fatalf("pre-cancel over-quota err = %v, want ErrBusy", err)
+	}
+	cancel()
+	for i := 0; i < quota; i++ {
+		if err := <-errs; !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled submit err = %v, want context.Canceled", err)
+		}
+	}
+	// All cancelled submitters have returned: their slots must already be
+	// free, with the window still hours from flushing.
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Submit(context.Background(), batchGraph(10, 4, 3))
+		done <- err
+	}()
+	b.mu.Lock()
+	inflight := b.inflight
+	b.mu.Unlock()
+	if inflight >= quota {
+		t.Errorf("inflight = %d after all submitters cancelled, want < %d (eager release)", inflight, quota)
+	}
+	// The new Submit was admitted (it is waiting on its window, not
+	// rejected): give it a moment to either fail fast or park.
+	select {
+	case err := <-done:
+		t.Fatalf("post-cancel Submit returned early: %v (want admission + window wait)", err)
+	case <-time.After(100 * time.Millisecond):
 	}
 }
 

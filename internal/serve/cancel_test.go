@@ -82,27 +82,24 @@ func TestBatcherAllCancelledSkipsSolve(t *testing.T) {
 			t.Fatalf("err = %v, want context.Canceled", err)
 		}
 	}
-	// Wait for the window flush, then verify the array never spun up and
-	// both maxQueue slots came back.
+	// Slots come back eagerly, before the window flush even fires.
+	b.mu.Lock()
+	inflight := b.inflight
+	b.mu.Unlock()
+	if inflight != 0 {
+		t.Errorf("inflight = %d after cancelled submitters returned, want 0 (eager release)", inflight)
+	}
+	// Wait for the window flush, then verify the array never spun up.
 	deadline := time.After(2 * time.Second)
-	for {
-		b.mu.Lock()
-		inflight := b.inflight
-		b.mu.Unlock()
-		if inflight == 0 {
-			break
-		}
+	for met.BatchAbandoned.Value() != 2 {
 		select {
 		case <-deadline:
-			t.Fatalf("slots never released: inflight = %d", inflight)
+			t.Fatalf("flush never counted the abandoned items: abandoned = %d", met.BatchAbandoned.Value())
 		case <-time.After(5 * time.Millisecond):
 		}
 	}
 	if got := met.Batches.Value(); got != 0 {
 		t.Errorf("flush ran the array for an all-cancelled batch (batches = %d)", got)
-	}
-	if got := met.BatchAbandoned.Value(); got != 2 {
-		t.Errorf("abandoned = %d, want 2", got)
 	}
 	// The freed slots admit new work immediately.
 	if _, err := b.Submit(context.Background(), batchGraph(9, 5, 4)); err != nil {

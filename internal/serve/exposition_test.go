@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// parseExposition is a strict Prometheus text-format checker, modeling
+// the family rules real registries enforce:
+//
+//   - every sample must belong to exactly one # TYPE-declared family,
+//     declared before its samples;
+//   - a family may be declared only once;
+//   - a histogram family owns exactly its _bucket/_sum/_count series
+//     (buckets must carry an le label); a bare sample under the
+//     histogram's own name — the old quantile-summary emission — is a
+//     duplicate-family error;
+//   - no family name may collide with another histogram's suffixed
+//     series.
+//
+// It returns the first violation, or nil for a clean exposition.
+func parseExposition(text string) error {
+	families := map[string]string{} // name -> type
+	sampleSeen := map[string]bool{} // families that already emitted samples
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE line %q", ln+1, line)
+				}
+				name, typ := fields[2], fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", ln+1, typ)
+				}
+				if _, dup := families[name]; dup {
+					return fmt.Errorf("line %d: family %q declared twice", ln+1, name)
+				}
+				// A new family must not collide with a histogram's series.
+				for fam, ftyp := range families {
+					if ftyp != "histogram" {
+						continue
+					}
+					for _, sfx := range []string{"", "_bucket", "_sum", "_count"} {
+						if name == fam+sfx {
+							return fmt.Errorf("line %d: family %q collides with histogram %q", ln+1, name, fam)
+						}
+					}
+				}
+				if families[name] == "" {
+					families[name] = typ
+				}
+			}
+			continue
+		}
+		// Sample line: name[{labels}] value.
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		labels := ""
+		if i := strings.Index(line, "{"); i >= 0 {
+			j := strings.Index(line, "}")
+			if j < i {
+				return fmt.Errorf("line %d: malformed labels in %q", ln+1, line)
+			}
+			labels = line[i : j+1]
+		}
+		owner := ""
+		if typ, ok := families[name]; ok {
+			if typ == "histogram" {
+				return fmt.Errorf("line %d: sample %q reuses histogram family name %q (only _bucket/_sum/_count belong to it)", ln+1, line, name)
+			}
+			owner = name
+		}
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			base, found := strings.CutSuffix(name, sfx)
+			if !found {
+				continue
+			}
+			if typ, ok := families[base]; ok && typ == "histogram" {
+				if owner != "" {
+					return fmt.Errorf("line %d: sample %q owned by both family %q and histogram %q", ln+1, line, owner, base)
+				}
+				if sfx == "_bucket" && !strings.Contains(labels, "le=") {
+					return fmt.Errorf("line %d: histogram bucket %q without le label", ln+1, line)
+				}
+				owner = base
+			}
+		}
+		if owner == "" {
+			return fmt.Errorf("line %d: sample %q belongs to no declared family", ln+1, line)
+		}
+		sampleSeen[owner] = true
+	}
+	return nil
+}
+
+// The full live /metrics output — after traffic that populates every
+// family, including batched solves, cache hits, rejections, and the
+// runtime gauges — must satisfy the strict family rules. Before the fix,
+// dpserve_solve_latency_seconds{quantile=...} reused the histogram's
+// family name and this parse failed.
+func TestMetricsExpositionTypeChecks(t *testing.T) {
+	s := New(Config{BatchWindow: -1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	postSpec(t, ts.URL, graphSpec(0))
+	postSpec(t, ts.URL, graphSpec(0)) // cache hit
+	postSpec(t, ts.URL, `{"problem":"chain","dims":[30,35,15,5,10,20,25]}`)
+	postSpec(t, ts.URL, `{not json`) // error counter
+
+	text := metricsText(t, ts.URL)
+	if err := parseExposition(text); err != nil {
+		t.Fatalf("/metrics exposition is not strictly parseable: %v\n%s", err, text)
+	}
+	// The renamed quantile family exists and the old duplicate does not.
+	if !strings.Contains(text, `dpserve_solve_latency_quantile_seconds{quantile="0.95"}`) {
+		t.Errorf("missing renamed quantile family:\n%s", text)
+	}
+	if strings.Contains(text, `dpserve_solve_latency_seconds{quantile=`) {
+		t.Errorf("old duplicate-family quantile series still emitted:\n%s", text)
+	}
+}
+
+// The checker itself must reject the pre-fix shape: summary-style
+// quantile samples under the same family name as a histogram.
+func TestExpositionParserRejectsDuplicateFamily(t *testing.T) {
+	bad := `# TYPE dpserve_solve_latency_seconds histogram
+dpserve_solve_latency_seconds_bucket{le="1"} 1
+dpserve_solve_latency_seconds_bucket{le="+Inf"} 1
+dpserve_solve_latency_seconds_sum 0.5
+dpserve_solve_latency_seconds_count 1
+dpserve_solve_latency_seconds{quantile="0.5"} 0.5
+`
+	if err := parseExposition(bad); err == nil {
+		t.Fatal("parser accepted a quantile sample reusing a histogram family name")
+	}
+	for name, text := range map[string]string{
+		"orphan sample":        "dpserve_undeclared_total 3\n",
+		"double declaration":   "# TYPE x counter\n# TYPE x counter\nx 1\n",
+		"bucket without le":    "# TYPE h histogram\nh_bucket 1\n",
+		"family collides with": "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n# TYPE h_sum counter\n",
+	} {
+		if err := parseExposition(text); err == nil {
+			t.Errorf("%s: parser accepted invalid exposition:\n%s", name, text)
+		}
+	}
+	good := "# TYPE a counter\na 1\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n"
+	if err := parseExposition(good); err != nil {
+		t.Errorf("parser rejected a valid exposition: %v", err)
+	}
+}
+
+// Quantile gauges still track the histogram after the rename.
+func TestSolveLatencyQuantileFamilyValues(t *testing.T) {
+	m := NewMetrics()
+	for i := 0; i < 100; i++ {
+		m.SolveSeconds.Observe(float64(i) / 100)
+	}
+	var sb strings.Builder
+	m.Write(&sb)
+	p95 := m.SolveSeconds.Quantile(0.95)
+	want := fmt.Sprintf(`dpserve_solve_latency_quantile_seconds{quantile="0.95"} %g`, p95)
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("missing %q in:\n%s", want, sb.String())
+	}
+}

@@ -106,10 +106,14 @@ func (h *Histogram) Quantile(p float64) float64 {
 	return h.bounds[len(h.bounds)-1]
 }
 
-// write renders the histogram in Prometheus text exposition format.
+// write renders the histogram in Prometheus text exposition format,
+// preceded by its # TYPE metadata line. A histogram family owns exactly
+// the _bucket/_sum/_count series — no other sample may use its name,
+// which is what strict exposition parsers enforce.
 func (h *Histogram) write(w io.Writer, name string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
 	cum := int64(0)
 	for i, b := range h.bounds {
 		cum += h.counts[i]
@@ -119,6 +123,16 @@ func (h *Histogram) write(w io.Writer, name string) {
 	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
 	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
 	fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+}
+
+// writeCounter and writeGauge render one single-series family with its
+// # TYPE line.
+func writeCounter(w io.Writer, name string, v int64) {
+	fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v)
+}
+
+func writeGauge(w io.Writer, name string, v float64) {
+	fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, v)
 }
 
 func formatBound(b float64) string {
@@ -146,6 +160,8 @@ type Metrics struct {
 	Batches        Counter // micro-batch flushes
 	Batched        Counter // requests that went through a micro-batch
 	BatchAbandoned Counter // cancelled items dropped at flush assembly
+	ExpiredSkipped Counter // general-pool jobs skipped at pickup (context already done)
+	AdmitShed      Counter // requests shed by cycle-model admission control (429 + Retry-After)
 
 	EngineWorkers     Gauge // compute-phase workers of the last streamed run
 	EngineUtilization Gauge // measured PU of the last streamed run
@@ -157,7 +173,8 @@ type Metrics struct {
 	QueueWaitSeconds     *Histogram // enqueue -> worker pickup / batch flush
 	BatchAssemblySeconds *Histogram // first batch arrival -> flush (per flush)
 
-	QueueDepth func() int // sampled at render time; nil reads as 0
+	QueueDepth          func() int     // sampled at render time; nil reads as 0
+	AdmitBacklogSeconds func() float64 // admission controller's estimated backlog; nil reads as 0
 }
 
 // NewMetrics builds the metric set with the server's bucket layout.
@@ -208,34 +225,48 @@ func (m *Metrics) Write(w io.Writer) {
 	}
 	m.mu.Unlock()
 
+	fmt.Fprintf(w, "# TYPE dpserve_requests_total counter\n")
 	for i, k := range kinds {
 		fmt.Fprintf(w, "dpserve_requests_total{problem=%q} %d\n", k, counts[i])
 	}
-	fmt.Fprintf(w, "dpserve_cache_hits_total %d\n", m.CacheHits.Value())
-	fmt.Fprintf(w, "dpserve_cache_misses_total %d\n", m.CacheMisses.Value())
-	fmt.Fprintf(w, "dpserve_singleflight_shared_total %d\n", m.FlightShare.Value())
-	fmt.Fprintf(w, "dpserve_flight_wait_total %d\n", m.FlightWait.Value())
-	fmt.Fprintf(w, "dpserve_rejected_total %d\n", m.Rejected.Value())
-	fmt.Fprintf(w, "dpserve_timeouts_total %d\n", m.Timeouts.Value())
-	fmt.Fprintf(w, "dpserve_client_cancel_total %d\n", m.ClientCancel.Value())
-	fmt.Fprintf(w, "dpserve_errors_total %d\n", m.Errors.Value())
-	fmt.Fprintf(w, "dpserve_batches_total %d\n", m.Batches.Value())
-	fmt.Fprintf(w, "dpserve_batched_requests_total %d\n", m.Batched.Value())
-	fmt.Fprintf(w, "dpserve_batch_abandoned_total %d\n", m.BatchAbandoned.Value())
-	fmt.Fprintf(w, "dpserve_engine_workers %g\n", m.EngineWorkers.Value())
-	fmt.Fprintf(w, "dpserve_engine_worker_utilization %g\n", m.EngineUtilization.Value())
+	writeCounter(w, "dpserve_cache_hits_total", m.CacheHits.Value())
+	writeCounter(w, "dpserve_cache_misses_total", m.CacheMisses.Value())
+	writeCounter(w, "dpserve_singleflight_shared_total", m.FlightShare.Value())
+	writeCounter(w, "dpserve_flight_wait_total", m.FlightWait.Value())
+	writeCounter(w, "dpserve_rejected_total", m.Rejected.Value())
+	writeCounter(w, "dpserve_timeouts_total", m.Timeouts.Value())
+	writeCounter(w, "dpserve_client_cancel_total", m.ClientCancel.Value())
+	writeCounter(w, "dpserve_errors_total", m.Errors.Value())
+	writeCounter(w, "dpserve_batches_total", m.Batches.Value())
+	writeCounter(w, "dpserve_batched_requests_total", m.Batched.Value())
+	writeCounter(w, "dpserve_batch_abandoned_total", m.BatchAbandoned.Value())
+	writeCounter(w, "dpserve_expired_skipped_total", m.ExpiredSkipped.Value())
+	writeCounter(w, "dpserve_admit_shed_total", m.AdmitShed.Value())
+	writeGauge(w, "dpserve_engine_workers", m.EngineWorkers.Value())
+	writeGauge(w, "dpserve_engine_worker_utilization", m.EngineUtilization.Value())
 	m.BatchOccupancy.write(w, "dpserve_batch_occupancy")
 	m.SolveSeconds.write(w, "dpserve_solve_latency_seconds")
 	m.QueueWaitSeconds.write(w, "dpserve_queue_wait_seconds")
 	m.BatchAssemblySeconds.write(w, "dpserve_batch_assembly_seconds")
+	// Server-side quantile estimates live in their OWN family: emitting
+	// them as dpserve_solve_latency_seconds{quantile=...} would reuse the
+	// histogram's family name, which strict Prometheus parsers reject as a
+	// duplicate family (a histogram owns _bucket/_sum/_count and nothing
+	// else).
+	fmt.Fprintf(w, "# TYPE dpserve_solve_latency_quantile_seconds gauge\n")
 	for _, q := range []float64{0.5, 0.95, 0.99} {
-		fmt.Fprintf(w, "dpserve_solve_latency_seconds{quantile=\"%g\"} %g\n", q, m.SolveSeconds.Quantile(q))
+		fmt.Fprintf(w, "dpserve_solve_latency_quantile_seconds{quantile=\"%g\"} %g\n", q, m.SolveSeconds.Quantile(q))
 	}
 	depth := 0
 	if m.QueueDepth != nil {
 		depth = m.QueueDepth()
 	}
-	fmt.Fprintf(w, "dpserve_queue_depth %d\n", depth)
+	writeGauge(w, "dpserve_queue_depth", float64(depth))
+	backlog := 0.0
+	if m.AdmitBacklogSeconds != nil {
+		backlog = m.AdmitBacklogSeconds()
+	}
+	writeGauge(w, "dpserve_admit_backlog_seconds", backlog)
 }
 
 // WriteRuntime appends Go-runtime gauges (goroutines, heap bytes, GC
@@ -244,7 +275,7 @@ func (m *Metrics) Write(w io.Writer) {
 func WriteRuntime(w io.Writer) {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	fmt.Fprintf(w, "dpserve_goroutines %d\n", runtime.NumGoroutine())
-	fmt.Fprintf(w, "dpserve_heap_alloc_bytes %d\n", ms.HeapAlloc)
-	fmt.Fprintf(w, "dpserve_gc_cycles_total %d\n", ms.NumGC)
+	writeGauge(w, "dpserve_goroutines", float64(runtime.NumGoroutine()))
+	writeGauge(w, "dpserve_heap_alloc_bytes", float64(ms.HeapAlloc))
+	writeCounter(w, "dpserve_gc_cycles_total", int64(ms.NumGC))
 }

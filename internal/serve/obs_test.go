@@ -140,8 +140,8 @@ func TestServeObservability(t *testing.T) {
 		t.Errorf("solve histogram empty (count %v)", n)
 	}
 	for _, want := range []string{
-		`dpserve_solve_latency_seconds{quantile="0.5"}`,
-		`dpserve_solve_latency_seconds{quantile="0.99"}`,
+		`dpserve_solve_latency_quantile_seconds{quantile="0.5"}`,
+		`dpserve_solve_latency_quantile_seconds{quantile="0.99"}`,
 		"dpserve_batch_assembly_seconds_bucket",
 		"dpserve_goroutines",
 		"dpserve_heap_alloc_bytes",

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	httppprof "net/http/pprof"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +59,18 @@ type Config struct {
 	TraceSpans  int           // request spans retained for /debug/dptrace; default 256
 	EnablePprof bool          // mount net/http/pprof under /debug/pprof/
 	Logger      *slog.Logger  // structured request logs; nil discards
+
+	// AdmitEnabled turns on cycle-model admission control: requests whose
+	// predicted completion (estimated cost at the calibrated service rate,
+	// plus the admitted backlog) exceeds their deadline are shed up front
+	// with 429 + Retry-After instead of timing out mid-queue. Off, the
+	// model still calibrates and exports its backlog gauge but never
+	// sheds.
+	AdmitEnabled bool
+	// AdmitHeadroom is the safety factor on the predicted completion time
+	// (shed iff predicted*headroom > deadline); default 1.2. Values > 1
+	// shed earlier, absorbing model optimism.
+	AdmitHeadroom float64
 
 	// EngineParallelism is the lock-step engine's compute-phase worker
 	// count for streamed Design-1 batch runs: 0 or 1 solves sequentially,
@@ -91,6 +104,9 @@ func (c Config) withDefaults() Config {
 	if c.TraceSpans <= 0 {
 		c.TraceSpans = 256
 	}
+	if c.AdmitHeadroom <= 0 {
+		c.AdmitHeadroom = 1.2
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -116,6 +132,8 @@ type job struct {
 	done     chan jobResult
 	enqueued time.Time
 	span     *obs.ReqSpan // request-lifecycle span; nil-safe
+	kind     string       // admission cost-model kind
+	cycles   float64      // admission cost-model work units
 }
 
 type jobResult struct {
@@ -131,6 +149,7 @@ type Server struct {
 	cache    *LRU
 	flight   *flight
 	batcher  *Batcher
+	admit    *Admitter
 	spans    *obs.SpanRecorder
 	logger   *slog.Logger
 	jobs     chan *job
@@ -155,9 +174,12 @@ func New(cfg Config) *Server {
 		stop:    make(chan struct{}),
 		mux:     http.NewServeMux(),
 	}
+	s.admit = NewAdmitter(cfg.AdmitEnabled, cfg.AdmitHeadroom, cfg.Workers)
 	s.batcher = NewBatcher(cfg.BatchWindow, cfg.BatchMax, cfg.QueueSize, s.metrics)
 	s.batcher.SetEngineParallelism(cfg.EngineParallelism, cfg.EngineParallelThreshold)
+	s.batcher.SetAdmitter(s.admit)
 	s.metrics.QueueDepth = func() int { return len(s.jobs) }
+	s.metrics.AdmitBacklogSeconds = s.admit.BacklogSeconds
 	s.mux.HandleFunc("/solve", s.handleSolve)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -204,11 +226,31 @@ func (s *Server) worker() {
 }
 
 func (s *Server) runJob(j *job) {
+	// A job whose context is already done is dead work: the submitter
+	// returned ctx.Err() long ago, so picking it up would only burn the
+	// worker under exactly the overload that made it expire. Skip it —
+	// counted, not solved, with no queue-wait/solve stage accounting.
+	if err := j.ctx.Err(); err != nil {
+		s.metrics.ExpiredSkipped.Inc()
+		j.done <- jobResult{nil, err}
+		return
+	}
 	start := time.Now()
 	s.metrics.QueueWaitSeconds.Observe(start.Sub(j.enqueued).Seconds())
 	j.span.Observe("queue_wait", j.enqueued, start)
 	sol, err := core.SolveCtx(j.ctx, j.problem)
-	j.span.Observe("solve", start, time.Now())
+	end := time.Now()
+	j.span.Observe("solve", start, end)
+	if err == nil || errors.Is(err, context.DeadlineExceeded) {
+		// Pure solve duration (queue wait excluded) calibrates the
+		// admission model's per-kind service rate. Timed-out solves count
+		// too: they burned their whole budget without finishing, so
+		// cycles/elapsed under-reports the true rate — exactly the
+		// conservative correction needed, since skipping them would teach
+		// the model only from fast survivors and leave it optimistic under
+		// the overload it exists to manage.
+		s.admit.Observe(j.kind, j.cycles, end.Sub(start).Seconds())
+	}
 	j.done <- jobResult{sol, err}
 }
 
@@ -229,8 +271,24 @@ func (s *Server) submit(j *job) error {
 }
 
 // dispatch routes a problem to its shard — the Design-1 micro-batcher or
-// the general pool — and waits for the solution under ctx.
+// the general pool — and waits for the solution under ctx. Admission
+// runs first: the request is priced with the closed-form cycle model
+// against its deadline, and shed with an OverloadError (429 +
+// Retry-After upstream) when the predicted completion cannot make it.
+// The reservation holds the request's predicted seconds in the backlog
+// until the work finishes on any path — success, error, or abandonment.
 func (s *Server) dispatch(ctx context.Context, p core.Problem) (*core.Solution, error) {
+	kind, cycles := EstimateCost(p)
+	deadline := s.cfg.Timeout
+	if dl, ok := ctx.Deadline(); ok {
+		deadline = time.Until(dl)
+	}
+	res, err := s.admit.Admit(kind, cycles, deadline)
+	if err != nil {
+		s.metrics.AdmitShed.Inc()
+		return nil, err
+	}
+	defer res.Release()
 	if mp, ok := p.(*core.MultistageProblem); ok && mp.Design == 1 && s.cfg.BatchMax > 1 {
 		return s.batcher.Submit(ctx, mp.Graph)
 	}
@@ -240,6 +298,8 @@ func (s *Server) dispatch(ctx context.Context, p core.Problem) (*core.Solution, 
 		done:     make(chan jobResult, 1),
 		enqueued: time.Now(),
 		span:     obs.SpanFrom(ctx),
+		kind:     kind,
+		cycles:   cycles,
 	}
 	if err := s.submit(j); err != nil {
 		return nil, err
@@ -412,6 +472,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	ctx := obs.WithSpan(r.Context(), span)
 	resp, cached, status, err := s.solveSpec(ctx, f)
 	if err != nil {
+		var ovl *OverloadError
+		if errors.As(err, &ovl) {
+			// Admission sheds carry the model's earliest useful retry time;
+			// the header is whole seconds rounded up, never below 1.
+			w.Header().Set("Retry-After",
+				strconv.Itoa(int((ovl.RetryAfter+time.Second-1)/time.Second)))
+		}
 		switch status {
 		case http.StatusTooManyRequests:
 			s.metrics.Rejected.Inc()

@@ -2,7 +2,9 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -323,6 +325,60 @@ func TestServeGracefulShutdown(t *testing.T) {
 	status, _, _, _ := postSpec(t, ts.URL, graphSpec(9))
 	if status != http.StatusServiceUnavailable {
 		t.Errorf("solve after Close = %d, want 503", status)
+	}
+}
+
+// Regression: a general-pool job whose context expired while it sat in
+// the queue must be skipped at pickup — counted in
+// dpserve_expired_skipped_total, with no queue-wait or solve stage
+// recorded — instead of being handed to the solver after its submitter
+// already gave up.
+func TestRunJobSkipsExpiredContext(t *testing.T) {
+	s := New(Config{BatchWindow: -1})
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired before pickup, like a deadline passing in-queue
+	j := &job{
+		problem:  &core.ChainOrderingProblem{Dims: []int{5, 6, 7}},
+		ctx:      ctx,
+		done:     make(chan jobResult, 1),
+		enqueued: time.Now(),
+	}
+	before := s.metrics.QueueWaitSeconds.Count()
+	s.runJob(j)
+	r := <-j.done
+	if !errors.Is(r.err, context.Canceled) {
+		t.Errorf("skipped job err = %v, want context.Canceled", r.err)
+	}
+	if r.sol != nil {
+		t.Errorf("skipped job produced a solution: %+v", r.sol)
+	}
+	if got := s.metrics.ExpiredSkipped.Value(); got != 1 {
+		t.Errorf("expired skips = %d, want 1", got)
+	}
+	if got := s.metrics.QueueWaitSeconds.Count(); got != before {
+		t.Errorf("queue-wait observations = %d, want %d (dead work must not pollute stage latencies)", got, before)
+	}
+
+	// A live job still solves and does record its stages.
+	j2 := &job{
+		problem:  &core.ChainOrderingProblem{Dims: []int{5, 6, 7}},
+		ctx:      context.Background(),
+		done:     make(chan jobResult, 1),
+		enqueued: time.Now(),
+	}
+	s.runJob(j2)
+	if r := <-j2.done; r.err != nil || r.sol == nil {
+		t.Errorf("live job: sol=%v err=%v", r.sol, r.err)
+	}
+	if got := s.metrics.ExpiredSkipped.Value(); got != 1 {
+		t.Errorf("live job wrongly counted as expired (skips = %d)", got)
+	}
+	var sb strings.Builder
+	s.metrics.Write(&sb)
+	if !strings.Contains(sb.String(), "dpserve_expired_skipped_total 1") {
+		t.Errorf("/metrics missing expired-skip counter:\n%s", sb.String())
 	}
 }
 
