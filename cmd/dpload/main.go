@@ -41,7 +41,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"strconv"
+
 	"systolicdp/internal/check"
+	"systolicdp/internal/route"
 	"systolicdp/internal/serve"
 )
 
@@ -68,12 +71,19 @@ type config struct {
 	mix      []string      // instance kinds to generate
 	scale    int           // instance-size multiplier on the generator defaults
 	seed     int64         // generator seed (runs are reproducible)
+	keys     int           // >0: draw requests from a fixed pool of this many distinct specs (cache hits exist)
 	out      string        // report path; empty = stdout only
 	compare  bool          // in-process only: run admission off then on
+
+	// Scaling mode (in-process only): run the same workload through an
+	// in-process dprouter over each of these fleet sizes.
+	replicas []int
+	ablate   bool // rerun the largest fleet with random placement (affinity ablation)
 
 	// In-process server knobs (ignored with -addr).
 	workers       int
 	timeout       time.Duration
+	cache         int // per-replica LRU entries (0 = server default)
 	admit         bool
 	admitHeadroom float64
 }
@@ -89,14 +99,28 @@ func parseFlags(args []string) (config, error) {
 	mix := fs.String("mix", strings.Join(check.Kinds(), ","), "comma-separated instance kinds to generate")
 	scale := fs.Int("scale", 1, "instance-size multiplier on the generator's default bounds (heavier solves per request)")
 	seed := fs.Int64("seed", 1, "instance-generator seed")
+	keys := fs.Int("keys", 0, "draw requests from a fixed pool of this many distinct specs instead of a fresh spec per request (0 = fresh; >0 makes result-cache hits possible)")
 	out := fs.String("out", "", "write the JSON report here as well as stdout")
 	compare := fs.Bool("compare", false, "in-process only: run the workload with admission off, then on")
+	replicasFlag := fs.String("replicas", "", "in-process scaling mode: comma-separated fleet sizes (e.g. 1,2,4,8); each size runs the identical workload through an in-process dprouter over that many dpserve replicas")
+	ablate := fs.Bool("ablate-random", false, "scaling mode: rerun the largest fleet with random (non-affine) placement as the cache-affinity ablation")
 	workers := fs.Int("workers", 0, "in-process server: general-pool workers (0 = NumCPU)")
 	timeout := fs.Duration("timeout", 2*time.Second, "in-process server: per-request solve budget (the deadline admission prices against)")
+	cache := fs.Int("cache", 0, "in-process server: per-replica LRU result-cache entries (0 = server default)")
 	admit := fs.Bool("admit", false, "in-process server: enable cycle-model admission control (single-run mode)")
 	admitHeadroom := fs.Float64("admit-headroom", 1.2, "in-process server: admission safety factor")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
+	}
+	var fleet []int
+	if *replicasFlag != "" {
+		for _, f := range strings.Split(*replicasFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				return config{}, fmt.Errorf("bad -replicas entry %q (want positive fleet sizes like 1,2,4,8)", f)
+			}
+			fleet = append(fleet, n)
+		}
 	}
 	kinds := strings.Split(*mix, ",")
 	known := map[string]bool{}
@@ -112,6 +136,15 @@ func parseFlags(args []string) (config, error) {
 	if *compare && *addr != "" {
 		return config{}, fmt.Errorf("-compare needs the in-process server (drop -addr)")
 	}
+	if len(fleet) > 0 && *addr != "" {
+		return config{}, fmt.Errorf("-replicas scaling mode needs the in-process fleet (drop -addr)")
+	}
+	if len(fleet) > 0 && *compare {
+		return config{}, fmt.Errorf("-replicas and -compare are separate experiments; pick one")
+	}
+	if *ablate && len(fleet) == 0 {
+		return config{}, fmt.Errorf("-ablate-random needs -replicas")
+	}
 	return config{
 		addr:     *addr,
 		duration: *duration,
@@ -122,11 +155,15 @@ func parseFlags(args []string) (config, error) {
 		mix:      kinds,
 		scale:    *scale,
 		seed:     *seed,
+		keys:     *keys,
 		out:      *out,
 		compare:  *compare,
+		replicas: fleet,
+		ablate:   *ablate,
 
 		workers:       *workers,
 		timeout:       *timeout,
+		cache:         *cache,
 		admit:         *admit,
 		admitHeadroom: *admitHeadroom,
 	}, nil
@@ -134,12 +171,16 @@ func parseFlags(args []string) (config, error) {
 
 // bodies is a concurrency-safe stream of marshalled spec instances drawn
 // from the check generator. Instances the wire format cannot express
-// (±Inf single-edge graphs) are skipped and regenerated.
+// (±Inf single-edge graphs) are skipped and regenerated. With a key
+// pool (keyed), next samples uniformly from a fixed set of distinct
+// specs instead, so the same canonical hashes recur and server-side
+// result caches have something to hit.
 type bodies struct {
 	mu   sync.Mutex
 	rng  *rand.Rand
 	mix  []string
 	gcfg check.GenConfig
+	pool [][]byte // nil = fresh instance per request
 }
 
 func newBodies(seed int64, mix []string, scale int) *bodies {
@@ -159,9 +200,29 @@ func newBodies(seed int64, mix []string, scale int) *bodies {
 	return &bodies{rng: rand.New(rand.NewSource(seed)), mix: mix, gcfg: gcfg}
 }
 
+// keyed freezes the generator into a pool of n distinct specs; next then
+// samples from the pool. Same seed + mix + scale + n = same pool, so
+// every run in a comparison faces the same key population.
+func (b *bodies) keyed(n int) *bodies {
+	b.pool = make([][]byte, n)
+	for i := range b.pool {
+		b.pool[i] = b.generate()
+	}
+	return b
+}
+
 func (b *bodies) next() []byte {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.pool != nil {
+		return b.pool[b.rng.Intn(len(b.pool))]
+	}
+	return b.generate()
+}
+
+// generate draws one fresh marshalled instance. Callers hold b.mu (or
+// have exclusive ownership during pool construction).
+func (b *bodies) generate() []byte {
 	for {
 		in := check.GenKind(b.rng, b.mix[b.rng.Intn(len(b.mix))], b.gcfg)
 		if in.File.Validate() != nil {
@@ -191,6 +252,17 @@ type RunReport struct {
 	P99ms       float64        `json:"p99_ms"`
 	ShedP50ms   float64        `json:"shed_p50_ms"` // latency of 429s (0 if none)
 	AdmitConfig string         `json:"admit,omitempty"`
+
+	// Cache observability (from the X-Dpserve-Cache response header,
+	// which proxies pass through; zero when the pool is fresh-per-request
+	// and hits are impossible).
+	CacheHits    int64   `json:"cache_hits,omitempty"`
+	CacheMisses  int64   `json:"cache_misses,omitempty"`
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"` // hits / (hits+misses) among 200s
+
+	// Scaling-mode provenance.
+	Replicas int    `json:"replicas,omitempty"` // fleet size behind the router
+	Policy   string `json:"policy,omitempty"`   // router placement policy
 }
 
 // Report is the full dpload output.
@@ -199,6 +271,7 @@ type Report struct {
 	Target      string      `json:"target"`
 	Mix         []string    `json:"mix"`
 	Seed        int64       `json:"seed"`
+	Keys        int         `json:"keys,omitempty"` // fixed key-pool size (0 = fresh spec per request)
 	CapacityRPS float64     `json:"probed_capacity_rps,omitempty"`
 	Runs        []RunReport `json:"runs"`
 }
@@ -210,6 +283,7 @@ func loadRun(base string, cfg config, name string, targetRPS float64, gen *bodie
 		status     int
 		latency    time.Duration
 		retryAfter bool
+		cache      string // X-Dpserve-Cache: "hit", "miss", or ""
 	}
 	samples := make(chan sample, cfg.conc)
 	launch := make(chan []byte, cfg.conc)
@@ -233,6 +307,7 @@ func loadRun(base string, cfg config, name string, targetRPS float64, gen *bodie
 					status:     resp.StatusCode,
 					latency:    time.Since(start),
 					retryAfter: resp.Header.Get("Retry-After") != "",
+					cache:      resp.Header.Get("X-Dpserve-Cache"),
 				}
 			}
 		}()
@@ -241,7 +316,7 @@ func loadRun(base string, cfg config, name string, targetRPS float64, gen *bodie
 	// Collector drains samples so workers never block on the channel.
 	statuses := map[string]int{}
 	var okLat, shedLat []time.Duration
-	var retryAfter int64
+	var retryAfter, cacheHits, cacheMisses int64
 	var collect sync.WaitGroup
 	collect.Add(1)
 	go func() {
@@ -251,6 +326,12 @@ func loadRun(base string, cfg config, name string, targetRPS float64, gen *bodie
 			switch s.status {
 			case http.StatusOK:
 				okLat = append(okLat, s.latency)
+				switch s.cache {
+				case "hit":
+					cacheHits++
+				case "miss":
+					cacheMisses++
+				}
 			case http.StatusTooManyRequests:
 				shedLat = append(shedLat, s.latency)
 				if s.retryAfter {
@@ -308,20 +389,27 @@ func loadRun(base string, cfg config, name string, targetRPS float64, gen *bodie
 		idx := int(p * float64(len(lats)-1))
 		return float64(lats[idx]) / float64(time.Millisecond)
 	}
+	hitRate := 0.0
+	if cacheHits+cacheMisses > 0 {
+		hitRate = float64(cacheHits) / float64(cacheHits+cacheMisses)
+	}
 	return RunReport{
-		Name:       name,
-		TargetRPS:  targetRPS,
-		Duration:   window.Round(time.Millisecond).String(),
-		Sent:       sent.Load(),
-		Dropped:    dropped.Load(),
-		Statuses:   statuses,
-		RetryAfter: retryAfter,
-		NetErrors:  netErrs.Load(),
-		GoodputRPS: float64(statuses["200"]) / window.Seconds(),
-		P50ms:      pct(okLat, 0.50),
-		P95ms:      pct(okLat, 0.95),
-		P99ms:      pct(okLat, 0.99),
-		ShedP50ms:  pct(shedLat, 0.50),
+		Name:         name,
+		TargetRPS:    targetRPS,
+		Duration:     window.Round(time.Millisecond).String(),
+		Sent:         sent.Load(),
+		Dropped:      dropped.Load(),
+		Statuses:     statuses,
+		RetryAfter:   retryAfter,
+		NetErrors:    netErrs.Load(),
+		GoodputRPS:   float64(statuses["200"]) / window.Seconds(),
+		P50ms:        pct(okLat, 0.50),
+		P95ms:        pct(okLat, 0.95),
+		P99ms:        pct(okLat, 0.99),
+		ShedP50ms:    pct(shedLat, 0.50),
+		CacheHits:    cacheHits,
+		CacheMisses:  cacheMisses,
+		CacheHitRate: hitRate,
 	}
 }
 
@@ -373,6 +461,7 @@ func inprocServer(cfg config, admit bool) (string, func(), error) {
 	s := serve.New(serve.Config{
 		Workers:       cfg.workers,
 		Timeout:       cfg.timeout,
+		CacheSize:     cfg.cache,
 		AdmitEnabled:  admit,
 		AdmitHeadroom: cfg.admitHeadroom,
 	})
@@ -392,15 +481,125 @@ func inprocServer(cfg config, admit bool) (string, func(), error) {
 	return "http://" + ln.Addr().String(), stop, nil
 }
 
+// inprocFleet starts n loopback dpserve replicas behind an in-process
+// dprouter and returns the router's base URL and a shutdown func that
+// tears the whole stack down (router first, then replicas).
+func inprocFleet(cfg config, n int, policy string) (string, func(), error) {
+	var repStops []func()
+	var bases []string
+	fail := func(err error) (string, func(), error) {
+		for _, s := range repStops {
+			s()
+		}
+		return "", nil, err
+	}
+	for i := 0; i < n; i++ {
+		base, stop, err := inprocServer(cfg, cfg.admit)
+		if err != nil {
+			return fail(err)
+		}
+		bases = append(bases, base)
+		repStops = append(repStops, stop)
+	}
+	rt, err := route.New(route.Config{
+		Replicas:       bases,
+		Policy:         policy,
+		HealthInterval: 100 * time.Millisecond,
+		Deadline:       cfg.timeout,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		rt.Close()
+		return fail(err)
+	}
+	hs := &http.Server{Handler: rt.Handler()}
+	go hs.Serve(ln)
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		rt.Close()
+		for _, s := range repStops {
+			s()
+		}
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+// runScaling is the fleet-size experiment: the identical keyed workload
+// through an in-process dprouter at each size in cfg.replicas, with the
+// offered rate fixed across sizes (probed once on the first fleet). A
+// final optional run repeats the largest fleet with random placement —
+// same replicas, no shard affinity — as the ablation that shows the
+// cache-hit collapse consistent hashing prevents.
+func runScaling(cfg config, report *Report, stdout io.Writer) error {
+	gen := func(seed int64) *bodies {
+		b := newBodies(seed, cfg.mix, cfg.scale)
+		if cfg.keys > 0 {
+			b = b.keyed(cfg.keys)
+		}
+		return b
+	}
+	target := cfg.rps
+	type fleetRun struct {
+		n      int
+		policy string
+	}
+	runs := make([]fleetRun, 0, len(cfg.replicas)+1)
+	maxN := 0
+	for _, n := range cfg.replicas {
+		runs = append(runs, fleetRun{n, route.PolicyHash})
+		if n > maxN {
+			maxN = n
+		}
+	}
+	if cfg.ablate {
+		runs = append(runs, fleetRun{maxN, route.PolicyRandom})
+	}
+	for _, fr := range runs {
+		base, stop, err := inprocFleet(cfg, fr.n, fr.policy)
+		if err != nil {
+			return err
+		}
+		if target == 0 {
+			report.CapacityRPS = probeCapacity(base, cfg, gen(cfg.seed+1000))
+			target = report.CapacityRPS * cfg.overload
+		}
+		name := fmt.Sprintf("replicas-%d", fr.n)
+		if fr.policy != route.PolicyHash {
+			name += "-" + fr.policy
+		}
+		fmt.Fprintf(stdout, "dpload: %s (%s) at %.0f rps for %v against %s\n", name, fr.policy, target, cfg.duration, base)
+		rr := loadRun(base, cfg, name, target, gen(cfg.seed))
+		rr.Replicas = fr.n
+		rr.Policy = fr.policy
+		report.Runs = append(report.Runs, rr)
+		stop()
+	}
+	return nil
+}
+
 func run(cfg config, stdout io.Writer) error {
 	report := Report{
 		GeneratedBy: "dpload",
 		Target:      cfg.addr,
 		Mix:         cfg.mix,
 		Seed:        cfg.seed,
+		Keys:        cfg.keys,
 	}
 	if cfg.addr == "" {
 		report.Target = "in-process"
+	}
+
+	if len(cfg.replicas) > 0 {
+		report.Target = "in-process fleet (dprouter)"
+		if err := runScaling(cfg, &report, stdout); err != nil {
+			return err
+		}
+		return writeReport(&report, cfg.out, stdout)
 	}
 
 	// Each measured run gets a fresh generator with the same seed, so
@@ -414,6 +613,13 @@ func run(cfg config, stdout io.Writer) error {
 		phases = []phase{{"admit-off", false}, {"admit-on", true}}
 	}
 
+	gen := func(seed int64) *bodies {
+		b := newBodies(seed, cfg.mix, cfg.scale)
+		if cfg.keys > 0 {
+			b = b.keyed(cfg.keys)
+		}
+		return b
+	}
 	target := cfg.rps
 	for _, ph := range phases {
 		base := cfg.addr
@@ -428,25 +634,30 @@ func run(cfg config, stdout io.Writer) error {
 		if target == 0 {
 			// Probe once, on the first phase's server, and reuse the rate so
 			// every phase sees the same offered load.
-			report.CapacityRPS = probeCapacity(base, cfg, newBodies(cfg.seed+1000, cfg.mix, cfg.scale))
+			report.CapacityRPS = probeCapacity(base, cfg, gen(cfg.seed+1000))
 			target = report.CapacityRPS * cfg.overload
 		}
 		fmt.Fprintf(stdout, "dpload: %s at %.0f rps for %v against %s\n", ph.name, target, cfg.duration, base)
-		rr := loadRun(base, cfg, ph.name, target, newBodies(cfg.seed, cfg.mix, cfg.scale))
+		rr := loadRun(base, cfg, ph.name, target, gen(cfg.seed))
 		if cfg.addr == "" {
 			rr.AdmitConfig = fmt.Sprintf("enabled=%v headroom=%g", ph.admit, cfg.admitHeadroom)
 		}
 		report.Runs = append(report.Runs, rr)
 		stop()
 	}
+	return writeReport(&report, cfg.out, stdout)
+}
 
-	raw, err := json.MarshalIndent(&report, "", "  ")
+// writeReport pretty-prints the report to stdout and, when out is set,
+// persists it there too.
+func writeReport(report *Report, out string, stdout io.Writer) error {
+	raw, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(stdout, string(raw))
-	if cfg.out != "" {
-		if err := os.WriteFile(cfg.out, append(raw, '\n'), 0o644); err != nil {
+	if out != "" {
+		if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
 			return err
 		}
 	}

@@ -29,6 +29,54 @@ func TestParseFlags(t *testing.T) {
 	}
 }
 
+func TestParseFlagsScalingMode(t *testing.T) {
+	cfg, err := parseFlags([]string{"-replicas", "1, 2,4,8", "-keys", "500", "-cache", "256", "-ablate-random"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.replicas) != 4 || cfg.replicas[0] != 1 || cfg.replicas[3] != 8 {
+		t.Errorf("replicas = %v", cfg.replicas)
+	}
+	if cfg.keys != 500 || cfg.cache != 256 || !cfg.ablate {
+		t.Errorf("scaling knobs = %+v", cfg)
+	}
+
+	if _, err := parseFlags([]string{"-replicas", "0"}); err == nil {
+		t.Error("zero fleet size accepted")
+	}
+	if _, err := parseFlags([]string{"-replicas", "2", "-addr", "http://x"}); err == nil {
+		t.Error("-replicas with -addr accepted")
+	}
+	if _, err := parseFlags([]string{"-replicas", "2", "-compare"}); err == nil {
+		t.Error("-replicas with -compare accepted")
+	}
+	if _, err := parseFlags([]string{"-ablate-random"}); err == nil {
+		t.Error("-ablate-random without -replicas accepted")
+	}
+}
+
+// A keyed pool must be a fixed set of distinct specs, reproducible from
+// the seed — that is what makes cache-hit comparisons across runs fair.
+func TestKeyedBodiesPool(t *testing.T) {
+	a := newBodies(42, []string{"chain", "dtw"}, 2).keyed(50)
+	b := newBodies(42, []string{"chain", "dtw"}, 2).keyed(50)
+	for i := range a.pool {
+		if string(a.pool[i]) != string(b.pool[i]) {
+			t.Fatalf("pool entry %d differs across same-seed generators", i)
+		}
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		seen[string(a.next())] = true
+	}
+	if len(seen) > 50 {
+		t.Fatalf("keyed generator produced %d distinct bodies, pool is 50", len(seen))
+	}
+	if len(seen) < 25 {
+		t.Fatalf("only %d distinct bodies in 500 draws from a 50-key pool", len(seen))
+	}
+}
+
 // The generator stream only yields wire-valid bodies, and scaling keeps
 // them valid.
 func TestBodiesAreValidSpecs(t *testing.T) {
@@ -77,5 +125,47 @@ func TestDploadInProcessSmoke(t *testing.T) {
 	}
 	if rr.NetErrors != 0 {
 		t.Errorf("net errors against in-process server: %+v", rr)
+	}
+}
+
+// Scaling mode end to end: two fleet sizes through the in-process
+// router, keyed workload, cache hits observed through the proxy hop.
+func TestDploadScalingSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	cfg, err := parseFlags([]string{
+		"-duration", "1s", "-rps", "80", "-conc", "8",
+		"-mix", "chain,dtw", "-keys", "30", "-replicas", "1,2",
+		"-timeout", "2s", "-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(cfg, &sb); err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("artifact is not a Report: %v\n%s", err, raw)
+	}
+	if len(rep.Runs) != 2 {
+		t.Fatalf("report has %d runs, want 2 (one per fleet size)", len(rep.Runs))
+	}
+	for i, rr := range rep.Runs {
+		if rr.Replicas != cfg.replicas[i] || rr.Policy != "hash" {
+			t.Errorf("run %d provenance wrong: %+v", i, rr)
+		}
+		if rr.Statuses["200"] == 0 {
+			t.Errorf("run %d: no successful traffic: %+v", i, rr)
+		}
+		// 30 keys sampled hundreds of times: hits must appear, and the
+		// X-Dpserve-Cache header must survive the proxy hop.
+		if rr.CacheHits == 0 {
+			t.Errorf("run %d: no cache hits observed through the router: %+v", i, rr)
+		}
 	}
 }

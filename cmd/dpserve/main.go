@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -32,15 +33,23 @@ import (
 )
 
 func main() {
-	addr, cfg := parseFlags(os.Args[1:])
-	if err := run(addr, cfg); err != nil {
+	addr, grace, cfg := parseFlags(os.Args[1:])
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpserve:", err)
+		os.Exit(1)
+	}
+	if err := run(ctx, ln, grace, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dpserve:", err)
 		os.Exit(1)
 	}
 }
 
-// parseFlags builds the listen address and server config from argv.
-func parseFlags(args []string) (string, serve.Config) {
+// parseFlags builds the listen address, drain grace, and server config
+// from argv.
+func parseFlags(args []string) (string, time.Duration, serve.Config) {
 	fs := flag.NewFlagSet("dpserve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "general-pool workers (0 = NumCPU)")
@@ -55,8 +64,9 @@ func parseFlags(args []string) (string, serve.Config) {
 	engineThreshold := fs.Int("engine-parallel-threshold", 0, "minimum PE count before the parallel compute phase engages (0 = engine default)")
 	admit := fs.Bool("admit", false, "cycle-model admission control: shed requests predicted to miss their deadline with 429 + Retry-After")
 	admitHeadroom := fs.Float64("admit-headroom", 1.2, "safety factor on predicted completion time (shed iff predicted*headroom > deadline)")
+	drainGrace := fs.Duration("drain-grace", 3*time.Second, "on SIGTERM, keep serving with /healthz=503 this long so load balancers stop routing before the listener closes")
 	fs.Parse(args)
-	return *addr, serve.Config{
+	return *addr, *drainGrace, serve.Config{
 		Workers:                 *workers,
 		QueueSize:               *queue,
 		BatchWindow:             *window,
@@ -73,17 +83,21 @@ func parseFlags(args []string) (string, serve.Config) {
 	}
 }
 
-func run(addr string, cfg serve.Config) error {
+// run serves on ln until ctx is cancelled, then shuts down in load
+// balancer friendly order: first flip /healthz to 503 (BeginDrain) while
+// the listener keeps accepting for the grace window — so routers probing
+// health stop sending new work before connections start being refused —
+// then stop accepting, finish in-flight exchanges, and drain the solving
+// queues. The listener and context are injected so tests can drive the
+// whole lifecycle.
+func run(ctx context.Context, ln net.Listener, grace time.Duration, cfg serve.Config) error {
 	s := serve.New(cfg)
-	srv := &http.Server{Addr: addr, Handler: s.Handler()}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	srv := &http.Server{Handler: s.Handler()}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("dpserve listening on %s", addr)
-		errc <- srv.ListenAndServe()
+		log.Printf("dpserve listening on %s", ln.Addr())
+		errc <- srv.Serve(ln)
 	}()
 
 	select {
@@ -93,8 +107,21 @@ func run(addr string, cfg serve.Config) error {
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop accepting, let in-flight HTTP exchanges
-	// finish, then drain the solving queues.
+	log.Printf("dpserve: draining (healthz 503 for %v)", grace)
+	s.BeginDrain()
+	if grace > 0 {
+		timer := time.NewTimer(grace)
+		select {
+		case <-timer.C:
+		case err := <-errc:
+			// Listener died during the grace window; nothing left to drain
+			// gracefully.
+			timer.Stop()
+			s.Close()
+			return err
+		}
+	}
+
 	log.Print("dpserve: shutting down")
 	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()

@@ -1,0 +1,130 @@
+// Package route is the horizontal scale-out tier: a thin HTTP router
+// that shards canonical spec hashes across N dpserve replicas with a
+// consistent-hash ring, so each replica's LRU cache and singleflight
+// stay shard-local.
+//
+// The design transposes the paper's systolic discipline to the cluster:
+// scale comes from composing many small identical processing units —
+// here, identical dpserve replicas — behind a fixed, deterministic
+// mapping of work onto units, not from making any single unit cleverer.
+// The ring is that mapping: a pure function from spec hash to replica,
+// stable across router restarts and minimally perturbed by membership
+// change (≈1/N of keys move when a replica joins or leaves), which is
+// exactly the property that keeps per-key cache affinity intact while
+// the replica set evolves.
+//
+// The router does four things per request: decode the body just enough
+// to compute the canonical spec.File hash, place the hash on the ring
+// over healthy replicas, optionally shed at the edge using the target
+// replica's advertised admission state (/statusz) with a model-derived
+// Retry-After, and forward with the remaining deadline propagated via
+// the X-Deadline-Ms header. Replica lifecycle is managed by a prober
+// with ejection/readmission hysteresis, and membership is static or
+// file-reloadable with graceful draining: a replica removed from the
+// ring finishes its in-flight requests before the router lets go of it.
+package route
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Ring is an immutable consistent-hash ring over a set of replica names.
+// Each replica contributes vnodes virtual points, placed by SHA-256 of
+// "name#i"; a key is owned by the replica of the first point clockwise
+// from the key's hash. Determinism is structural: no seeds, no process
+// state — two routers (or one router across restarts) built over the
+// same membership map every key identically.
+type Ring struct {
+	points   []ringPoint // sorted by hash
+	replicas []string    // distinct members, sorted
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica string
+}
+
+// NewRing builds a ring over the distinct non-empty replicas with the
+// given virtual-node count per replica (minimum 1). Input order is
+// irrelevant to the resulting mapping.
+func NewRing(replicas []string, vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	r := &Ring{}
+	seen := make(map[string]bool, len(replicas))
+	for _, rep := range replicas {
+		if rep == "" || seen[rep] {
+			continue
+		}
+		seen[rep] = true
+		r.replicas = append(r.replicas, rep)
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash64(fmt.Sprintf("%s#%d", rep, i)), rep})
+		}
+	}
+	sort.Strings(r.replicas)
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash collisions between vnodes of different replicas are broken
+		// by name so the mapping stays independent of input order.
+		return r.points[i].replica < r.points[j].replica
+	})
+	return r
+}
+
+// hash64 places a string on the ring: the first 8 bytes of its SHA-256.
+// FNV and friends cluster badly on near-identical short strings (vnode
+// labels differ by one digit), which skews arc lengths enough to break
+// the uniformity bound; SHA-256 mixes fully and stays dependency-free
+// and deterministic across processes.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Len reports the number of distinct replicas on the ring.
+func (r *Ring) Len() int { return len(r.replicas) }
+
+// Replicas returns the distinct members, sorted.
+func (r *Ring) Replicas() []string { return append([]string(nil), r.replicas...) }
+
+// Lookup returns the replica owning key, or "" on an empty ring.
+func (r *Ring) Lookup(key string) string {
+	s := r.Successors(key, 1)
+	if len(s) == 0 {
+		return ""
+	}
+	return s[0]
+}
+
+// Successors returns up to n distinct replicas in ring order starting at
+// key's owner. The tail entries are the key's failover targets: when the
+// owner is ejected, the key's traffic moves to the next distinct replica
+// clockwise — the same replica it would move to if the owner left the
+// membership — so failover and resharding agree about where a key goes.
+func (r *Ring) Successors(key string, n int) []string {
+	if len(r.points) == 0 || n < 1 {
+		return nil
+	}
+	if n > len(r.replicas) {
+		n = len(r.replicas)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			out = append(out, p.replica)
+		}
+	}
+	return out
+}

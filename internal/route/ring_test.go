@@ -1,0 +1,157 @@
+package route
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Keys in production are hex SHA-256 spec hashes; synthetic keys
+		// with similar entropy stand in.
+		keys[i] = fmt.Sprintf("key-%d-%x", i, i*2654435761)
+	}
+	return keys
+}
+
+func testReplicas(n int) []string {
+	reps := make([]string, n)
+	for i := range reps {
+		reps[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return reps
+}
+
+// Key shares must stay near-uniform at every fleet size the scaling
+// curve uses: with 200 vnodes per replica no replica may own more than
+// ~1.45x or less than ~0.55x its fair share of a large key population.
+func TestRingDistributionUniformity(t *testing.T) {
+	keys := testKeys(100_000)
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 8} {
+		ring := NewRing(testReplicas(n), 200)
+		counts := make(map[string]int, n)
+		for _, k := range keys {
+			counts[ring.Lookup(k)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d replicas own keys", n, len(counts))
+		}
+		ideal := float64(len(keys)) / float64(n)
+		for rep, c := range counts {
+			share := float64(c) / ideal
+			if share > 1.45 || share < 0.55 {
+				t.Errorf("n=%d: replica %s owns %.2fx its fair share (%d keys)", n, rep, share, c)
+			}
+		}
+	}
+}
+
+// Growing the fleet from N to N+1 replicas must remap roughly 1/(N+1) of
+// the keys — and every remapped key must land on the NEW replica. A key
+// that moved between two old replicas would be a cache-affinity loss the
+// consistent-hash construction exists to prevent.
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	keys := testKeys(50_000)
+	for _, n := range []int{1, 2, 3, 4, 7} {
+		before := NewRing(testReplicas(n), 200)
+		after := NewRing(testReplicas(n+1), 200)
+		added := testReplicas(n + 1)[n]
+		moved := 0
+		for _, k := range keys {
+			b, a := before.Lookup(k), after.Lookup(k)
+			if b == a {
+				continue
+			}
+			moved++
+			if a != added {
+				t.Fatalf("n=%d: key %q moved %s -> %s, not to the new replica %s", n, k, b, a, added)
+			}
+		}
+		frac := float64(moved) / float64(len(keys))
+		ideal := 1.0 / float64(n+1)
+		if frac > 1.5*ideal {
+			t.Errorf("n=%d->%d: %.3f of keys moved, want <= %.3f (1.5x ideal %.3f)", n, n+1, frac, 1.5*ideal, ideal)
+		}
+		if frac < 0.5*ideal {
+			t.Errorf("n=%d->%d: only %.3f of keys moved — the new replica is underweighted (ideal %.3f)", n, n+1, frac, ideal)
+		}
+	}
+}
+
+// Removal is the mirror image: keys owned by the departed replica
+// scatter to the survivors; everyone else's keys stay put.
+func TestRingMinimalMovementOnLeave(t *testing.T) {
+	keys := testKeys(50_000)
+	reps := testReplicas(5)
+	before := NewRing(reps, 200)
+	gone := reps[2]
+	after := NewRing(append(append([]string{}, reps[:2]...), reps[3:]...), 200)
+	for _, k := range keys {
+		b, a := before.Lookup(k), after.Lookup(k)
+		if b == gone {
+			if a == gone {
+				t.Fatalf("key %q still mapped to removed replica", k)
+			}
+			continue
+		}
+		if b != a {
+			t.Fatalf("key %q moved %s -> %s though its owner never left", k, b, a)
+		}
+	}
+}
+
+// The mapping must be a pure function of membership: independent of
+// construction order and identical across "process restarts" (fresh
+// Ring values). Routers on different machines must agree where a key
+// lives, or shard-local caching falls apart.
+func TestRingDeterminism(t *testing.T) {
+	reps := testReplicas(6)
+	ring1 := NewRing(reps, 128)
+
+	shuffled := append([]string{}, reps...)
+	rng := rand.New(rand.NewSource(99))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	ring2 := NewRing(shuffled, 128)
+
+	// Duplicates and empties must not perturb the mapping either.
+	noisy := append(append([]string{"", reps[0]}, shuffled...), reps[3])
+	ring3 := NewRing(noisy, 128)
+
+	for _, k := range testKeys(20_000) {
+		a, b, c := ring1.Lookup(k), ring2.Lookup(k), ring3.Lookup(k)
+		if a != b || b != c {
+			t.Fatalf("key %q maps inconsistently: %q / %q / %q", k, a, b, c)
+		}
+	}
+}
+
+// Successors must be distinct replicas in ring order, capped at the
+// membership size, and the first successor must be Lookup's owner.
+func TestRingSuccessors(t *testing.T) {
+	ring := NewRing(testReplicas(4), 64)
+	for _, k := range testKeys(1000) {
+		succ := ring.Successors(k, 3)
+		if len(succ) != 3 {
+			t.Fatalf("key %q: %d successors, want 3", k, len(succ))
+		}
+		if succ[0] != ring.Lookup(k) {
+			t.Fatalf("key %q: successors[0] %q != owner %q", k, succ[0], ring.Lookup(k))
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("key %q: duplicate successor %q", k, s)
+			}
+			seen[s] = true
+		}
+	}
+	if got := ring.Successors("k", 99); len(got) != 4 {
+		t.Errorf("successor count capped wrong: %d, want 4", len(got))
+	}
+	empty := NewRing(nil, 64)
+	if empty.Lookup("k") != "" || empty.Successors("k", 2) != nil {
+		t.Error("empty ring must return no owners")
+	}
+}

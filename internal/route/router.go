@@ -1,0 +1,810 @@
+package route
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"systolicdp/internal/serve"
+	"systolicdp/internal/spec"
+)
+
+// Policy selects how the router places a request on a replica.
+const (
+	// PolicyHash is consistent hashing of the canonical spec hash: every
+	// key has a stable owner, so replica caches and singleflight stay
+	// shard-local. The default, and the point of this tier.
+	PolicyHash = "hash"
+	// PolicyRandom picks a uniformly random healthy replica per request.
+	// It exists as the ablation baseline: same replicas, no affinity —
+	// the measured cache-hit collapse is the argument for PolicyHash.
+	PolicyRandom = "random"
+)
+
+// Config parameterizes a Router. Zero values select the defaults noted
+// on each field.
+type Config struct {
+	// Replicas is the initial static membership: dpserve base URLs
+	// ("http://host:port"). A bare "host:port" gets an http:// prefix.
+	Replicas []string
+	// ReplicasFile, when set, makes membership file-reloadable: the file
+	// (one base URL per line, '#' comments, commas also accepted) is
+	// polled every ReloadInterval and applied on modification. When both
+	// Replicas and ReplicasFile are given, the file wins once readable.
+	ReplicasFile   string
+	ReloadInterval time.Duration // membership file poll period; default 2s
+
+	VNodes int // virtual nodes per replica on the ring; default 128
+	// Replication is the failover depth: how many distinct ring
+	// successors a key may be tried on when earlier candidates are
+	// ejected or fail at transport level. Default 2, minimum 1.
+	Replication int
+
+	HealthInterval time.Duration // probe period; default 1s
+	HealthTimeout  time.Duration // per-probe budget; default 500ms
+	EjectAfter     int           // consecutive probe failures before ejection; default 3
+	ReadmitAfter   int           // consecutive probe successes before readmission; default 2
+
+	// Deadline is the per-request budget assumed when the client sends no
+	// X-Deadline-Ms header; it is what the router prices sheds against
+	// and what it propagates to the replica. Default 30s.
+	Deadline time.Duration
+
+	// ShedEnabled turns on early shedding: requests whose predicted
+	// completion on their shard (replica-advertised admission backlog and
+	// calibrated per-kind rates from /statusz) exceeds their deadline are
+	// refused at the edge with 429 + Retry-After, before burning a proxy
+	// hop. Off, the router still polls /statusz but never sheds.
+	ShedEnabled  bool
+	ShedHeadroom float64 // safety factor on the prediction; default 1.2
+	// StatuszMaxAge bounds how stale a replica's advertised state may be
+	// and still drive shedding; default 4×HealthInterval.
+	StatuszMaxAge time.Duration
+
+	Policy  string       // PolicyHash (default) or PolicyRandom
+	MaxBody int64        // request body cap in bytes; default 64 MiB
+	Logger  *slog.Logger // structured logs; nil discards
+
+	// Transport overrides the upstream RoundTripper (tests). nil uses a
+	// pooled http.Transport sized for fan-in traffic.
+	Transport http.RoundTripper
+}
+
+func (c Config) withDefaults() Config {
+	if c.ReloadInterval <= 0 {
+		c.ReloadInterval = 2 * time.Second
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = 128
+	}
+	if c.Replication < 1 {
+		c.Replication = 2
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = 500 * time.Millisecond
+	}
+	if c.EjectAfter < 1 {
+		c.EjectAfter = 3
+	}
+	if c.ReadmitAfter < 1 {
+		c.ReadmitAfter = 2
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 30 * time.Second
+	}
+	if c.ShedHeadroom <= 0 {
+		c.ShedHeadroom = 1.2
+	}
+	if c.StatuszMaxAge <= 0 {
+		c.StatuszMaxAge = 4 * c.HealthInterval
+	}
+	if c.Policy == "" {
+		c.Policy = PolicyHash
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 64 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return c
+}
+
+// replica is one upstream dpserve and its router-side lifecycle state.
+// The object survives membership reloads (health history and in-flight
+// accounting carry over) and, once removed from membership, lives on in
+// the drain list until its last in-flight request finishes.
+type replica struct {
+	base string
+
+	healthy  atomic.Bool  // on the ring and accepting traffic
+	removed  atomic.Bool  // dropped from membership; draining in-flight
+	inflight atomic.Int64 // forwards currently against this replica
+
+	mu         sync.Mutex // guards the hysteresis counters
+	consecFail int
+	consecOK   int
+
+	status atomic.Pointer[replicaStatus] // last decoded /statusz; nil before first poll
+}
+
+type replicaStatus struct {
+	at time.Time
+	s  serve.Statusz
+}
+
+// Router is the sharded routing tier. Create with New, expose via
+// Handler, stop with Close.
+type Router struct {
+	cfg     Config
+	metrics *Metrics
+	logger  *slog.Logger
+	client  *http.Client
+	rng     *rand.Rand
+	rngMu   sync.Mutex
+
+	mu      sync.RWMutex // guards ring, members, drains, fileMod
+	ring    *Ring
+	members map[string]*replica
+	drains  []*replica
+	fileMod time.Time
+
+	submitMu sync.RWMutex // excludes forwards racing Close's wait
+	draining atomic.Bool
+	closed   atomic.Bool
+	inflight sync.WaitGroup // in-flight forwards
+	wg       sync.WaitGroup // background loops
+	stop     chan struct{}
+
+	mux *http.ServeMux
+}
+
+// New builds a Router over the configured membership and starts its
+// health and (if file-backed) reload loops.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	rt := &Router{
+		cfg:     cfg,
+		metrics: NewMetrics(),
+		logger:  cfg.Logger,
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		members: make(map[string]*replica),
+		stop:    make(chan struct{}),
+		mux:     http.NewServeMux(),
+	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}
+	}
+	rt.client = &http.Client{Transport: transport}
+
+	bases := normalizeBases(cfg.Replicas)
+	if cfg.ReplicasFile != "" {
+		fileBases, mod, err := readReplicasFile(cfg.ReplicasFile)
+		switch {
+		case err == nil:
+			bases = fileBases
+			rt.fileMod = mod
+		case len(bases) == 0:
+			return nil, fmt.Errorf("route: replicas file %s: %v", cfg.ReplicasFile, err)
+		default:
+			rt.logger.Warn("replicas file unreadable, using static membership", "file", cfg.ReplicasFile, "err", err)
+		}
+	}
+	if len(bases) == 0 {
+		return nil, errors.New("route: no replicas configured")
+	}
+	rt.applyMembership(bases)
+
+	rt.mux.HandleFunc("/solve", rt.handleSolve)
+	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("/statusz", rt.handleStatusz)
+	rt.mux.HandleFunc("/metrics", rt.handleMetrics)
+
+	rt.wg.Add(1)
+	go rt.healthLoop()
+	if cfg.ReplicasFile != "" {
+		rt.wg.Add(1)
+		go rt.reloadLoop()
+	}
+	return rt, nil
+}
+
+// Handler returns the HTTP handler tree (for http.Server or httptest).
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Metrics exposes the router's instrumentation (tests, embedding).
+func (rt *Router) Metrics() *Metrics { return rt.metrics }
+
+// ReplicaBases returns the current membership's base URLs, sorted.
+func (rt *Router) ReplicaBases() []string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.ring.Replicas()
+}
+
+// normalizeBases trims, deduplicates, and schemes the replica list.
+func normalizeBases(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	var out []string
+	for _, b := range in {
+		b = strings.TrimSpace(strings.TrimRight(b, "/"))
+		if b == "" {
+			continue
+		}
+		if !strings.Contains(b, "://") {
+			b = "http://" + b
+		}
+		if !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// readReplicasFile parses a membership file: one base URL per line,
+// commas also split, '#' starts a comment.
+func readReplicasFile(path string) ([]string, time.Time, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, time.Time{}, err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, time.Time{}, err
+	}
+	var bases []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, field := range strings.Split(line, ",") {
+			if f := strings.TrimSpace(field); f != "" {
+				bases = append(bases, f)
+			}
+		}
+	}
+	return normalizeBases(bases), st.ModTime(), nil
+}
+
+// SetReplicas swaps the membership. Replicas present in both sets keep
+// their lifecycle state (health history, in-flight count); removed
+// replicas leave the ring immediately but drain gracefully — requests
+// already forwarded to them run to completion, and the router only
+// forgets a removed replica once its in-flight count reaches zero. New
+// replicas start healthy-optimistic and are ejected by the prober within
+// EjectAfter probes if they are not actually there.
+func (rt *Router) SetReplicas(bases []string) error {
+	bases = normalizeBases(bases)
+	if len(bases) == 0 {
+		return errors.New("route: refusing empty membership")
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	changed := len(bases) != len(rt.members)
+	next := make(map[string]*replica, len(bases))
+	for _, b := range bases {
+		if rep, ok := rt.members[b]; ok {
+			next[b] = rep
+			continue
+		}
+		changed = true
+		rep := &replica{base: b}
+		rep.healthy.Store(true)
+		next[b] = rep
+	}
+	for b, rep := range rt.members {
+		if _, kept := next[b]; !kept {
+			changed = true
+			rep.removed.Store(true)
+			if rep.inflight.Load() > 0 {
+				rt.drains = append(rt.drains, rep)
+			}
+		}
+	}
+	if !changed {
+		return nil
+	}
+	rt.members = next
+	rt.ring = NewRing(bases, rt.cfg.VNodes)
+	rt.metrics.Reloads.Inc()
+	rt.logger.Info("membership applied", "replicas", len(bases))
+	return nil
+}
+
+// applyMembership is SetReplicas without the no-change short-circuit,
+// for initial construction.
+func (rt *Router) applyMembership(bases []string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, b := range bases {
+		rep := &replica{base: b}
+		rep.healthy.Store(true)
+		rt.members[b] = rep
+	}
+	rt.ring = NewRing(bases, rt.cfg.VNodes)
+}
+
+// candidates resolves a key to its ordered forward targets: the key's
+// ring owner first, then its distinct successors up to the replication
+// depth, keeping only healthy, non-removed replicas. Under PolicyRandom
+// it instead returns one uniformly random healthy replica (the
+// no-affinity ablation baseline).
+func (rt *Router) candidates(key string) []*replica {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if rt.cfg.Policy == PolicyRandom {
+		var healthy []*replica
+		for _, rep := range rt.members {
+			if rep.healthy.Load() {
+				healthy = append(healthy, rep)
+			}
+		}
+		if len(healthy) == 0 {
+			return nil
+		}
+		rt.rngMu.Lock()
+		i := rt.rng.Intn(len(healthy))
+		rt.rngMu.Unlock()
+		return healthy[i : i+1]
+	}
+	var out []*replica
+	for _, base := range rt.ring.Successors(key, rt.cfg.Replication) {
+		rep, ok := rt.members[base]
+		if !ok || !rep.healthy.Load() {
+			continue
+		}
+		out = append(out, rep)
+	}
+	return out
+}
+
+// shedCheck prices one request against its shard's advertised admission
+// state. It sheds only on fresh, calibrated data: a replica that has
+// never reported, reports stale data, or has no rate for this kind gets
+// the request (the replica's own admission control is the backstop —
+// the edge shed is an optimization that saves the proxy hop, not the
+// correctness mechanism).
+func (rt *Router) shedCheck(rep *replica, kind string, cycles float64, deadline time.Duration) (time.Duration, bool) {
+	if !rt.cfg.ShedEnabled {
+		return 0, false
+	}
+	st := rep.status.Load()
+	if st == nil || time.Since(st.at) > rt.cfg.StatuszMaxAge {
+		return 0, false
+	}
+	rate := st.s.Admit.Rates[kind]
+	if rate <= 0 {
+		return 0, false
+	}
+	workers := st.s.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	predicted := st.s.Admit.BacklogSeconds/float64(workers) + cycles/rate
+	if predicted*rt.cfg.ShedHeadroom <= deadline.Seconds() {
+		return 0, false
+	}
+	retry := time.Duration((predicted*rt.cfg.ShedHeadroom - deadline.Seconds()) * float64(time.Second))
+	if retry < time.Second {
+		retry = time.Second
+	}
+	return retry, true
+}
+
+// handleSolve is the proxy path: decode just enough to hash, place on
+// the ring, maybe shed at the edge, then forward with the remaining
+// deadline attached, failing over across ring successors on transport
+// errors. Upstream responses pass through verbatim — status, Retry-After,
+// cache disposition, request ID — so a client cannot tell one replica
+// from the fleet.
+func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a spec.File JSON body", http.StatusMethodNotAllowed)
+		return
+	}
+	rt.submitMu.RLock()
+	if rt.draining.Load() {
+		rt.submitMu.RUnlock()
+		http.Error(w, "router draining", http.StatusServiceUnavailable)
+		return
+	}
+	rt.inflight.Add(1)
+	rt.submitMu.RUnlock()
+	defer rt.inflight.Done()
+
+	start := time.Now()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBody))
+	if err != nil {
+		rt.metrics.BadSpec.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	f, err := spec.Decode(body)
+	if err != nil {
+		// Malformed specs die at the edge: no replica burns decode work on
+		// a request that can only 400.
+		rt.metrics.BadSpec.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	key, err := f.Hash()
+	if err != nil {
+		rt.metrics.BadSpec.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	deadline := rt.cfg.Deadline
+	if ms := r.Header.Get(serve.DeadlineHeader); ms != "" {
+		if v, perr := strconv.ParseInt(ms, 10, 64); perr == nil && v > 0 {
+			deadline = time.Duration(v) * time.Millisecond
+		}
+	}
+
+	cands := rt.candidates(key)
+	if len(cands) == 0 {
+		rt.metrics.NoReplica.Inc()
+		http.Error(w, "route: no healthy replica", http.StatusServiceUnavailable)
+		return
+	}
+
+	kind, cycles := serve.EstimateCostFile(f)
+	if retry, shed := rt.shedCheck(cands[0], kind, cycles, deadline); shed {
+		rt.metrics.Shed.Inc()
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int((retry+time.Second-1)/time.Second)))
+		http.Error(w, fmt.Sprintf("route: shard overloaded, predicted completion exceeds deadline %v", deadline),
+			http.StatusTooManyRequests)
+		return
+	}
+
+	// The forward context outlives the deadline slightly so the replica's
+	// own verdict (a 504 with accounting behind it) wins the race against
+	// the router's cruder cut.
+	ctx, cancel := context.WithTimeout(r.Context(), deadline+500*time.Millisecond)
+	defer cancel()
+
+	var lastErr error
+	for i, rep := range cands {
+		if i > 0 {
+			rt.metrics.Retries.Inc()
+		}
+		rem := deadline - time.Since(start)
+		if rem <= 0 {
+			break
+		}
+		resp, err := rt.send(ctx, rep, r, body, rem)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		rt.metrics.Forwarded(rep.base, resp.StatusCode)
+		copyResponse(w, resp)
+		return
+	}
+	if ctx.Err() != nil {
+		http.Error(w, "route: deadline exceeded before any replica answered", http.StatusGatewayTimeout)
+		return
+	}
+	rt.metrics.ProxyErrors.Inc()
+	rt.logger.Warn("all candidates failed", "key", key[:16], "candidates", len(cands), "err", lastErr)
+	http.Error(w, fmt.Sprintf("route: all replicas failed: %v", lastErr), http.StatusBadGateway)
+}
+
+// send forwards one request to one replica. Solves are pure functions of
+// the spec, so a transport-level failure (no response) is always safe to
+// retry on the next candidate.
+func (rt *Router) send(ctx context.Context, rep *replica, orig *http.Request, body []byte, remaining time.Duration) (*http.Response, error) {
+	rep.inflight.Add(1)
+	defer rep.inflight.Add(-1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.base+"/solve", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	ms := remaining.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	req.Header.Set(serve.DeadlineHeader, strconv.FormatInt(ms, 10))
+	if id := orig.Header.Get("X-Request-ID"); id != "" {
+		req.Header.Set("X-Request-ID", id)
+	}
+	return rt.client.Do(req)
+}
+
+// copyResponse streams an upstream response back to the client:
+// passthrough status and the headers that carry serving semantics
+// (Retry-After for 429s, the cache disposition, the request ID).
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "Retry-After", "X-Dpserve-Cache", "X-Request-ID"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// healthLoop probes every member each HealthInterval and applies
+// ejection/readmission hysteresis, refreshes /statusz snapshots for the
+// shed model, and reaps drained-out removed replicas.
+func (rt *Router) healthLoop() {
+	defer rt.wg.Done()
+	ticker := time.NewTicker(rt.cfg.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-ticker.C:
+		}
+		rt.mu.RLock()
+		reps := make([]*replica, 0, len(rt.members))
+		for _, rep := range rt.members {
+			reps = append(reps, rep)
+		}
+		rt.mu.RUnlock()
+		for _, rep := range reps {
+			rt.probe(rep)
+		}
+		rt.reapDrains()
+	}
+}
+
+// probe runs one health check + statusz refresh against one replica.
+func (rt *Router) probe(rep *replica) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.HealthTimeout)
+	defer cancel()
+	ok := false
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.base+"/healthz", nil)
+	if err == nil {
+		resp, err := rt.client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			ok = resp.StatusCode == http.StatusOK
+		}
+	}
+	rt.observeProbe(rep, ok)
+	if ok {
+		rt.refreshStatus(ctx, rep)
+	}
+}
+
+// observeProbe applies one probe outcome to the replica's hysteresis
+// counters. Ejection needs EjectAfter consecutive failures; readmission
+// needs ReadmitAfter consecutive successes — a flapping replica neither
+// bounces in and out per probe nor wedges the counters.
+func (rt *Router) observeProbe(rep *replica, ok bool) {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	if ok {
+		rep.consecOK++
+		rep.consecFail = 0
+		if !rep.healthy.Load() && rep.consecOK >= rt.cfg.ReadmitAfter {
+			rep.healthy.Store(true)
+			rt.metrics.Readmits.Inc()
+			rt.logger.Info("replica readmitted", "replica", rep.base)
+		}
+		return
+	}
+	rep.consecFail++
+	rep.consecOK = 0
+	if rep.healthy.Load() && rep.consecFail >= rt.cfg.EjectAfter {
+		rep.healthy.Store(false)
+		rt.metrics.Ejections.Inc()
+		rt.logger.Warn("replica ejected", "replica", rep.base, "consecutive_failures", rep.consecFail)
+	}
+}
+
+// refreshStatus pulls the replica's /statusz for the shed model.
+func (rt *Router) refreshStatus(ctx context.Context, rep *replica) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.base+"/statusz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return
+	}
+	var st serve.Statusz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return
+	}
+	rep.status.Store(&replicaStatus{at: time.Now(), s: st})
+}
+
+// reapDrains forgets removed replicas whose last in-flight request has
+// finished.
+func (rt *Router) reapDrains() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	kept := rt.drains[:0]
+	for _, rep := range rt.drains {
+		if rep.inflight.Load() > 0 {
+			kept = append(kept, rep)
+		} else {
+			rt.logger.Info("removed replica drained", "replica", rep.base)
+		}
+	}
+	rt.drains = kept
+}
+
+// reloadLoop polls the membership file and applies changes.
+func (rt *Router) reloadLoop() {
+	defer rt.wg.Done()
+	ticker := time.NewTicker(rt.cfg.ReloadInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-ticker.C:
+		}
+		st, err := os.Stat(rt.cfg.ReplicasFile)
+		if err != nil {
+			continue
+		}
+		rt.mu.RLock()
+		unchanged := st.ModTime().Equal(rt.fileMod)
+		rt.mu.RUnlock()
+		if unchanged {
+			continue
+		}
+		bases, mod, err := readReplicasFile(rt.cfg.ReplicasFile)
+		if err != nil {
+			rt.logger.Warn("replicas file reload failed", "err", err)
+			continue
+		}
+		if err := rt.SetReplicas(bases); err != nil {
+			rt.logger.Warn("replicas file rejected", "err", err)
+			continue
+		}
+		rt.mu.Lock()
+		rt.fileMod = mod
+		rt.mu.Unlock()
+	}
+}
+
+// routerStatusz is the router's own /statusz shape: an aggregated view
+// of the fleet for operators and smoke tests.
+type routerStatusz struct {
+	Draining bool                   `json:"draining"`
+	Policy   string                 `json:"policy"`
+	Replicas []routerReplicaStatusz `json:"replicas"`
+}
+
+type routerReplicaStatusz struct {
+	Base            string  `json:"base"`
+	Healthy         bool    `json:"healthy"`
+	Removed         bool    `json:"removed,omitempty"`
+	Inflight        int64   `json:"inflight"`
+	BacklogSeconds  float64 `json:"backlog_seconds"`
+	ReplicaDraining bool    `json:"replica_draining"`
+	StatusAgeMs     int64   `json:"status_age_ms"` // -1 before the first successful poll
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+}
+
+// Statusz snapshots the router's aggregated fleet view.
+func (rt *Router) Statusz() []routerReplicaStatusz {
+	rt.mu.RLock()
+	reps := make([]*replica, 0, len(rt.members)+len(rt.drains))
+	for _, rep := range rt.members {
+		reps = append(reps, rep)
+	}
+	reps = append(reps, rt.drains...)
+	rt.mu.RUnlock()
+	out := make([]routerReplicaStatusz, 0, len(reps))
+	for _, rep := range reps {
+		rs := routerReplicaStatusz{
+			Base:        rep.base,
+			Healthy:     rep.healthy.Load(),
+			Removed:     rep.removed.Load(),
+			Inflight:    rep.inflight.Load(),
+			StatusAgeMs: -1,
+		}
+		if st := rep.status.Load(); st != nil {
+			rs.StatusAgeMs = time.Since(st.at).Milliseconds()
+			rs.BacklogSeconds = st.s.Admit.BacklogSeconds
+			rs.ReplicaDraining = st.s.Draining
+			rs.CacheHits = st.s.Cache.Hits
+			rs.CacheMisses = st.s.Cache.Misses
+		}
+		out = append(out, rs)
+	}
+	sortReplicaStatusz(out)
+	return out
+}
+
+func sortReplicaStatusz(rs []routerReplicaStatusz) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Base < rs[j-1].Base; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+func (rt *Router) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(routerStatusz{
+		Draining: rt.draining.Load(),
+		Policy:   rt.cfg.Policy,
+		Replicas: rt.Statusz(),
+	})
+}
+
+// handleHealthz reports router liveness: 200 while routing, 503 once
+// drain begins.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if rt.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	rt.metrics.Write(w)
+}
+
+// BeginDrain flips the router into draining mode: /healthz answers 503,
+// new /solve requests are refused, in-flight forwards run to completion.
+// Idempotent; the first step of a graceful shutdown.
+func (rt *Router) BeginDrain() {
+	rt.submitMu.Lock()
+	rt.draining.Store(true)
+	rt.submitMu.Unlock()
+}
+
+// Close shuts the router down: drains, stops the background loops, waits
+// for in-flight forwards, and releases upstream connections. Idempotent.
+func (rt *Router) Close() {
+	rt.submitMu.Lock()
+	already := rt.closed.Swap(true)
+	rt.draining.Store(true)
+	rt.submitMu.Unlock()
+	if already {
+		return
+	}
+	close(rt.stop)
+	rt.wg.Wait()
+	rt.inflight.Wait()
+	if t, ok := rt.client.Transport.(*http.Transport); ok {
+		t.CloseIdleConnections()
+	}
+}

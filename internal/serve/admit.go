@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"systolicdp/internal/core"
+	"systolicdp/internal/spec"
 )
 
 // EstimateCost returns the closed-form cost model for one problem: a
@@ -91,6 +92,57 @@ func EstimateCost(p core.Problem) (kind string, cycles float64) {
 	}
 }
 
+// EstimateCostFile prices a decoded spec without building the problem:
+// the same (kind, cycles) EstimateCost would return for f.Build(), read
+// straight off the File's dimensions. It exists for the routing tier,
+// which must price a request from the wire bytes it already decoded for
+// hashing — constructing matrices just to count their cells would cost
+// more than the estimate is worth. The two functions are kept in lockstep
+// by TestEstimateCostFileMatchesProblem; the units must agree because a
+// router-side estimate is divided by replica-calibrated rates that are
+// denominated in EstimateCost units.
+func EstimateCostFile(f *spec.File) (kind string, cycles float64) {
+	switch f.Problem {
+	case "graph":
+		if f.Design == 1 && len(f.Costs) >= 2 {
+			last := f.Costs[len(f.Costs)-1]
+			if len(last) > 0 && len(last[0]) == 1 {
+				// Single-sink stream: K' = stage matrices minus the sink
+				// column, m = the sink column's length (core.
+				// StreamProblemFromGraph's decomposition).
+				kp, m := float64(len(f.Costs)-1), float64(len(last))
+				return "graph-stream", kp*m + m - 1
+			}
+		}
+		total := 0.0
+		for _, rows := range f.Costs {
+			if len(rows) > 0 {
+				total += float64(len(rows) * len(rows[0]))
+			}
+		}
+		return "graph", total
+	case "nodevalued":
+		total := 0.0
+		for k := 0; k+1 < len(f.Values); k++ {
+			total += float64(len(f.Values[k]) * len(f.Values[k+1]))
+		}
+		return "nodevalued", total + 1
+	case "dtw":
+		return "dtw", float64(len(f.X)*len(f.Y)) + 1
+	case "chain":
+		n := float64(len(f.Dims) - 1)
+		return "chain", n*n*n/6 + n*n + 1
+	case "nonserial":
+		total := 0.0
+		for i := 0; i+2 < len(f.Domains); i++ {
+			total += float64(len(f.Domains[i]) * len(f.Domains[i+1]) * len(f.Domains[i+2]))
+		}
+		return "nonserial", total + 1
+	default:
+		return "other", 1
+	}
+}
+
 // OverloadError is the admission controller's shed verdict: the backlog's
 // predicted completion exceeds the request's deadline, so solving it
 // would only produce a late answer. It maps to 429 (errors.Is ErrBusy)
@@ -124,8 +176,13 @@ func (r *Reservation) Release() {
 	}
 	r.once.Do(func() {
 		r.a.mu.Lock()
+		r.a.outstanding--
 		r.a.backlog -= r.seconds
-		if r.a.backlog < 0 {
+		// Float addition is not associative: releases interleaved in a
+		// different order than their admissions can leave a ~1e-18 residue
+		// that would ratchet up forever. With no reservations outstanding
+		// the backlog is zero by definition, so snap it.
+		if r.a.backlog < 0 || r.a.outstanding == 0 {
 			r.a.backlog = 0
 		}
 		r.a.mu.Unlock()
@@ -142,9 +199,10 @@ type Admitter struct {
 	headroom float64 // >1 sheds earlier (safety factor on the prediction)
 	workers  int     // concurrent service lanes draining the backlog
 
-	mu      sync.Mutex
-	backlog float64            // seconds of admitted-but-unfinished predicted work
-	rates   map[string]float64 // EWMA units/second per kind; 0 = uncalibrated
+	mu          sync.Mutex
+	backlog     float64            // seconds of admitted-but-unfinished predicted work
+	outstanding int                // live reservations backing the backlog
+	rates       map[string]float64 // EWMA units/second per kind; 0 = uncalibrated
 }
 
 // NewAdmitter builds an Admitter. headroom <= 0 defaults to 1; workers
@@ -190,6 +248,7 @@ func (a *Admitter) Admit(kind string, cycles float64, deadline time.Duration) (*
 		}
 	}
 	a.backlog += est
+	a.outstanding++
 	return &Reservation{a: a, seconds: est}, nil
 }
 
@@ -225,6 +284,28 @@ func (a *Admitter) Rate(kind string) float64 {
 	defer a.mu.Unlock()
 	return a.rates[kind]
 }
+
+// Rates returns a snapshot of every calibrated per-kind service rate
+// (units/second). The map is a copy; mutating it does not affect the
+// admitter.
+func (a *Admitter) Rates() map[string]float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]float64, len(a.rates))
+	for k, v := range a.rates {
+		out[k] = v
+	}
+	return out
+}
+
+// Enabled reports whether the admitter sheds (vs. calibrate-only).
+func (a *Admitter) Enabled() bool { return a.enabled }
+
+// HeadroomFactor reports the safety factor applied to predictions.
+func (a *Admitter) HeadroomFactor() float64 { return a.headroom }
+
+// Workers reports the concurrent service lanes the backlog drains across.
+func (a *Admitter) Workers() int { return a.workers }
 
 // setRate pins a kind's calibration directly (tests).
 func (a *Admitter) setRate(kind string, rate float64) {

@@ -156,7 +156,8 @@ type Server struct {
 	stop     chan struct{} // closed to tell idle workers to exit
 	wg       sync.WaitGroup
 	submitMu sync.RWMutex // excludes submits racing Close's drain
-	draining atomic.Bool
+	draining atomic.Bool  // refuse new work; set by BeginDrain and Close
+	closed   atomic.Bool  // full-teardown latch; set only by Close
 	mux      *http.ServeMux
 }
 
@@ -182,6 +183,7 @@ func New(cfg Config) *Server {
 	s.metrics.AdmitBacklogSeconds = s.admit.BacklogSeconds
 	s.mux.HandleFunc("/solve", s.handleSolve)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statusz", s.handleStatusz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/dptrace", s.handleTrace)
 	if cfg.EnablePprof {
@@ -337,8 +339,18 @@ func (s *Server) solveSpec(ctx context.Context, f *spec.File) (resp *Response, c
 		}
 		// The solve context is detached from the request (singleflight may
 		// outlive its first caller), so the request span is re-attached
-		// explicitly for stage accounting.
-		sctx, cancel := context.WithTimeout(context.Background(), s.cfg.Timeout)
+		// explicitly for stage accounting. The detached budget is the
+		// server's -timeout clamped to the leader's remaining deadline
+		// (X-Deadline-Ms from a routing tier, or a client disconnect
+		// deadline): work the edge has already given up on must not be
+		// admitted or solved at full budget here.
+		budget := s.cfg.Timeout
+		if dl, ok := ctx.Deadline(); ok {
+			if rem := time.Until(dl); rem < budget {
+				budget = rem
+			}
+		}
+		sctx, cancel := context.WithTimeout(context.Background(), budget)
 		defer cancel()
 		sctx = obs.WithSpan(sctx, obs.SpanFrom(ctx))
 		start := time.Now()
@@ -395,6 +407,14 @@ type badSpec struct{ err error }
 
 func (b badSpec) Error() string { return b.err.Error() }
 func (b badSpec) Unwrap() error { return b.err }
+
+// DeadlineHeader carries the client's remaining deadline in integer
+// milliseconds across a proxy hop. A routing tier sets it from the edge
+// deadline so a replica never admits or keeps solving work the client
+// has already abandoned; dpserve honors it by clamping the request
+// context and the detached solve budget to the smaller of the header and
+// the server's own -timeout.
+const DeadlineHeader = "X-Deadline-Ms"
 
 // StatusClientClosedRequest is nginx's non-standard 499 "client closed
 // request": the client went away before a response existed. It is kept
@@ -469,7 +489,18 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	span.SetKind(f.Problem)
 	s.metrics.Request(f.Problem)
 
-	ctx := obs.WithSpan(r.Context(), span)
+	ctx := r.Context()
+	// A proxied request carries the edge's remaining deadline; honor it by
+	// shrinking the request context (never growing it past -timeout, which
+	// solveSpec applies as the ceiling on the detached solve budget).
+	if ms := r.Header.Get(DeadlineHeader); ms != "" {
+		if v, err := strconv.ParseInt(ms, 10, 64); err == nil && v > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(v)*time.Millisecond)
+			defer cancel()
+		}
+	}
+	ctx = obs.WithSpan(ctx, span)
 	resp, cached, status, err := s.solveSpec(ctx, f)
 	if err != nil {
 		var ovl *OverloadError
@@ -546,12 +577,31 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	s.spans.Trace().Write(w)
 }
 
+// BeginDrain flips the server into draining mode without stopping it:
+// /healthz starts answering 503 immediately (so load balancers and the
+// dprouter health checker eject this replica), new /solve requests are
+// refused with 503, and in-flight work keeps running to completion.
+// This is the first step of a graceful shutdown — signal unhealthiness
+// first, give the routing tier time to stop sending, then Close. Before
+// this existed the drain window was invisible: /healthz said 200 right
+// up until the listener died, so an LB's next probe still routed traffic
+// into a dying replica. Idempotent.
+func (s *Server) BeginDrain() {
+	s.submitMu.Lock()
+	s.draining.Store(true)
+	s.submitMu.Unlock()
+}
+
+// Draining reports whether drain has begun (BeginDrain or Close).
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Close gracefully shuts the server down: new requests are rejected with
 // 503, pending micro-batches flush, queued general-pool jobs run to
 // completion, and all workers exit before Close returns.
 func (s *Server) Close() {
 	s.submitMu.Lock()
-	already := s.draining.Swap(true)
+	already := s.closed.Swap(true)
+	s.draining.Store(true)
 	s.submitMu.Unlock()
 	if already {
 		return
