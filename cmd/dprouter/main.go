@@ -13,7 +13,10 @@
 // Endpoints: POST /solve (proxied to the owner replica with deadline
 // propagation and ring-successor failover), GET /healthz (503 while
 // draining), GET /statusz (router + fleet view), GET /metrics
-// (Prometheus text format).
+// (Prometheus text format), GET /debug/dptrace (the router's own hop
+// spans; ?format=wire for the raw span list), GET /debug/fleettrace
+// (the whole fleet's recent spans stitched into one Perfetto document
+// keyed by distributed trace id).
 package main
 
 import (
@@ -72,22 +75,28 @@ func parseFlags(args []string) (string, time.Duration, route.Config, error) {
 	shedHeadroom := fs.Float64("shed-headroom", 1.2, "safety factor on the shed prediction")
 	policy := fs.String("policy", route.PolicyHash, "placement policy: hash (shard-affine, default) or random (ablation baseline)")
 	drainGrace := fs.Duration("drain-grace", 3*time.Second, "on SIGTERM, keep serving with /healthz=503 this long so upstream load balancers stop routing before the listener closes")
+	traceSpans := fs.Int("trace-spans", 256, "hop spans retained for /debug/dptrace and fleet stitching")
+	slowTrace := fs.Duration("slow-trace", 0, "log every stitched trace at least this slow, once, with its cross-tier phase breakdown (0 disables)")
+	collectInterval := fs.Duration("collect-interval", 2*time.Second, "fleet span collection period when -slow-trace is set")
 	fs.Parse(args)
 
 	cfg := route.Config{
-		ReplicasFile:   *replicasFile,
-		ReloadInterval: *reload,
-		VNodes:         *vnodes,
-		Replication:    *replication,
-		HealthInterval: *healthInterval,
-		HealthTimeout:  *healthTimeout,
-		EjectAfter:     *ejectAfter,
-		ReadmitAfter:   *readmitAfter,
-		Deadline:       *deadline,
-		ShedEnabled:    *shed,
-		ShedHeadroom:   *shedHeadroom,
-		Policy:         *policy,
-		Logger:         slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		ReplicasFile:    *replicasFile,
+		ReloadInterval:  *reload,
+		VNodes:          *vnodes,
+		Replication:     *replication,
+		HealthInterval:  *healthInterval,
+		HealthTimeout:   *healthTimeout,
+		EjectAfter:      *ejectAfter,
+		ReadmitAfter:    *readmitAfter,
+		Deadline:        *deadline,
+		ShedEnabled:     *shed,
+		ShedHeadroom:    *shedHeadroom,
+		Policy:          *policy,
+		TraceSpans:      *traceSpans,
+		SlowTrace:       *slowTrace,
+		CollectInterval: *collectInterval,
+		Logger:          slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	}
 	for _, r := range strings.Split(*replicas, ",") {
 		if r = strings.TrimSpace(r); r != "" {

@@ -1,6 +1,7 @@
 // Command dptrace summarizes a Perfetto/Chrome trace-event JSON file
-// produced by this repo (systolicsim -trace-json, or dpserve's
-// /debug/dptrace endpoint) without leaving the terminal:
+// produced by this repo (systolicsim -trace-json, dpserve's or
+// dprouter's /debug/dptrace endpoint, or the router's /debug/fleettrace)
+// without leaving the terminal:
 //
 //	dptrace /tmp/t.json
 //
@@ -8,10 +9,18 @@
 // pipeline-fill and drain cycle counts, and the measured processor
 // utilization against the paper's closed form (eq. 9 for Designs 1-2,
 // the (N-1)m²+m over (N+1)m² ratio for Design 3) via internal/metrics.
-// For a request trace it prints per-phase latency totals instead.
+// For a request or hop trace it prints per-phase latency totals, and for
+// a stitched fleet trace a per-trace cross-tier breakdown.
+//
+// It is also a standalone trace collector — the same stitching the
+// router serves at /debug/fleettrace, but runnable against any set of
+// processes without a router in the path:
+//
+//	dptrace -collect localhost:8090,localhost:8081,localhost:8082 -out fleet.json
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,17 +29,32 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"systolicdp/internal/metrics"
 	"systolicdp/internal/obs"
 )
 
 func main() {
+	collect := flag.String("collect", "", "comma-separated base URLs; pull each one's /debug/dptrace?format=wire and stitch a fleet trace instead of reading a file")
+	out := flag.String("out", "", "with -collect: also write the stitched Perfetto trace JSON to this file (load it in ui.perfetto.dev)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: dptrace <trace.json>")
+		fmt.Fprintln(os.Stderr, "       dptrace -collect host:port,host:port [-out fleet.json]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *collect != "" {
+		if flag.NArg() != 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err := runCollect(*collect, *out, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "dptrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
@@ -50,13 +74,115 @@ func run(path string, w io.Writer) error {
 	if err := json.Unmarshal(raw, &tr); err != nil {
 		return fmt.Errorf("%s: not a trace-event JSON file: %w", path, err)
 	}
-	if hasPid(&tr, obs.ArrayPid) {
+	switch {
+	case hasPid(&tr, obs.ArrayPid):
 		return summarizeArray(&tr, w)
+	case hasPid(&tr, obs.ServePid):
+		return summarizeRequests(&tr, obs.ServePid, "request", "dpserve request", w)
+	case hasPid(&tr, obs.RouterPid):
+		return summarizeRequests(&tr, obs.RouterPid, "hop", "dprouter hop", w)
+	case tr.OtherData["fleet"] == "1":
+		return summarizeFleet(&tr, w)
 	}
-	if hasPid(&tr, obs.ServePid) {
-		return summarizeRequests(&tr, w)
+	return fmt.Errorf("%s: no systolic-array, dpserve, dprouter, or fleet tracks found", path)
+}
+
+// runCollect is the standalone collector mode: pull every endpoint's
+// wire spans, print the per-trace cross-tier summary, and optionally
+// write the stitched Perfetto document.
+func runCollect(endpoints, out string, w io.Writer) error {
+	var eps []obs.Endpoint
+	for _, e := range strings.Split(endpoints, ",") {
+		e = strings.TrimSpace(e)
+		if e == "" {
+			continue
+		}
+		if !strings.Contains(e, "://") {
+			e = "http://" + e
+		}
+		eps = append(eps, obs.Endpoint{Name: e, Base: e})
 	}
-	return fmt.Errorf("%s: no systolic-array or dpserve tracks found", path)
+	if len(eps) == 0 {
+		return fmt.Errorf("-collect: no endpoints")
+	}
+	c := &obs.Collector{Endpoints: func() []obs.Endpoint { return eps }}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	traces, errs := c.Collect(ctx)
+	for name, err := range errs {
+		fmt.Fprintf(os.Stderr, "dptrace: pull %s: %v\n", name, err)
+	}
+	if len(errs) == len(eps) {
+		return fmt.Errorf("-collect: every endpoint failed")
+	}
+
+	fmt.Fprintf(w, "fleet: %d endpoints reachable, %d stitched traces\n\n", len(eps)-len(errs), len(traces))
+	fmt.Fprintf(w, "%-34s %6s %8s %12s  %s\n", "trace", "spans", "tiers", "duration_ms", "sources")
+	for _, t := range traces {
+		fmt.Fprintf(w, "%-34s %6d %8d %12.3f  %s\n",
+			t.TraceID, len(t.Spans), len(t.Sources()),
+			float64(t.Duration().Microseconds())/1e3, strings.Join(t.Sources(), ","))
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := obs.FleetTrace(traces).Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %s (load in ui.perfetto.dev)\n", out)
+	}
+	return nil
+}
+
+// summarizeFleet prints a stitched fleet trace per distributed trace:
+// which tracks it crossed and where the time went.
+func summarizeFleet(tr *obs.Trace, w io.Writer) error {
+	procs := map[int]string{}
+	type span struct {
+		pid  int
+		name string
+		dur  float64
+	}
+	byTrace := map[string][]span{}
+	for _, e := range tr.TraceEvents {
+		if e.Ph == obs.PhaseMetadata && e.Name == "process_name" {
+			if n, ok := e.Args["name"].(string); ok {
+				procs[e.Pid] = n
+			}
+			continue
+		}
+		if e.Ph != obs.PhaseComplete {
+			continue
+		}
+		id, _ := e.Args["trace_id"].(string)
+		if id == "" {
+			continue
+		}
+		byTrace[id] = append(byTrace[id], span{pid: e.Pid, name: e.Name, dur: e.Dur})
+	}
+	ids := make([]string, 0, len(byTrace))
+	for id := range byTrace {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	fmt.Fprintf(w, "fleet trace: %s traces\n\n", orDash(tr.OtherData["traces"]))
+	for _, id := range ids {
+		fmt.Fprintf(w, "%s\n", id)
+		for _, s := range byTrace[id] {
+			proc := procs[s.pid]
+			if proc == "" {
+				proc = fmt.Sprintf("pid%d", s.pid)
+			}
+			fmt.Fprintf(w, "  %-28s %-12s %10.3f ms\n", proc, s.name, s.dur/1e3)
+		}
+	}
+	return nil
 }
 
 func hasPid(tr *obs.Trace, pid int) bool {
@@ -190,7 +316,7 @@ func closedFormPU(tr *obs.Trace, pes int) float64 {
 	return 0
 }
 
-func summarizeRequests(tr *obs.Trace, w io.Writer) error {
+func summarizeRequests(tr *obs.Trace, pid int, rootName, label string, w io.Writer) error {
 	type agg struct {
 		count int
 		total float64 // us
@@ -198,10 +324,10 @@ func summarizeRequests(tr *obs.Trace, w io.Writer) error {
 	phases := map[string]*agg{}
 	requests := 0
 	for _, e := range tr.TraceEvents {
-		if e.Pid != obs.ServePid || e.Ph != obs.PhaseComplete {
+		if e.Pid != pid || e.Ph != obs.PhaseComplete {
 			continue
 		}
-		if e.Name == "request" {
+		if e.Name == rootName {
 			requests++
 			continue
 		}
@@ -213,7 +339,7 @@ func summarizeRequests(tr *obs.Trace, w io.Writer) error {
 		a.count++
 		a.total += e.Dur
 	}
-	fmt.Fprintf(w, "dpserve request trace: %d requests\n\n", requests)
+	fmt.Fprintf(w, "%s trace: %d requests\n\n", label, requests)
 	names := make([]string, 0, len(phases))
 	for n := range phases {
 		names = append(names, n)

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -95,5 +98,60 @@ func TestRunRejectsGarbage(t *testing.T) {
 	}
 	if err := run(filepath.Join(t.TempDir(), "missing.json"), &sb); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// Collect mode pulls wire spans from live endpoints, stitches them, and
+// both the terminal summary and the -out Perfetto file must reflect the
+// cross-tier trace.
+func TestRunCollect(t *testing.T) {
+	base := time.Unix(500, 0)
+	hops := obs.NewHopRecorder(4)
+	h := obs.NewHopSpan("r1", base)
+	h.SetTrace("tid1")
+	h.SetKind("chain")
+	h.Finish(base.Add(2*time.Millisecond), 200, "rep")
+	hops.Add(h)
+	router := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(hops.WireSpans())
+	}))
+	defer router.Close()
+
+	spans := obs.NewSpanRecorder(4)
+	s := obs.NewReqSpan("r1", "chain", base.Add(time.Millisecond))
+	s.SetTrace("tid1", "parent")
+	s.Finish(s.Start.Add(time.Millisecond), 200, false)
+	spans.Add(s)
+	replica := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(spans.WireSpans())
+	}))
+	defer replica.Close()
+
+	out := filepath.Join(t.TempDir(), "fleet.json")
+	var sb strings.Builder
+	endpoints := strings.TrimPrefix(router.URL, "http://") + "," + replica.URL
+	if err := runCollect(endpoints, out, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "tid1") || !strings.Contains(sb.String(), "1 stitched traces") {
+		t.Errorf("collect summary missing trace: %s", sb.String())
+	}
+
+	// The written document round-trips through the file summarizer.
+	sb.Reset()
+	if err := run(out, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fleet trace: 1 traces", "tid1", "hop", "request"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("fleet summary missing %q:\n%s", want, sb.String())
+		}
+	}
+
+	if err := runCollect("http://127.0.0.1:1", "", &sb); err == nil {
+		t.Error("collect with every endpoint dead must fail")
+	}
+	if err := runCollect(" , ", "", &sb); err == nil {
+		t.Error("collect with no endpoints must fail")
 	}
 }

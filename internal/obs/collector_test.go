@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func wireSpan(service, source, trace, id string, startNs, endNs int64) WireSpan {
+	return WireSpan{Service: service, Source: source, TraceID: trace, SpanID: NewSpanID(),
+		ID: id, Kind: "graph", StartNs: startNs, EndNs: endNs, Status: 200}
+}
+
+func TestAssemble(t *testing.T) {
+	spans := []WireSpan{
+		wireSpan("dpserve", "rep-a", "t2", "r2", 5000, 6000),
+		wireSpan("dpserve", "rep-a", "t1", "r1", 1100, 1900),
+		wireSpan("dprouter", "router", "t1", "r1", 1000, 2000),
+		wireSpan("dprouter", "router", "t2", "r2", 4900, 6100),
+		{Service: "dpserve", ID: "untraced", StartNs: 10, EndNs: 20}, // no trace id: dropped
+	}
+	traces := Assemble(spans)
+	if len(traces) != 2 {
+		t.Fatalf("assembled %d traces, want 2", len(traces))
+	}
+	if traces[0].TraceID != "t1" || traces[1].TraceID != "t2" {
+		t.Fatalf("traces out of start order: %s, %s", traces[0].TraceID, traces[1].TraceID)
+	}
+	t1 := traces[0]
+	if t1.Spans[0].Service != "dprouter" || t1.Spans[1].Service != "dpserve" {
+		t.Errorf("t1 spans not router-first: %+v", t1.Spans)
+	}
+	if t1.Duration() != 1*time.Microsecond || t1.Start() != 1000 {
+		t.Errorf("t1 start %d duration %v, want 1000ns and 1us", t1.Start(), t1.Duration())
+	}
+	if got := t1.Sources(); len(got) != 2 || got[0] != "rep-a" || got[1] != "router" {
+		t.Errorf("t1 sources %v", got)
+	}
+}
+
+func TestFleetTraceStitching(t *testing.T) {
+	traces := Assemble([]WireSpan{
+		{Service: "dprouter", Source: "router", TraceID: "t1", SpanID: "s1", ID: "r1",
+			Kind: "graph", StartNs: 1000, EndNs: 9000, Status: 200, Replica: "http://a",
+			Phases: []WirePhase{{Name: "proxy", OffsetNs: 500, DurNs: 7000, Note: "attempt=1"}}},
+		{Service: "dpserve", Source: "http://a", TraceID: "t1", SpanID: "s2", ParentID: "s1",
+			ID: "r1", Kind: "graph", StartNs: 2000, EndNs: 8000, Status: 200, Cached: true},
+	})
+	tr := FleetTrace(traces)
+
+	pids := map[string]int{}
+	for _, e := range tr.TraceEvents {
+		if e.Ph == PhaseMetadata && e.Name == "process_name" {
+			pids[e.Args["name"].(string)] = e.Pid
+		}
+	}
+	if len(pids) != 2 || pids["router"] == 0 || pids["http://a"] == 0 || pids["router"] == pids["http://a"] {
+		t.Fatalf("fleet trace pids %v: want distinct router and replica tracks", pids)
+	}
+
+	var hop, request, phase Event
+	for _, e := range tr.TraceEvents {
+		if e.Ph != PhaseComplete {
+			continue
+		}
+		switch e.Name {
+		case "hop":
+			hop = e
+		case "request":
+			request = e
+		case "proxy":
+			phase = e
+		}
+	}
+	if hop.Pid != pids["router"] || request.Pid != pids["http://a"] {
+		t.Errorf("spans on wrong tracks: hop pid %d, request pid %d, pids %v", hop.Pid, request.Pid, pids)
+	}
+	if hop.Args["trace_id"] != "t1" || request.Args["trace_id"] != "t1" {
+		t.Errorf("trace_id args missing: hop %v, request %v", hop.Args, request.Args)
+	}
+	if request.Args["parent_id"] != "s1" {
+		t.Errorf("request parent_id %v, want s1 (the hop's span id)", request.Args["parent_id"])
+	}
+	// Timestamps re-based to the earliest span: hop starts at 0, replica 1us in.
+	if hop.Ts != 0 || request.Ts != 1 || hop.Dur != 8 {
+		t.Errorf("timeline wrong: hop ts=%v dur=%v, request ts=%v", hop.Ts, hop.Dur, request.Ts)
+	}
+	if phase.Args["note"] != "attempt=1" {
+		t.Errorf("phase note lost: %v", phase.Args)
+	}
+	if tr.OtherData["traces"] != "1" {
+		t.Errorf("otherData traces %q, want 1", tr.OtherData["traces"])
+	}
+}
+
+func TestCollectorCollect(t *testing.T) {
+	replica := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/dptrace" || r.URL.Query().Get("format") != "wire" {
+			http.NotFound(w, r)
+			return
+		}
+		json.NewEncoder(w).Encode([]WireSpan{wireSpan("dpserve", "", "t1", "r1", 2000, 3000)})
+	}))
+	defer replica.Close()
+
+	c := &Collector{
+		Endpoints: func() []Endpoint {
+			return []Endpoint{
+				{Name: "rep-a", Base: replica.URL},
+				{Name: "rep-dead", Base: "http://127.0.0.1:1"},
+			}
+		},
+		Local: func() []WireSpan {
+			return []WireSpan{wireSpan("dprouter", "", "t1", "r1", 1000, 4000)}
+		},
+	}
+	traces, errs := c.Collect(context.Background())
+	if len(errs) != 1 || errs["rep-dead"] == nil {
+		t.Fatalf("errs %v: want rep-dead only", errs)
+	}
+	if len(traces) != 1 || len(traces[0].Spans) != 2 {
+		t.Fatalf("collected %+v, want one trace with two spans", traces)
+	}
+	srcs := traces[0].Sources()
+	if len(srcs) != 2 || srcs[0] != "rep-a" || srcs[1] != "router" {
+		t.Errorf("sources %v: endpoint/local labels not applied", srcs)
+	}
+}
+
+func TestCollectorLogSlow(t *testing.T) {
+	var buf strings.Builder
+	c := &Collector{
+		SlowThreshold: time.Millisecond,
+		Logger:        slog.New(slog.NewTextHandler(&buf, nil)),
+	}
+	fast := AssembledTrace{TraceID: "fast", Spans: []WireSpan{wireSpan("dpserve", "a", "fast", "r", 0, 1000)}}
+	slow := AssembledTrace{TraceID: "slow", Spans: []WireSpan{
+		{Service: "dprouter", Source: "router", TraceID: "slow", ID: "r", StartNs: 0, EndNs: 2e6,
+			Phases: []WirePhase{{Name: "proxy", OffsetNs: 0, DurNs: 19e5}}},
+	}}
+	open := AssembledTrace{TraceID: "open", Spans: []WireSpan{wireSpan("dpserve", "a", "open", "r", 0, 0)}}
+
+	if n := c.LogSlow([]AssembledTrace{fast, slow, open}); n != 1 {
+		t.Fatalf("logged %d slow traces, want 1", n)
+	}
+	if !strings.Contains(buf.String(), "trace=slow") || !strings.Contains(buf.String(), "proxy") {
+		t.Errorf("slow log missing trace id or breakdown: %s", buf.String())
+	}
+	// Second pass over the same traces logs nothing: tail capture is once per trace.
+	if n := c.LogSlow([]AssembledTrace{slow}); n != 0 {
+		t.Errorf("slow trace logged twice (%d new)", n)
+	}
+	// Disabled collector logs nothing.
+	if n := (&Collector{}).LogSlow([]AssembledTrace{slow}); n != 0 {
+		t.Errorf("disabled collector logged %d", n)
+	}
+}
+
+func TestCollectorSeenBounded(t *testing.T) {
+	c := &Collector{}
+	for i := 0; i < 5000; i++ {
+		c.markSeen(NewSpanID())
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.seen) > 4096 || len(c.fifo) > 4096 {
+		t.Errorf("seen set unbounded: %d ids, fifo %d", len(c.seen), len(c.fifo))
+	}
+}

@@ -3,7 +3,7 @@
 // serving layer into Chrome trace-event ("Perfetto") JSON, the format
 // ui.perfetto.dev and chrome://tracing load directly.
 //
-// Three sinks live here:
+// The sinks that live here:
 //
 //   - Trace/Event: the trace-event JSON object model and writer;
 //   - CycleRecorder: a per-PE busy/idle recorder that plugs into the
@@ -13,7 +13,16 @@
 //     counterpart of the paper's processor-utilization (PU) tables;
 //   - ReqSpan/SpanRecorder: request-lifecycle spans for dpserve
 //     (decode -> queue-wait -> batch-assembly -> solve -> encode) kept in
-//     a ring buffer and exported at /debug/dptrace.
+//     a ring buffer and exported at /debug/dptrace;
+//   - HopSpan/HopRecorder: the router's hop spans (decode_hash ->
+//     candidate_pick -> admission_check -> per-attempt proxy phases);
+//   - TraceContext: the X-Dp-Trace distributed trace context that links
+//     a router hop to the replica request span it caused;
+//   - WireSpan: the additive cross-process span exchange schema served
+//     at /debug/dptrace?format=wire by every process;
+//   - Collector/FleetTrace: pulls wire spans from a fleet, stitches them
+//     by trace id into one Perfetto document (a track per process), and
+//     drives tail-based slow-trace logging.
 //
 // The paper's whole evaluation is observational — iteration counts,
 // utilization ratios, data-movement pictures — so this package is what

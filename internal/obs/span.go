@@ -14,41 +14,87 @@ import (
 const ServePid = 2
 
 // Phase is one stage of a request's lifecycle, stored as an offset from
-// the span's start so export needs no clock.
+// the span's start so export needs no clock. Note carries an optional
+// free-form annotation (the router uses it for per-attempt failover
+// detail: replica, status, error).
 type Phase struct {
 	Name     string
 	Offset   time.Duration
 	Duration time.Duration
+	Note     string
 }
 
 // ReqSpan is the lifecycle of one served request: decode -> queue-wait ->
 // batch-assembly -> solve -> encode (whichever stages the request's route
 // actually passes through). Phases may be recorded from the handler
-// goroutine and from worker/batcher goroutines; the span locks.
+// goroutine and from worker/batcher goroutines; the span locks. All
+// mutable fields — including the problem kind, which the batcher path can
+// race against export — live under the mutex.
 type ReqSpan struct {
 	ID    string
-	Kind  string // problem kind ("graph", "chain", ...)
 	Start time.Time
 
-	mu     sync.Mutex
-	phases []Phase
-	end    time.Time
-	status int
-	cached bool
+	mu       sync.Mutex
+	kind     string // problem kind ("graph", "chain", ...)
+	traceID  string // distributed trace id; empty when untraced
+	spanID   string // this span's id within the trace
+	parentID string // the router hop span that caused this request, if any
+	phases   []Phase
+	end      time.Time
+	status   int
+	cached   bool
 }
 
-// NewReqSpan opens a span for one request.
+// NewReqSpan opens a span for one request with a freshly minted span id.
 func NewReqSpan(id, kind string, start time.Time) *ReqSpan {
-	return &ReqSpan{ID: id, Kind: kind, Start: start}
+	return &ReqSpan{ID: id, kind: kind, spanID: NewSpanID(), Start: start}
 }
 
-// SetKind records the problem kind once it is known (after decode). Call
-// before the span escapes to other goroutines.
+// SetKind records the problem kind once it is known (after decode).
+// Safe to call even after the span has escaped to other goroutines: Kind
+// is read under the span mutex everywhere (the batcher's flush goroutine
+// used to be able to race a late SetKind against export).
 func (s *ReqSpan) SetKind(kind string) {
 	if s == nil {
 		return
 	}
-	s.Kind = kind
+	s.mu.Lock()
+	s.kind = kind
+	s.mu.Unlock()
+}
+
+// Kind reads the problem kind.
+func (s *ReqSpan) Kind() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.kind
+}
+
+// SetTrace links the span into a distributed trace: traceID groups all
+// hops of one request across the fleet, parentID is the upstream span
+// (the router hop) that caused this one. The span keeps its own minted
+// span id.
+func (s *ReqSpan) SetTrace(traceID, parentID string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.traceID, s.parentID = traceID, parentID
+	s.mu.Unlock()
+}
+
+// TraceIDs reports the span's trace linkage (trace id, own span id,
+// parent span id).
+func (s *ReqSpan) TraceIDs() (traceID, spanID, parentID string) {
+	if s == nil {
+		return "", "", ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.traceID, s.spanID, s.parentID
 }
 
 // Observe records one phase by its wall-clock endpoints.
@@ -71,11 +117,26 @@ func (s *ReqSpan) Finish(end time.Time, status int, cached bool) {
 	s.mu.Unlock()
 }
 
+// spanSnapshot is a consistent copy of a span's mutable state.
+type spanSnapshot struct {
+	kind                      string
+	traceID, spanID, parentID string
+	phases                    []Phase
+	end                       time.Time
+	status                    int
+	cached                    bool
+}
+
 // snapshot returns a consistent copy for export.
-func (s *ReqSpan) snapshot() (phases []Phase, end time.Time, status int, cached bool) {
+func (s *ReqSpan) snapshot() spanSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]Phase(nil), s.phases...), s.end, s.status, s.cached
+	return spanSnapshot{
+		kind:    s.kind,
+		traceID: s.traceID, spanID: s.spanID, parentID: s.parentID,
+		phases: append([]Phase(nil), s.phases...),
+		end:    s.end, status: s.status, cached: s.cached,
+	}
 }
 
 // spanKey is the context key for the active request span.
@@ -176,16 +237,24 @@ func (r *SpanRecorder) Trace() *Trace {
 	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
 	for i, s := range spans {
 		tid := i + 1
-		phases, end, status, cached := s.snapshot()
+		snap := s.snapshot()
 		tr.NameThread(ServePid, tid, fmt.Sprintf("req %s", s.ID))
-		total := end.Sub(s.Start)
-		if end.IsZero() {
+		total := snap.end.Sub(s.Start)
+		if snap.end.IsZero() {
 			total = 0
 		}
-		tr.Span(ServePid, tid, "request", s.Kind, us(s.Start.Sub(base)), us(total), map[string]any{
-			"id": s.ID, "problem": s.Kind, "status": status, "cached": cached,
-		})
-		for _, p := range phases {
+		args := map[string]any{
+			"id": s.ID, "problem": snap.kind, "status": snap.status, "cached": snap.cached,
+		}
+		if snap.traceID != "" {
+			args["trace_id"] = snap.traceID
+			args["span_id"] = snap.spanID
+			if snap.parentID != "" {
+				args["parent_id"] = snap.parentID
+			}
+		}
+		tr.Span(ServePid, tid, "request", snap.kind, us(s.Start.Sub(base)), us(total), args)
+		for _, p := range snap.phases {
 			tr.Span(ServePid, tid, p.Name, "stage", us(s.Start.Sub(base)+p.Offset), us(p.Duration), nil)
 		}
 	}

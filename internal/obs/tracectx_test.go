@@ -1,0 +1,35 @@
+package obs
+
+import "testing"
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tc := NewTraceContext()
+	if len(tc.TraceID) != 32 || len(tc.SpanID) != 16 {
+		t.Fatalf("minted context %q has wrong id lengths", tc.String())
+	}
+	got, ok := ParseTraceContext(tc.String())
+	if !ok || got != tc {
+		t.Errorf("round trip %q -> %+v ok=%v, want %+v", tc.String(), got, ok, tc)
+	}
+	// Whitespace tolerated; hop span ids parse as parents.
+	if got, ok := ParseTraceContext(" abc123-def456 "); !ok || got.TraceID != "abc123" || got.SpanID != "def456" {
+		t.Errorf("lenient parse failed: %+v ok=%v", got, ok)
+	}
+}
+
+func TestParseTraceContextRejectsGarbage(t *testing.T) {
+	for _, v := range []string{
+		"", "-", "abc-", "-abc", "abc", "xyz-123", "123-xyz",
+		"deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef0-ab", // trace id > 64 chars
+	} {
+		if _, ok := ParseTraceContext(v); ok {
+			t.Errorf("ParseTraceContext(%q) accepted garbage", v)
+		}
+	}
+}
+
+func TestNewSpanIDUnique(t *testing.T) {
+	if a, b := NewSpanID(), NewSpanID(); a == b || len(a) != 16 {
+		t.Errorf("span ids %q %q: want 16 hex chars, distinct", a, b)
+	}
+}

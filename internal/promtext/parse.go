@@ -1,0 +1,218 @@
+package promtext
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition sample line.
+type Sample struct {
+	Name   string            // full series name, including _bucket/_sum/_count suffixes
+	Labels map[string]string // nil when the line carries no labels
+	Value  float64
+}
+
+// Family is one # TYPE-declared metric family and the samples it owns.
+// A histogram family owns its _bucket/_sum/_count series.
+type Family struct {
+	Name    string
+	Type    string // counter | gauge | histogram | summary | untyped
+	Samples []Sample
+}
+
+// Families is a parsed exposition document keyed by family name.
+type Families map[string]*Family
+
+// Counter returns the value of a single-series counter or gauge family,
+// or 0 when absent.
+func (fs Families) Value(name string) float64 {
+	f, ok := fs[name]
+	if !ok || len(f.Samples) == 0 {
+		return 0
+	}
+	return f.Samples[0].Value
+}
+
+// Labeled returns the sample values of one family keyed by the given
+// label's value. Samples missing the label are skipped.
+func (fs Families) Labeled(name, label string) map[string]float64 {
+	out := map[string]float64{}
+	f, ok := fs[name]
+	if !ok {
+		return out
+	}
+	for _, s := range f.Samples {
+		if v, ok := s.Labels[label]; ok {
+			out[v] = s.Value
+		}
+	}
+	return out
+}
+
+// Lint checks text against the strict family rules real registries
+// enforce, returning the first violation or nil for a clean exposition:
+//
+//   - every sample must belong to exactly one # TYPE-declared family,
+//     declared before its samples;
+//   - a family may be declared only once;
+//   - a histogram family owns exactly its _bucket/_sum/_count series
+//     (buckets must carry an le label); a bare sample under the
+//     histogram's own name — e.g. a quantile-summary emission — is a
+//     duplicate-family error;
+//   - no family name may collide with another histogram's suffixed
+//     series.
+func Lint(text string) error {
+	_, err := Parse(text)
+	return err
+}
+
+// Parse reads an exposition document under the same strict rules as
+// Lint, returning the parsed families on success.
+func Parse(text string) (Families, error) {
+	families := Families{}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE line %q", ln+1, line)
+				}
+				name, typ := fields[2], fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown type %q", ln+1, typ)
+				}
+				if _, dup := families[name]; dup {
+					return nil, fmt.Errorf("line %d: family %q declared twice", ln+1, name)
+				}
+				// A new family must not collide with a histogram's series.
+				for fam, f := range families {
+					if f.Type != "histogram" {
+						continue
+					}
+					for _, sfx := range []string{"", "_bucket", "_sum", "_count"} {
+						if name == fam+sfx {
+							return nil, fmt.Errorf("line %d: family %q collides with histogram %q", ln+1, name, fam)
+						}
+					}
+				}
+				families[name] = &Family{Name: name, Type: typ}
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", ln+1, err)
+		}
+		owner := ""
+		if f, ok := families[s.Name]; ok {
+			if f.Type == "histogram" {
+				return nil, fmt.Errorf("line %d: sample %q reuses histogram family name %q (only _bucket/_sum/_count belong to it)", ln+1, line, s.Name)
+			}
+			owner = s.Name
+		}
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			base, found := strings.CutSuffix(s.Name, sfx)
+			if !found {
+				continue
+			}
+			if f, ok := families[base]; ok && f.Type == "histogram" {
+				if owner != "" {
+					return nil, fmt.Errorf("line %d: sample %q owned by both family %q and histogram %q", ln+1, line, owner, base)
+				}
+				if sfx == "_bucket" {
+					if _, ok := s.Labels["le"]; !ok {
+						return nil, fmt.Errorf("line %d: histogram bucket %q without le label", ln+1, line)
+					}
+				}
+				owner = base
+			}
+		}
+		if owner == "" {
+			return nil, fmt.Errorf("line %d: sample %q belongs to no declared family", ln+1, line)
+		}
+		families[owner].Samples = append(families[owner].Samples, s)
+	}
+	return families, nil
+}
+
+// parseSample splits one sample line: name[{labels}] value.
+func parseSample(line string) (Sample, error) {
+	s := Sample{}
+	rest := line
+	if i := strings.IndexAny(line, "{ "); i >= 0 {
+		s.Name = line[:i]
+		rest = line[i:]
+	} else {
+		return Sample{}, fmt.Errorf("malformed sample %q", line)
+	}
+	if s.Name == "" {
+		return Sample{}, fmt.Errorf("malformed sample %q", line)
+	}
+	if strings.HasPrefix(rest, "{") {
+		j := strings.LastIndex(rest, "}")
+		if j < 0 {
+			return Sample{}, fmt.Errorf("malformed labels in %q", line)
+		}
+		labels, err := parseLabels(rest[1:j])
+		if err != nil {
+			return Sample{}, fmt.Errorf("%v in %q", err, line)
+		}
+		s.Labels = labels
+		rest = rest[j+1:]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return Sample{}, fmt.Errorf("malformed value in %q", line)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels reads the inside of a {k="v",...} block. Values are quoted
+// strings with \" and \\ escapes (the subset this package emits).
+func parseLabels(in string) (map[string]string, error) {
+	labels := map[string]string{}
+	i := 0
+	for i < len(in) {
+		eq := strings.IndexByte(in[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label pair")
+		}
+		key := strings.TrimSpace(in[i : i+eq])
+		i += eq + 1
+		if i >= len(in) || in[i] != '"' {
+			return nil, fmt.Errorf("unquoted label value")
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(in) {
+				return nil, fmt.Errorf("unterminated label value")
+			}
+			c := in[i]
+			if c == '\\' && i+1 < len(in) {
+				b.WriteByte(in[i+1])
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		labels[key] = b.String()
+		if i < len(in) && in[i] == ',' {
+			i++
+		}
+	}
+	return labels, nil
+}

@@ -1,0 +1,71 @@
+package promtext
+
+import "testing"
+
+// The strict rules: the pre-PR-5 duplicate-family shape (summary-style
+// quantile samples under a histogram's name) and friends must all be
+// rejected.
+func TestLintRejectsInvalidExpositions(t *testing.T) {
+	bad := `# TYPE dpserve_solve_latency_seconds histogram
+dpserve_solve_latency_seconds_bucket{le="1"} 1
+dpserve_solve_latency_seconds_bucket{le="+Inf"} 1
+dpserve_solve_latency_seconds_sum 0.5
+dpserve_solve_latency_seconds_count 1
+dpserve_solve_latency_seconds{quantile="0.5"} 0.5
+`
+	if err := Lint(bad); err == nil {
+		t.Fatal("Lint accepted a quantile sample reusing a histogram family name")
+	}
+	for name, text := range map[string]string{
+		"orphan sample":        "dpserve_undeclared_total 3\n",
+		"double declaration":   "# TYPE x counter\n# TYPE x counter\nx 1\n",
+		"bucket without le":    "# TYPE h histogram\nh_bucket 1\n",
+		"family collides with": "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n# TYPE h_sum counter\n",
+		"unknown type":         "# TYPE x widget\nx 1\n",
+		"malformed value":      "# TYPE x counter\nx one\n",
+		"unterminated labels":  "# TYPE x counter\nx{a=\"b 1\n",
+	} {
+		if err := Lint(text); err == nil {
+			t.Errorf("%s: Lint accepted invalid exposition:\n%s", name, text)
+		}
+	}
+	good := "# TYPE a counter\na 1\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n"
+	if err := Lint(good); err != nil {
+		t.Errorf("Lint rejected a valid exposition: %v", err)
+	}
+}
+
+func TestParseLabels(t *testing.T) {
+	fams, err := Parse("# TYPE m counter\nm{a=\"x\",b=\"y,z\"} 4\nm{a=\"with \\\"quotes\\\"\"} 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := fams["m"].Samples
+	if len(samples) != 2 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	if samples[0].Labels["a"] != "x" || samples[0].Labels["b"] != "y,z" {
+		t.Errorf("labels = %v", samples[0].Labels)
+	}
+	if samples[1].Labels["a"] != `with "quotes"` {
+		t.Errorf("escaped label = %q", samples[1].Labels["a"])
+	}
+	if samples[0].Value != 4 || samples[1].Value != 2 {
+		t.Errorf("values = %g, %g", samples[0].Value, samples[1].Value)
+	}
+}
+
+// Families helpers degrade to zero values on absent names instead of
+// panicking — dptop reads whatever the fleet exposes.
+func TestFamiliesHelpersOnAbsent(t *testing.T) {
+	fams, err := Parse("# TYPE present gauge\npresent 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fams.Value("absent") != 0 {
+		t.Error("Value(absent) != 0")
+	}
+	if m := fams.Labeled("absent", "l"); len(m) != 0 {
+		t.Error("Labeled(absent) not empty")
+	}
+}

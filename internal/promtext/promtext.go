@@ -1,0 +1,214 @@
+// Package promtext is the shared metrics registry for both serving
+// tiers: plain stdlib counter/gauge/histogram primitives plus a strictly
+// disciplined Prometheus text exposition writer and parser.
+//
+// It exists because dpserve and dprouter each grew a hand-rolled copy of
+// the same primitives and exposition code, and the fleet tools (dptop's
+// /metrics scraper, the CI exposition checks) need one dialect they can
+// trust from every process. The discipline the package enforces — every
+// sample belongs to exactly one # TYPE-declared family, a histogram
+// family owns exactly its _bucket/_sum/_count series — is the subset of
+// the Prometheus text format that strict registries reject violations
+// of; Lint checks it and Parse reads it back.
+package promtext
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotone event count.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value reads the counter.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-write-wins float value (atomic bit-pattern store).
+type Gauge struct{ v atomic.Uint64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(x float64) { g.v.Store(math.Float64bits(x)) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
+// CounterVec is one labeled counter family: a set of counters keyed by
+// the value of a single label (problem kind, replica base, status code).
+// Label values are created on first touch and rendered sorted, so the
+// exposition stays deterministic.
+type CounterVec struct {
+	label string
+	mu    sync.Mutex
+	m     map[string]*Counter
+}
+
+// NewCounterVec builds a counter family over the given label name.
+func NewCounterVec(label string) *CounterVec {
+	return &CounterVec{label: label, m: make(map[string]*Counter)}
+}
+
+// With returns the counter for one label value, creating it if new.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.m[value]
+	if !ok {
+		c = &Counter{}
+		v.m[value] = c
+	}
+	return c
+}
+
+// Value reads the counter for one label value (0 if never touched).
+func (v *CounterVec) Value(value string) int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.m[value]; ok {
+		return c.Value()
+	}
+	return 0
+}
+
+// Write renders the family: one # TYPE line, then one sample per label
+// value in sorted order. An empty family still declares its TYPE so
+// scrapers see a stable family set.
+func (v *CounterVec) Write(w io.Writer, name string) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.m))
+	for k := range v.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	vals := make([]int64, len(keys))
+	for i, k := range keys {
+		vals[i] = v.m[k].Value()
+	}
+	label := v.label
+	v.mu.Unlock()
+	fmt.Fprintf(w, "# TYPE %s counter\n", name)
+	for i, k := range keys {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, k, vals[i])
+	}
+}
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus-style:
+// bucket i counts observations <= Bounds[i], plus an implicit +Inf).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64 // len(bounds)+1; last is the +Inf bucket
+	sum    float64
+	count  int64
+}
+
+// NewHistogram builds a histogram over ascending bucket bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, x)
+	h.counts[i]++
+	h.sum += x
+	h.count++
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observed samples.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile estimates the p-quantile (0 <= p <= 1) by linear interpolation
+// within the bucket containing the target rank, the same estimator
+// Prometheus's histogram_quantile applies server-side. The first bucket
+// interpolates from 0 (observations here are non-negative latencies), and
+// ranks landing in the +Inf bucket clamp to the highest finite bound.
+// With no observations it returns NaN.
+func (h *Histogram) Quantile(p float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(h.count)
+	cum := 0.0
+	lo := 0.0
+	for i, b := range h.bounds {
+		c := float64(h.counts[i])
+		if c > 0 && cum+c >= rank {
+			frac := (rank - cum) / c
+			return lo + frac*(b-lo)
+		}
+		cum += c
+		lo = b
+	}
+	if len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Write renders the histogram in Prometheus text exposition format,
+// preceded by its # TYPE metadata line. A histogram family owns exactly
+// the _bucket/_sum/_count series — no other sample may use its name,
+// which is what strict exposition parsers enforce.
+func (h *Histogram) Write(w io.Writer, name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+}
+
+// WriteCounter renders one single-series counter family with its # TYPE
+// line.
+func WriteCounter(w io.Writer, name string, v int64) {
+	fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v)
+}
+
+// WriteGauge renders one single-series gauge family with its # TYPE line.
+func WriteGauge(w io.Writer, name string, v float64) {
+	fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, v)
+}
+
+func formatBound(b float64) string {
+	if b == math.Trunc(b) && math.Abs(b) < 1e15 {
+		return fmt.Sprintf("%d", int64(b))
+	}
+	return fmt.Sprintf("%g", b)
+}

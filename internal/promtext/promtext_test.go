@@ -1,0 +1,149 @@
+package promtext
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %g, want 2.5", g.Value())
+	}
+}
+
+func TestCounterVecWriteDeterministic(t *testing.T) {
+	v := NewCounterVec("problem")
+	v.With("dtw").Add(2)
+	v.With("chain").Inc()
+	if v.Value("dtw") != 2 || v.Value("chain") != 1 || v.Value("absent") != 0 {
+		t.Fatal("CounterVec values wrong")
+	}
+	var sb strings.Builder
+	v.Write(&sb, "x_total")
+	want := "# TYPE x_total counter\nx_total{problem=\"chain\"} 1\nx_total{problem=\"dtw\"} 2\n"
+	if sb.String() != want {
+		t.Fatalf("Write =\n%s\nwant\n%s", sb.String(), want)
+	}
+}
+
+// An empty CounterVec still declares its family, so the scraped family
+// set is stable from process start.
+func TestCounterVecEmptyStillDeclaresType(t *testing.T) {
+	var sb strings.Builder
+	NewCounterVec("l").Write(&sb, "y_total")
+	if sb.String() != "# TYPE y_total counter\n" {
+		t.Fatalf("empty vec wrote %q", sb.String())
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	for _, p := range []float64{0, 0.5, 1} {
+		if !math.IsNaN(h.Quantile(p)) {
+			t.Errorf("empty histogram Quantile(%g) = %g, want NaN", p, h.Quantile(p))
+		}
+	}
+	// No bounds at all: NaN even with observations.
+	hb := NewHistogram()
+	hb.Observe(3)
+	if !math.IsNaN(hb.Quantile(0.5)) {
+		t.Errorf("boundless histogram Quantile(0.5) = %g, want NaN", hb.Quantile(0.5))
+	}
+}
+
+// All mass in the +Inf bucket: every quantile clamps to the highest
+// finite bound, because the estimator has no upper edge to interpolate
+// toward.
+func TestHistogramQuantileInfBucketMass(t *testing.T) {
+	h := NewHistogram(1, 2)
+	h.Observe(100)
+	h.Observe(1e9)
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(p); got != 2 {
+			t.Errorf("Quantile(%g) = %g, want clamp to 2", p, got)
+		}
+	}
+}
+
+// p=0 and p=1 are valid and must not panic or escape the observed range;
+// out-of-range p clamps.
+func TestHistogramQuantileExtremes(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(3)
+	if got := h.Quantile(0); got != 0 {
+		// Rank 0 lands at the first bucket's lower edge (0).
+		t.Errorf("Quantile(0) = %g, want 0", got)
+	}
+	if got := h.Quantile(1); got != 4 {
+		t.Errorf("Quantile(1) = %g, want 4 (upper edge of last occupied bucket)", got)
+	}
+	if got, want := h.Quantile(-0.5), h.Quantile(0); got != want {
+		t.Errorf("Quantile(-0.5) = %g, want clamp to Quantile(0) = %g", got, want)
+	}
+	if got, want := h.Quantile(2), h.Quantile(1); got != want {
+		t.Errorf("Quantile(2) = %g, want clamp to Quantile(1) = %g", got, want)
+	}
+	if !math.IsNaN(h.Quantile(math.NaN())) {
+		t.Error("Quantile(NaN) should be NaN")
+	}
+}
+
+// The exposition writers must round-trip through the strict parser.
+func TestWritersRoundTripThroughParse(t *testing.T) {
+	var sb strings.Builder
+	WriteCounter(&sb, "a_total", 3)
+	WriteGauge(&sb, "b", 1.25)
+	v := NewCounterVec("status")
+	v.With("200").Add(7)
+	v.With("503").Inc()
+	v.Write(&sb, "c_total")
+	h := NewHistogram(0.1, 1, 10)
+	h.Observe(0.05)
+	h.Observe(5)
+	h.Write(&sb, "d_seconds")
+
+	fams, err := Parse(sb.String())
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, sb.String())
+	}
+	if got := fams.Value("a_total"); got != 3 {
+		t.Errorf("a_total = %g, want 3", got)
+	}
+	if got := fams.Value("b"); got != 1.25 {
+		t.Errorf("b = %g, want 1.25", got)
+	}
+	byStatus := fams.Labeled("c_total", "status")
+	if byStatus["200"] != 7 || byStatus["503"] != 1 {
+		t.Errorf("c_total labels = %v", byStatus)
+	}
+	d := fams["d_seconds"]
+	if d == nil || d.Type != "histogram" {
+		t.Fatalf("d_seconds family missing or mistyped: %+v", d)
+	}
+	// _bucket/_sum/_count all assembled under the histogram family.
+	var bucket, sum, count int
+	for _, s := range d.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			bucket++
+		case strings.HasSuffix(s.Name, "_sum"):
+			sum++
+		case strings.HasSuffix(s.Name, "_count"):
+			count++
+		}
+	}
+	if bucket != 4 || sum != 1 || count != 1 {
+		t.Errorf("histogram series: %d buckets, %d sum, %d count", bucket, sum, count)
+	}
+}

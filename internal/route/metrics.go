@@ -1,21 +1,20 @@
 package route
 
 import (
-	"fmt"
 	"io"
-	"sort"
-	"sync"
+	"strconv"
 
+	"systolicdp/internal/promtext"
 	"systolicdp/internal/serve"
 )
 
 // Metrics is the router's instrumentation, rendered as Prometheus text
-// by the /metrics handler. The counter/gauge primitives are shared with
-// internal/serve so both tiers expose the same exposition dialect.
+// by the /metrics handler. The primitives and exposition dialect are the
+// shared internal/promtext registry, so both tiers (and dptop's scraper)
+// speak the same strictly-tested format.
 type Metrics struct {
-	mu       sync.Mutex
-	forwards map[string]*serve.Counter // upstream responses by replica base
-	statuses map[int]*serve.Counter    // upstream responses by status code
+	forwards *promtext.CounterVec // upstream responses by replica base
+	statuses *promtext.CounterVec // upstream responses by status code
 
 	Shed        serve.Counter // early sheds at the edge (429 + Retry-After, no proxy hop)
 	Retries     serve.Counter // failovers to a later ring successor after a transport error
@@ -25,96 +24,41 @@ type Metrics struct {
 	Ejections   serve.Counter // replica health transitions healthy -> ejected
 	Readmits    serve.Counter // replica health transitions ejected -> healthy
 	Reloads     serve.Counter // membership changes applied (file reload or SetReplicas)
+	SlowTraces  serve.Counter // stitched traces logged by tail-based slow capture
 }
 
 // NewMetrics builds the metric set.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		forwards: make(map[string]*serve.Counter),
-		statuses: make(map[int]*serve.Counter),
+		forwards: promtext.NewCounterVec("replica"),
+		statuses: promtext.NewCounterVec("status"),
 	}
 }
 
 // Forwarded counts one upstream response from the given replica.
 func (m *Metrics) Forwarded(replica string, status int) {
-	m.mu.Lock()
-	fc, ok := m.forwards[replica]
-	if !ok {
-		fc = &serve.Counter{}
-		m.forwards[replica] = fc
-	}
-	sc, ok := m.statuses[status]
-	if !ok {
-		sc = &serve.Counter{}
-		m.statuses[status] = sc
-	}
-	m.mu.Unlock()
-	fc.Inc()
-	sc.Inc()
+	m.forwards.With(replica).Inc()
+	m.statuses.With(strconv.Itoa(status)).Inc()
 }
 
 // Forwards reports the upstream response count for one replica.
-func (m *Metrics) Forwards(replica string) int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if c, ok := m.forwards[replica]; ok {
-		return c.Value()
-	}
-	return 0
-}
+func (m *Metrics) Forwards(replica string) int64 { return m.forwards.Value(replica) }
 
 // StatusCount reports the upstream response count for one status code.
-func (m *Metrics) StatusCount(status int) int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if c, ok := m.statuses[status]; ok {
-		return c.Value()
-	}
-	return 0
-}
+func (m *Metrics) StatusCount(status int) int64 { return m.statuses.Value(strconv.Itoa(status)) }
 
 // Write renders all metrics in Prometheus text exposition format, in a
 // deterministic order.
 func (m *Metrics) Write(w io.Writer) {
-	m.mu.Lock()
-	reps := make([]string, 0, len(m.forwards))
-	for r := range m.forwards {
-		reps = append(reps, r)
-	}
-	sort.Strings(reps)
-	repCounts := make([]int64, len(reps))
-	for i, r := range reps {
-		repCounts[i] = m.forwards[r].Value()
-	}
-	codes := make([]int, 0, len(m.statuses))
-	for c := range m.statuses {
-		codes = append(codes, c)
-	}
-	sort.Ints(codes)
-	codeCounts := make([]int64, len(codes))
-	for i, c := range codes {
-		codeCounts[i] = m.statuses[c].Value()
-	}
-	m.mu.Unlock()
-
-	fmt.Fprintf(w, "# TYPE dprouter_forwards_total counter\n")
-	for i, r := range reps {
-		fmt.Fprintf(w, "dprouter_forwards_total{replica=%q} %d\n", r, repCounts[i])
-	}
-	fmt.Fprintf(w, "# TYPE dprouter_upstream_responses_total counter\n")
-	for i, c := range codes {
-		fmt.Fprintf(w, "dprouter_upstream_responses_total{status=\"%d\"} %d\n", c, codeCounts[i])
-	}
-	writeCounter(w, "dprouter_shed_total", m.Shed.Value())
-	writeCounter(w, "dprouter_retries_total", m.Retries.Value())
-	writeCounter(w, "dprouter_no_replica_total", m.NoReplica.Value())
-	writeCounter(w, "dprouter_proxy_errors_total", m.ProxyErrors.Value())
-	writeCounter(w, "dprouter_bad_spec_total", m.BadSpec.Value())
-	writeCounter(w, "dprouter_ejections_total", m.Ejections.Value())
-	writeCounter(w, "dprouter_readmits_total", m.Readmits.Value())
-	writeCounter(w, "dprouter_membership_reloads_total", m.Reloads.Value())
-}
-
-func writeCounter(w io.Writer, name string, v int64) {
-	fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v)
+	m.forwards.Write(w, "dprouter_forwards_total")
+	m.statuses.Write(w, "dprouter_upstream_responses_total")
+	promtext.WriteCounter(w, "dprouter_shed_total", m.Shed.Value())
+	promtext.WriteCounter(w, "dprouter_retries_total", m.Retries.Value())
+	promtext.WriteCounter(w, "dprouter_no_replica_total", m.NoReplica.Value())
+	promtext.WriteCounter(w, "dprouter_proxy_errors_total", m.ProxyErrors.Value())
+	promtext.WriteCounter(w, "dprouter_bad_spec_total", m.BadSpec.Value())
+	promtext.WriteCounter(w, "dprouter_ejections_total", m.Ejections.Value())
+	promtext.WriteCounter(w, "dprouter_readmits_total", m.Readmits.Value())
+	promtext.WriteCounter(w, "dprouter_membership_reloads_total", m.Reloads.Value())
+	promtext.WriteCounter(w, "dprouter_slow_traces_total", m.SlowTraces.Value())
 }

@@ -103,6 +103,32 @@ func (r *Ring) Lookup(key string) string {
 	return s[0]
 }
 
+// Shares reports each replica's fraction of the key space: the summed
+// arc length (to the next point clockwise, wrapping) of its vnodes,
+// normalized to 1. With the default vnode count the shares land near
+// 1/N; the spread that remains is the ring's real placement skew, which
+// is why dptop displays this instead of assuming uniformity.
+func (r *Ring) Shares() map[string]float64 {
+	out := make(map[string]float64, len(r.replicas))
+	if len(r.points) == 0 {
+		return out
+	}
+	if len(r.points) == 1 {
+		out[r.points[0].replica] = 1
+		return out
+	}
+	const whole = float64(1<<63) * 2 // 2^64 as float
+	// A key belongs to the first point at-or-after its hash, so each
+	// point owns the arc *preceding* it (from the previous point,
+	// exclusive, to itself). Unsigned wrap-around subtraction makes the
+	// arc across zero come out right without a special case.
+	for i, p := range r.points {
+		prev := r.points[(i-1+len(r.points))%len(r.points)].hash
+		out[p.replica] += float64(p.hash-prev) / whole
+	}
+	return out
+}
+
 // Successors returns up to n distinct replicas in ring order starting at
 // key's owner. The tail entries are the key's failover targets: when the
 // owner is ejected, the key's traffic moves to the next distinct replica

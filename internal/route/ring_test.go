@@ -155,3 +155,31 @@ func TestRingSuccessors(t *testing.T) {
 		t.Error("empty ring must return no owners")
 	}
 }
+
+// Shares must sum to 1 and, at the default vnode count, sit near 1/N —
+// it is the ownership view dptop renders, so the arc accounting has to
+// agree with the Lookup-based distribution the other tests measure.
+func TestRingShares(t *testing.T) {
+	reps := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := NewRing(reps, 128)
+	shares := r.Shares()
+	if len(shares) != len(reps) {
+		t.Fatalf("shares for %d replicas, want %d", len(shares), len(reps))
+	}
+	var sum float64
+	for rep, s := range shares {
+		sum += s
+		if s < 0.10 || s > 0.45 {
+			t.Errorf("replica %s owns %.3f of the key space; wildly off 1/4", rep, s)
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("shares sum %.6f, want 1", sum)
+	}
+	if got := NewRing([]string{"http://solo:1"}, 1).Shares(); got["http://solo:1"] != 1 {
+		t.Errorf("single-replica share %v, want 1", got)
+	}
+	if got := NewRing(nil, 8).Shares(); len(got) != 0 {
+		t.Errorf("empty ring shares %v, want none", got)
+	}
+}

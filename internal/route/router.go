@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"systolicdp/internal/obs"
 	"systolicdp/internal/serve"
 	"systolicdp/internal/spec"
 )
@@ -77,6 +78,20 @@ type Config struct {
 	MaxBody int64        // request body cap in bytes; default 64 MiB
 	Logger  *slog.Logger // structured logs; nil discards
 
+	// TraceSpans is how many recent hop spans the router retains for
+	// /debug/dptrace (and for stitching into /debug/fleettrace). Default
+	// 256.
+	TraceSpans int
+	// SlowTrace enables tail-based slow-request capture: a background
+	// collector periodically stitches the fleet's recent spans and logs
+	// every trace at least this slow, once, with its full cross-tier
+	// phase breakdown. 0 disables the background loop (the on-demand
+	// /debug/fleettrace endpoint works regardless).
+	SlowTrace time.Duration
+	// CollectInterval is the background collector's poll period when
+	// SlowTrace is enabled; default 2s.
+	CollectInterval time.Duration
+
 	// Transport overrides the upstream RoundTripper (tests). nil uses a
 	// pooled http.Transport sized for fan-in traffic.
 	Transport http.RoundTripper
@@ -118,6 +133,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBody <= 0 {
 		c.MaxBody = 64 << 20
+	}
+	if c.TraceSpans <= 0 {
+		c.TraceSpans = 256
+	}
+	if c.CollectInterval <= 0 {
+		c.CollectInterval = 2 * time.Second
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -171,6 +192,9 @@ type Router struct {
 	wg       sync.WaitGroup // background loops
 	stop     chan struct{}
 
+	hops      *obs.HopRecorder // recent hop spans for /debug/dptrace
+	collector *obs.Collector   // fleet span stitching for /debug/fleettrace
+
 	mux *http.ServeMux
 }
 
@@ -196,6 +220,17 @@ func New(cfg Config) (*Router, error) {
 		}
 	}
 	rt.client = &http.Client{Transport: transport}
+	rt.hops = obs.NewHopRecorder(cfg.TraceSpans)
+	rt.collector = &obs.Collector{
+		Endpoints: rt.traceEndpoints,
+		Local:     rt.hops.WireSpans,
+		LocalName: "router",
+		// Same pooled transport as forwards, but with a hard timeout: a
+		// wedged replica must not stall trace assembly.
+		Client:        &http.Client{Transport: transport, Timeout: 2 * time.Second},
+		SlowThreshold: cfg.SlowTrace,
+		Logger:        cfg.Logger,
+	}
 
 	bases := normalizeBases(cfg.Replicas)
 	if cfg.ReplicasFile != "" {
@@ -219,6 +254,8 @@ func New(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("/statusz", rt.handleStatusz)
 	rt.mux.HandleFunc("/metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("/debug/dptrace", rt.handleTrace)
+	rt.mux.HandleFunc("/debug/fleettrace", rt.handleFleetTrace)
 
 	rt.wg.Add(1)
 	go rt.healthLoop()
@@ -226,7 +263,22 @@ func New(cfg Config) (*Router, error) {
 		rt.wg.Add(1)
 		go rt.reloadLoop()
 	}
+	if cfg.SlowTrace > 0 {
+		rt.wg.Add(1)
+		go rt.collectLoop()
+	}
 	return rt, nil
+}
+
+// traceEndpoints enumerates the current membership as span-pull targets
+// for the trace collector, tracking reloads.
+func (rt *Router) traceEndpoints() []obs.Endpoint {
+	bases := rt.ReplicaBases()
+	eps := make([]obs.Endpoint, 0, len(bases))
+	for _, b := range bases {
+		eps = append(eps, obs.Endpoint{Name: b, Base: b})
+	}
+	return eps
 }
 
 // Handler returns the HTTP handler tree (for http.Server or httptest).
@@ -417,27 +469,49 @@ func (rt *Router) shedCheck(rep *replica, kind string, cycles float64, deadline 
 // deadline attached, failing over across ring successors on transport
 // errors. Upstream responses pass through verbatim — status, Retry-After,
 // cache disposition, request ID — so a client cannot tell one replica
-// from the fleet.
+// from the fleet. Every request gets a hop span (decode_hash ->
+// candidate_pick -> admission_check -> one annotated proxy phase per
+// attempt) retained for /debug/dptrace, and every response — proxied or
+// router-originated — carries X-Request-ID, so a 429/502/503 minted here
+// is as traceable in client logs as a replica answer.
 func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST a spec.File JSON body", http.StatusMethodNotAllowed)
 		return
 	}
+	start := time.Now()
+	reqID := r.Header.Get("X-Request-ID")
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	w.Header().Set("X-Request-ID", reqID)
+
+	hop := obs.NewHopSpan(reqID, start)
+	if tc, ok := obs.ParseTraceContext(r.Header.Get(obs.TraceHeader)); ok {
+		hop.SetTrace(tc.TraceID) // a tracing client stays the trace root
+	} else {
+		hop.SetTrace(obs.NewTraceContext().TraceID) // the router is the edge: root here
+	}
+	fail := func(status int, msg string) {
+		hop.Finish(time.Now(), status, "")
+		rt.hops.Add(hop)
+		http.Error(w, msg, status)
+	}
+
 	rt.submitMu.RLock()
 	if rt.draining.Load() {
 		rt.submitMu.RUnlock()
-		http.Error(w, "router draining", http.StatusServiceUnavailable)
+		fail(http.StatusServiceUnavailable, "router draining")
 		return
 	}
 	rt.inflight.Add(1)
 	rt.submitMu.RUnlock()
 	defer rt.inflight.Done()
 
-	start := time.Now()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBody))
 	if err != nil {
 		rt.metrics.BadSpec.Inc()
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		fail(http.StatusBadRequest, err.Error())
 		return
 	}
 	f, err := spec.Decode(body)
@@ -445,15 +519,17 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 		// Malformed specs die at the edge: no replica burns decode work on
 		// a request that can only 400.
 		rt.metrics.BadSpec.Inc()
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		fail(http.StatusBadRequest, err.Error())
 		return
 	}
 	key, err := f.Hash()
+	hop.Observe("decode_hash", start, time.Now())
 	if err != nil {
 		rt.metrics.BadSpec.Inc()
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		fail(http.StatusBadRequest, err.Error())
 		return
 	}
+	hop.SetKind(f.Problem)
 
 	deadline := rt.cfg.Deadline
 	if ms := r.Header.Get(serve.DeadlineHeader); ms != "" {
@@ -462,20 +538,25 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	pickStart := time.Now()
 	cands := rt.candidates(key)
+	hop.ObserveNote("candidate_pick", fmt.Sprintf("candidates=%d", len(cands)), pickStart, time.Now())
 	if len(cands) == 0 {
 		rt.metrics.NoReplica.Inc()
-		http.Error(w, "route: no healthy replica", http.StatusServiceUnavailable)
+		fail(http.StatusServiceUnavailable, "route: no healthy replica")
 		return
 	}
 
+	admitStart := time.Now()
 	kind, cycles := serve.EstimateCostFile(f)
-	if retry, shed := rt.shedCheck(cands[0], kind, cycles, deadline); shed {
+	retry, shed := rt.shedCheck(cands[0], kind, cycles, deadline)
+	hop.ObserveNote("admission_check", fmt.Sprintf("shed=%v", shed), admitStart, time.Now())
+	if shed {
 		rt.metrics.Shed.Inc()
 		w.Header().Set("Retry-After",
 			strconv.Itoa(int((retry+time.Second-1)/time.Second)))
-		http.Error(w, fmt.Sprintf("route: shard overloaded, predicted completion exceeds deadline %v", deadline),
-			http.StatusTooManyRequests)
+		fail(http.StatusTooManyRequests,
+			fmt.Sprintf("route: shard overloaded, predicted completion exceeds deadline %v", deadline))
 		return
 	}
 
@@ -494,31 +575,42 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 		if rem <= 0 {
 			break
 		}
-		resp, err := rt.send(ctx, rep, r, body, rem)
+		attemptStart := time.Now()
+		resp, err := rt.send(ctx, hop, reqID, rep, body, rem)
 		if err != nil {
 			lastErr = err
+			hop.ObserveNote("proxy",
+				fmt.Sprintf("attempt=%d replica=%s err=%v", i+1, rep.base, err),
+				attemptStart, time.Now())
 			if ctx.Err() != nil {
 				break
 			}
 			continue
 		}
+		hop.ObserveNote("proxy",
+			fmt.Sprintf("attempt=%d replica=%s status=%d", i+1, rep.base, resp.StatusCode),
+			attemptStart, time.Now())
 		rt.metrics.Forwarded(rep.base, resp.StatusCode)
+		hop.Finish(time.Now(), resp.StatusCode, rep.base)
+		rt.hops.Add(hop)
 		copyResponse(w, resp)
 		return
 	}
 	if ctx.Err() != nil {
-		http.Error(w, "route: deadline exceeded before any replica answered", http.StatusGatewayTimeout)
+		fail(http.StatusGatewayTimeout, "route: deadline exceeded before any replica answered")
 		return
 	}
 	rt.metrics.ProxyErrors.Inc()
 	rt.logger.Warn("all candidates failed", "key", key[:16], "candidates", len(cands), "err", lastErr)
-	http.Error(w, fmt.Sprintf("route: all replicas failed: %v", lastErr), http.StatusBadGateway)
+	fail(http.StatusBadGateway, fmt.Sprintf("route: all replicas failed: %v", lastErr))
 }
 
-// send forwards one request to one replica. Solves are pure functions of
-// the spec, so a transport-level failure (no response) is always safe to
-// retry on the next candidate.
-func (rt *Router) send(ctx context.Context, rep *replica, orig *http.Request, body []byte, remaining time.Duration) (*http.Response, error) {
+// send forwards one request to one replica, attaching the request id and
+// the hop's trace context (trace id + this hop's span id as the parent)
+// so the replica's span links under this hop. Solves are pure functions
+// of the spec, so a transport-level failure (no response) is always safe
+// to retry on the next candidate.
+func (rt *Router) send(ctx context.Context, hop *obs.HopSpan, reqID string, rep *replica, body []byte, remaining time.Duration) (*http.Response, error) {
 	rep.inflight.Add(1)
 	defer rep.inflight.Add(-1)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.base+"/solve", bytes.NewReader(body))
@@ -531,8 +623,9 @@ func (rt *Router) send(ctx context.Context, rep *replica, orig *http.Request, bo
 		ms = 1
 	}
 	req.Header.Set(serve.DeadlineHeader, strconv.FormatInt(ms, 10))
-	if id := orig.Header.Get("X-Request-ID"); id != "" {
-		req.Header.Set("X-Request-ID", id)
+	req.Header.Set("X-Request-ID", reqID)
+	if tc := hop.Context(); tc.TraceID != "" {
+		req.Header.Set(obs.TraceHeader, tc.String())
 	}
 	return rt.client.Do(req)
 }
@@ -710,6 +803,7 @@ type routerReplicaStatusz struct {
 	Healthy         bool    `json:"healthy"`
 	Removed         bool    `json:"removed,omitempty"`
 	Inflight        int64   `json:"inflight"`
+	OwnShare        float64 `json:"own_share"` // fraction of the key space this replica owns
 	BacklogSeconds  float64 `json:"backlog_seconds"`
 	ReplicaDraining bool    `json:"replica_draining"`
 	StatusAgeMs     int64   `json:"status_age_ms"` // -1 before the first successful poll
@@ -725,6 +819,7 @@ func (rt *Router) Statusz() []routerReplicaStatusz {
 		reps = append(reps, rep)
 	}
 	reps = append(reps, rt.drains...)
+	shares := rt.ring.Shares()
 	rt.mu.RUnlock()
 	out := make([]routerReplicaStatusz, 0, len(reps))
 	for _, rep := range reps {
@@ -733,6 +828,7 @@ func (rt *Router) Statusz() []routerReplicaStatusz {
 			Healthy:     rep.healthy.Load(),
 			Removed:     rep.removed.Load(),
 			Inflight:    rep.inflight.Load(),
+			OwnShare:    shares[rep.base],
 			StatusAgeMs: -1,
 		}
 		if st := rep.status.Load(); st != nil {
@@ -780,6 +876,57 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	rt.metrics.Write(w)
+}
+
+// handleTrace serves the router's retained hop spans: Perfetto trace-
+// event JSON by default, raw wire spans with ?format=wire (the form the
+// fleet trace collector pulls — same contract as dpserve's endpoint).
+func (rt *Router) handleTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if r.URL.Query().Get("format") == "wire" {
+		json.NewEncoder(w).Encode(rt.hops.WireSpans())
+		return
+	}
+	rt.hops.Trace().Write(w)
+}
+
+// handleFleetTrace pulls every replica's recent spans plus the router's
+// own hops, stitches them by trace id, and serves one Perfetto document
+// with a process track per fleet member — the cross-tier view of where
+// requests spent their time. Pull failures for individual replicas are
+// reported in otherData rather than failing the whole view.
+func (rt *Router) handleFleetTrace(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+	defer cancel()
+	traces, errs := rt.collector.Collect(ctx)
+	tr := obs.FleetTrace(traces)
+	for name, err := range errs {
+		tr.OtherData["pull_error "+name] = err.Error()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	tr.Write(w)
+}
+
+// collectLoop is the tail-based capture driver: periodically stitch the
+// fleet's recent spans and log (once per trace) any that crossed the
+// SlowTrace bar, with the full cross-tier phase breakdown.
+func (rt *Router) collectLoop() {
+	defer rt.wg.Done()
+	ticker := time.NewTicker(rt.cfg.CollectInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-ticker.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.CollectInterval)
+		traces, _ := rt.collector.Collect(ctx)
+		cancel()
+		if n := rt.collector.LogSlow(traces); n > 0 {
+			rt.metrics.SlowTraces.Add(int64(n))
+		}
+	}
 }
 
 // BeginDrain flips the router into draining mode: /healthz answers 503,

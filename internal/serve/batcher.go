@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"systolicdp/internal/core"
+	papermetrics "systolicdp/internal/metrics"
 	"systolicdp/internal/multistage"
 	"systolicdp/internal/obs"
 	"systolicdp/internal/pipearray"
@@ -266,6 +267,11 @@ func (b *Batcher) flush(bt *batch) {
 	if stats != nil {
 		b.metrics.EngineWorkers.Set(float64(stats.Workers))
 		b.metrics.EngineUtilization.Set(stats.Utilization)
+		// Publish the paper's Eq. 9 closed-form PU for this batch's shape
+		// (n = k+1 stages of m-vectors) next to the measured utilization,
+		// so dptop and /metrics scrapes can show measured-vs-predicted
+		// without re-deriving the formula.
+		b.metrics.EnginePUExpected.Set(papermetrics.PUEq9(bt.key.k+1, bt.key.m))
 		if b.admit != nil && err == nil {
 			// Calibrate the admission model with the measured stream rate:
 			// the engine reports exactly the cycle count the closed form

@@ -5,110 +5,18 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
-)
 
-// parseExposition is a strict Prometheus text-format checker, modeling
-// the family rules real registries enforce:
-//
-//   - every sample must belong to exactly one # TYPE-declared family,
-//     declared before its samples;
-//   - a family may be declared only once;
-//   - a histogram family owns exactly its _bucket/_sum/_count series
-//     (buckets must carry an le label); a bare sample under the
-//     histogram's own name — the old quantile-summary emission — is a
-//     duplicate-family error;
-//   - no family name may collide with another histogram's suffixed
-//     series.
-//
-// It returns the first violation, or nil for a clean exposition.
-func parseExposition(text string) error {
-	families := map[string]string{} // name -> type
-	sampleSeen := map[string]bool{} // families that already emitted samples
-	for ln, line := range strings.Split(text, "\n") {
-		line = strings.TrimSpace(line)
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			fields := strings.Fields(line)
-			if len(fields) >= 2 && fields[1] == "TYPE" {
-				if len(fields) != 4 {
-					return fmt.Errorf("line %d: malformed TYPE line %q", ln+1, line)
-				}
-				name, typ := fields[2], fields[3]
-				switch typ {
-				case "counter", "gauge", "histogram", "summary", "untyped":
-				default:
-					return fmt.Errorf("line %d: unknown type %q", ln+1, typ)
-				}
-				if _, dup := families[name]; dup {
-					return fmt.Errorf("line %d: family %q declared twice", ln+1, name)
-				}
-				// A new family must not collide with a histogram's series.
-				for fam, ftyp := range families {
-					if ftyp != "histogram" {
-						continue
-					}
-					for _, sfx := range []string{"", "_bucket", "_sum", "_count"} {
-						if name == fam+sfx {
-							return fmt.Errorf("line %d: family %q collides with histogram %q", ln+1, name, fam)
-						}
-					}
-				}
-				if families[name] == "" {
-					families[name] = typ
-				}
-			}
-			continue
-		}
-		// Sample line: name[{labels}] value.
-		name := line
-		if i := strings.IndexAny(line, "{ "); i >= 0 {
-			name = line[:i]
-		}
-		labels := ""
-		if i := strings.Index(line, "{"); i >= 0 {
-			j := strings.Index(line, "}")
-			if j < i {
-				return fmt.Errorf("line %d: malformed labels in %q", ln+1, line)
-			}
-			labels = line[i : j+1]
-		}
-		owner := ""
-		if typ, ok := families[name]; ok {
-			if typ == "histogram" {
-				return fmt.Errorf("line %d: sample %q reuses histogram family name %q (only _bucket/_sum/_count belong to it)", ln+1, line, name)
-			}
-			owner = name
-		}
-		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
-			base, found := strings.CutSuffix(name, sfx)
-			if !found {
-				continue
-			}
-			if typ, ok := families[base]; ok && typ == "histogram" {
-				if owner != "" {
-					return fmt.Errorf("line %d: sample %q owned by both family %q and histogram %q", ln+1, line, owner, base)
-				}
-				if sfx == "_bucket" && !strings.Contains(labels, "le=") {
-					return fmt.Errorf("line %d: histogram bucket %q without le label", ln+1, line)
-				}
-				owner = base
-			}
-		}
-		if owner == "" {
-			return fmt.Errorf("line %d: sample %q belongs to no declared family", ln+1, line)
-		}
-		sampleSeen[owner] = true
-	}
-	return nil
-}
+	"systolicdp/internal/promtext"
+)
 
 // The full live /metrics output — after traffic that populates every
 // family, including batched solves, cache hits, rejections, and the
-// runtime gauges — must satisfy the strict family rules. Before the fix,
+// runtime gauges — must satisfy the strict family rules enforced by
+// promtext.Lint (every sample in exactly one declared family, histograms
+// owning only their _bucket/_sum/_count series). Before the PR-5 fix,
 // dpserve_solve_latency_seconds{quantile=...} reused the histogram's
-// family name and this parse failed.
+// family name and this parse failed; the checker now lives in
+// internal/promtext so the router tier and dptop share it.
 func TestMetricsExpositionTypeChecks(t *testing.T) {
 	s := New(Config{BatchWindow: -1})
 	defer s.Close()
@@ -121,7 +29,7 @@ func TestMetricsExpositionTypeChecks(t *testing.T) {
 	postSpec(t, ts.URL, `{not json`) // error counter
 
 	text := metricsText(t, ts.URL)
-	if err := parseExposition(text); err != nil {
+	if err := promtext.Lint(text); err != nil {
 		t.Fatalf("/metrics exposition is not strictly parseable: %v\n%s", err, text)
 	}
 	// The renamed quantile family exists and the old duplicate does not.
@@ -131,34 +39,18 @@ func TestMetricsExpositionTypeChecks(t *testing.T) {
 	if strings.Contains(text, `dpserve_solve_latency_seconds{quantile=`) {
 		t.Errorf("old duplicate-family quantile series still emitted:\n%s", text)
 	}
-}
-
-// The checker itself must reject the pre-fix shape: summary-style
-// quantile samples under the same family name as a histogram.
-func TestExpositionParserRejectsDuplicateFamily(t *testing.T) {
-	bad := `# TYPE dpserve_solve_latency_seconds histogram
-dpserve_solve_latency_seconds_bucket{le="1"} 1
-dpserve_solve_latency_seconds_bucket{le="+Inf"} 1
-dpserve_solve_latency_seconds_sum 0.5
-dpserve_solve_latency_seconds_count 1
-dpserve_solve_latency_seconds{quantile="0.5"} 0.5
-`
-	if err := parseExposition(bad); err == nil {
-		t.Fatal("parser accepted a quantile sample reusing a histogram family name")
+	// The parsed form is what dptop consumes: per-kind request counters
+	// and the engine PU gauges must be readable back out.
+	fams, err := promtext.Parse(text)
+	if err != nil {
+		t.Fatal(err)
 	}
-	for name, text := range map[string]string{
-		"orphan sample":        "dpserve_undeclared_total 3\n",
-		"double declaration":   "# TYPE x counter\n# TYPE x counter\nx 1\n",
-		"bucket without le":    "# TYPE h histogram\nh_bucket 1\n",
-		"family collides with": "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n# TYPE h_sum counter\n",
-	} {
-		if err := parseExposition(text); err == nil {
-			t.Errorf("%s: parser accepted invalid exposition:\n%s", name, text)
-		}
+	byKind := fams.Labeled("dpserve_requests_total", "problem")
+	if byKind["graph"] != 2 || byKind["chain"] != 1 {
+		t.Errorf("parsed request counters = %v", byKind)
 	}
-	good := "# TYPE a counter\na 1\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n"
-	if err := parseExposition(good); err != nil {
-		t.Errorf("parser rejected a valid exposition: %v", err)
+	if _, ok := fams["dpserve_engine_pu_expected"]; !ok {
+		t.Error("dpserve_engine_pu_expected gauge missing from exposition")
 	}
 }
 

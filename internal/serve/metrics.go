@@ -3,151 +3,32 @@ package serve
 import (
 	"fmt"
 	"io"
-	"math"
 	"runtime"
-	"sort"
-	"sync"
-	"sync/atomic"
+
+	"systolicdp/internal/promtext"
 )
 
-// Counter is a monotone event count.
-type Counter struct{ v atomic.Int64 }
-
-// Add increments the counter by n.
-func (c *Counter) Add(n int64) { c.v.Add(n) }
-
-// Inc increments the counter by one.
-func (c *Counter) Inc() { c.v.Add(1) }
-
-// Value reads the counter.
-func (c *Counter) Value() int64 { return c.v.Load() }
-
-// Gauge is a last-write-wins float value (atomic bit-pattern store).
-type Gauge struct{ v atomic.Uint64 }
-
-// Set stores the gauge value.
-func (g *Gauge) Set(x float64) { g.v.Store(math.Float64bits(x)) }
-
-// Value reads the gauge.
-func (g *Gauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
-
-// Histogram is a fixed-bucket cumulative histogram (Prometheus-style:
-// bucket i counts observations <= Bounds[i], plus an implicit +Inf).
-type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64
-	counts []int64 // len(bounds)+1; last is the +Inf bucket
-	sum    float64
-	count  int64
-}
+// The metric primitives are the shared internal/promtext registry types;
+// the aliases keep this package's historical API (serve.Counter in
+// internal/route, NewHistogram in tests) while both tiers render one
+// strictly-tested exposition dialect.
+type (
+	// Counter is a monotone event count.
+	Counter = promtext.Counter
+	// Gauge is a last-write-wins float value.
+	Gauge = promtext.Gauge
+	// Histogram is a fixed-bucket cumulative histogram.
+	Histogram = promtext.Histogram
+)
 
 // NewHistogram builds a histogram over ascending bucket bounds.
-func NewHistogram(bounds ...float64) *Histogram {
-	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
-}
-
-// Observe records one sample.
-func (h *Histogram) Observe(x float64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	i := sort.SearchFloat64s(h.bounds, x)
-	h.counts[i]++
-	h.sum += x
-	h.count++
-}
-
-// Count returns the number of samples observed.
-func (h *Histogram) Count() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
-}
-
-// Sum returns the sum of observed samples.
-func (h *Histogram) Sum() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.sum
-}
-
-// Quantile estimates the p-quantile (0 <= p <= 1) by linear interpolation
-// within the bucket containing the target rank, the same estimator
-// Prometheus's histogram_quantile applies server-side. The first bucket
-// interpolates from 0 (observations here are non-negative latencies), and
-// ranks landing in the +Inf bucket clamp to the highest finite bound.
-// With no observations it returns NaN.
-func (h *Histogram) Quantile(p float64) float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 || math.IsNaN(p) {
-		return math.NaN()
-	}
-	if p < 0 {
-		p = 0
-	}
-	if p > 1 {
-		p = 1
-	}
-	rank := p * float64(h.count)
-	cum := 0.0
-	lo := 0.0
-	for i, b := range h.bounds {
-		c := float64(h.counts[i])
-		if c > 0 && cum+c >= rank {
-			frac := (rank - cum) / c
-			return lo + frac*(b-lo)
-		}
-		cum += c
-		lo = b
-	}
-	if len(h.bounds) == 0 {
-		return math.NaN()
-	}
-	return h.bounds[len(h.bounds)-1]
-}
-
-// write renders the histogram in Prometheus text exposition format,
-// preceded by its # TYPE metadata line. A histogram family owns exactly
-// the _bucket/_sum/_count series — no other sample may use its name,
-// which is what strict exposition parsers enforce.
-func (h *Histogram) write(w io.Writer, name string) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
-	cum := int64(0)
-	for i, b := range h.bounds {
-		cum += h.counts[i]
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
-	}
-	cum += h.counts[len(h.bounds)]
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
-	fmt.Fprintf(w, "%s_count %d\n", name, h.count)
-}
-
-// writeCounter and writeGauge render one single-series family with its
-// # TYPE line.
-func writeCounter(w io.Writer, name string, v int64) {
-	fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v)
-}
-
-func writeGauge(w io.Writer, name string, v float64) {
-	fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, v)
-}
-
-func formatBound(b float64) string {
-	if b == math.Trunc(b) && math.Abs(b) < 1e15 {
-		return fmt.Sprintf("%d", int64(b))
-	}
-	return fmt.Sprintf("%g", b)
-}
+func NewHistogram(bounds ...float64) *Histogram { return promtext.NewHistogram(bounds...) }
 
 // Metrics is the server's instrumentation: plain stdlib counters and
-// histograms in the spirit of internal/metrics, exported as Prometheus
-// text format by the /metrics handler.
+// histograms from internal/promtext, exported as Prometheus text format
+// by the /metrics handler.
 type Metrics struct {
-	mu       sync.Mutex
-	requests map[string]*Counter // by problem kind
+	requests *promtext.CounterVec // by problem kind
 
 	CacheHits      Counter
 	CacheMisses    Counter // flight leaders that actually solved (not coalesced waiters)
@@ -165,6 +46,7 @@ type Metrics struct {
 
 	EngineWorkers     Gauge // compute-phase workers of the last streamed run
 	EngineUtilization Gauge // measured PU of the last streamed run
+	EnginePUExpected  Gauge // paper eq (9) closed-form PU for the last streamed run's shape
 
 	BatchOccupancy *Histogram // instances per flush
 	SolveSeconds   *Histogram // end-to-end solve latency
@@ -180,7 +62,7 @@ type Metrics struct {
 // NewMetrics builds the metric set with the server's bucket layout.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		requests:             make(map[string]*Counter),
+		requests:             promtext.NewCounterVec("problem"),
 		BatchOccupancy:       NewHistogram(1, 2, 4, 8, 16, 32, 64),
 		SolveSeconds:         NewHistogram(0.0001, 0.001, 0.01, 0.1, 1, 10),
 		QueueWaitSeconds:     NewHistogram(0.00001, 0.0001, 0.001, 0.01, 0.1, 1),
@@ -189,65 +71,35 @@ func NewMetrics() *Metrics {
 }
 
 // Request counts one request of the given problem kind.
-func (m *Metrics) Request(kind string) {
-	m.mu.Lock()
-	c, ok := m.requests[kind]
-	if !ok {
-		c = &Counter{}
-		m.requests[kind] = c
-	}
-	m.mu.Unlock()
-	c.Inc()
-}
+func (m *Metrics) Request(kind string) { m.requests.With(kind).Inc() }
 
 // Requests returns the count for one problem kind.
-func (m *Metrics) Requests(kind string) int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if c, ok := m.requests[kind]; ok {
-		return c.Value()
-	}
-	return 0
-}
+func (m *Metrics) Requests(kind string) int64 { return m.requests.Value(kind) }
 
 // Write renders all metrics in Prometheus text exposition format, in a
 // deterministic order.
 func (m *Metrics) Write(w io.Writer) {
-	m.mu.Lock()
-	kinds := make([]string, 0, len(m.requests))
-	for k := range m.requests {
-		kinds = append(kinds, k)
-	}
-	sort.Strings(kinds)
-	counts := make([]int64, len(kinds))
-	for i, k := range kinds {
-		counts[i] = m.requests[k].Value()
-	}
-	m.mu.Unlock()
-
-	fmt.Fprintf(w, "# TYPE dpserve_requests_total counter\n")
-	for i, k := range kinds {
-		fmt.Fprintf(w, "dpserve_requests_total{problem=%q} %d\n", k, counts[i])
-	}
-	writeCounter(w, "dpserve_cache_hits_total", m.CacheHits.Value())
-	writeCounter(w, "dpserve_cache_misses_total", m.CacheMisses.Value())
-	writeCounter(w, "dpserve_singleflight_shared_total", m.FlightShare.Value())
-	writeCounter(w, "dpserve_flight_wait_total", m.FlightWait.Value())
-	writeCounter(w, "dpserve_rejected_total", m.Rejected.Value())
-	writeCounter(w, "dpserve_timeouts_total", m.Timeouts.Value())
-	writeCounter(w, "dpserve_client_cancel_total", m.ClientCancel.Value())
-	writeCounter(w, "dpserve_errors_total", m.Errors.Value())
-	writeCounter(w, "dpserve_batches_total", m.Batches.Value())
-	writeCounter(w, "dpserve_batched_requests_total", m.Batched.Value())
-	writeCounter(w, "dpserve_batch_abandoned_total", m.BatchAbandoned.Value())
-	writeCounter(w, "dpserve_expired_skipped_total", m.ExpiredSkipped.Value())
-	writeCounter(w, "dpserve_admit_shed_total", m.AdmitShed.Value())
-	writeGauge(w, "dpserve_engine_workers", m.EngineWorkers.Value())
-	writeGauge(w, "dpserve_engine_worker_utilization", m.EngineUtilization.Value())
-	m.BatchOccupancy.write(w, "dpserve_batch_occupancy")
-	m.SolveSeconds.write(w, "dpserve_solve_latency_seconds")
-	m.QueueWaitSeconds.write(w, "dpserve_queue_wait_seconds")
-	m.BatchAssemblySeconds.write(w, "dpserve_batch_assembly_seconds")
+	m.requests.Write(w, "dpserve_requests_total")
+	promtext.WriteCounter(w, "dpserve_cache_hits_total", m.CacheHits.Value())
+	promtext.WriteCounter(w, "dpserve_cache_misses_total", m.CacheMisses.Value())
+	promtext.WriteCounter(w, "dpserve_singleflight_shared_total", m.FlightShare.Value())
+	promtext.WriteCounter(w, "dpserve_flight_wait_total", m.FlightWait.Value())
+	promtext.WriteCounter(w, "dpserve_rejected_total", m.Rejected.Value())
+	promtext.WriteCounter(w, "dpserve_timeouts_total", m.Timeouts.Value())
+	promtext.WriteCounter(w, "dpserve_client_cancel_total", m.ClientCancel.Value())
+	promtext.WriteCounter(w, "dpserve_errors_total", m.Errors.Value())
+	promtext.WriteCounter(w, "dpserve_batches_total", m.Batches.Value())
+	promtext.WriteCounter(w, "dpserve_batched_requests_total", m.Batched.Value())
+	promtext.WriteCounter(w, "dpserve_batch_abandoned_total", m.BatchAbandoned.Value())
+	promtext.WriteCounter(w, "dpserve_expired_skipped_total", m.ExpiredSkipped.Value())
+	promtext.WriteCounter(w, "dpserve_admit_shed_total", m.AdmitShed.Value())
+	promtext.WriteGauge(w, "dpserve_engine_workers", m.EngineWorkers.Value())
+	promtext.WriteGauge(w, "dpserve_engine_worker_utilization", m.EngineUtilization.Value())
+	promtext.WriteGauge(w, "dpserve_engine_pu_expected", m.EnginePUExpected.Value())
+	m.BatchOccupancy.Write(w, "dpserve_batch_occupancy")
+	m.SolveSeconds.Write(w, "dpserve_solve_latency_seconds")
+	m.QueueWaitSeconds.Write(w, "dpserve_queue_wait_seconds")
+	m.BatchAssemblySeconds.Write(w, "dpserve_batch_assembly_seconds")
 	// Server-side quantile estimates live in their OWN family: emitting
 	// them as dpserve_solve_latency_seconds{quantile=...} would reuse the
 	// histogram's family name, which strict Prometheus parsers reject as a
@@ -261,12 +113,12 @@ func (m *Metrics) Write(w io.Writer) {
 	if m.QueueDepth != nil {
 		depth = m.QueueDepth()
 	}
-	writeGauge(w, "dpserve_queue_depth", float64(depth))
+	promtext.WriteGauge(w, "dpserve_queue_depth", float64(depth))
 	backlog := 0.0
 	if m.AdmitBacklogSeconds != nil {
 		backlog = m.AdmitBacklogSeconds()
 	}
-	writeGauge(w, "dpserve_admit_backlog_seconds", backlog)
+	promtext.WriteGauge(w, "dpserve_admit_backlog_seconds", backlog)
 }
 
 // WriteRuntime appends Go-runtime gauges (goroutines, heap bytes, GC
@@ -275,7 +127,7 @@ func (m *Metrics) Write(w io.Writer) {
 func WriteRuntime(w io.Writer) {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	writeGauge(w, "dpserve_goroutines", float64(runtime.NumGoroutine()))
-	writeGauge(w, "dpserve_heap_alloc_bytes", float64(ms.HeapAlloc))
-	writeCounter(w, "dpserve_gc_cycles_total", int64(ms.NumGC))
+	promtext.WriteGauge(w, "dpserve_goroutines", float64(runtime.NumGoroutine()))
+	promtext.WriteGauge(w, "dpserve_heap_alloc_bytes", float64(ms.HeapAlloc))
+	promtext.WriteCounter(w, "dpserve_gc_cycles_total", int64(ms.NumGC))
 }

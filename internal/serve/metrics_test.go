@@ -17,7 +17,7 @@ func TestHistogramBuckets(t *testing.T) {
 		t.Errorf("sum %v, want 556.5", h.Sum())
 	}
 	var sb strings.Builder
-	h.write(&sb, "x")
+	h.Write(&sb, "x")
 	out := sb.String()
 	// Cumulative: <=1 holds {0.5, 1}, <=10 adds 5, <=100 adds 50, +Inf all.
 	for _, want := range []string{

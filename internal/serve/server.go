@@ -461,6 +461,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Request-ID", reqID)
 
 	span := obs.NewReqSpan(reqID, "", start)
+	// Join the distributed trace the router started, or root a fresh one
+	// for direct traffic so every request is stitchable by trace id.
+	if tc, ok := obs.ParseTraceContext(r.Header.Get(obs.TraceHeader)); ok {
+		span.SetTrace(tc.TraceID, tc.SpanID)
+	} else {
+		span.SetTrace(obs.NewTraceContext().TraceID, "")
+	}
 	fail := func(status int, err error) {
 		span.Finish(time.Now(), status, false)
 		s.spans.Add(span)
@@ -569,11 +576,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	WriteRuntime(w)
 }
 
-// handleTrace serves the retained request-lifecycle spans as a Perfetto
-// trace-event JSON document (load it in ui.perfetto.dev, or summarize
-// with cmd/dptrace).
+// handleTrace serves the retained request-lifecycle spans. The default
+// form is a Perfetto trace-event JSON document (load it in
+// ui.perfetto.dev, or summarize with cmd/dptrace); ?format=wire returns
+// the raw obs.WireSpan list the fleet trace collector pulls.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	if r.URL.Query().Get("format") == "wire" {
+		json.NewEncoder(w).Encode(s.spans.WireSpans())
+		return
+	}
 	s.spans.Trace().Write(w)
 }
 
