@@ -17,6 +17,15 @@
 //
 //	dpload -duration 10s -compare -out BENCH_5.json
 //
+// With -compare-batch it instead runs the identical mixed-kind workload
+// with micro-batching off (BatchMax 1: every kind solves one-at-a-time on
+// the general pool) and then on (same-shape concurrent requests share one
+// kernel sweep), with the result cache disabled in both phases, and
+// reports per-kind goodput plus per-kind flush occupancy — the experiment
+// behind the EXPERIMENTS.md batching table:
+//
+//	dpload -duration 10s -compare-batch -keys 64 -out BENCH_8.json
+//
 // The load loop is closed: at most -conc requests are in flight, and
 // pacing slots that find every lane busy are counted as client-side
 // drops rather than queued without bound. That keeps dpload itself from
@@ -44,6 +53,7 @@ import (
 	"strconv"
 
 	"systolicdp/internal/check"
+	"systolicdp/internal/promtext"
 	"systolicdp/internal/route"
 	"systolicdp/internal/serve"
 )
@@ -72,8 +82,9 @@ type config struct {
 	scale    int           // instance-size multiplier on the generator defaults
 	seed     int64         // generator seed (runs are reproducible)
 	keys     int           // >0: draw requests from a fixed pool of this many distinct specs (cache hits exist)
-	out      string        // report path; empty = stdout only
-	compare  bool          // in-process only: run admission off then on
+	out          string // report path; empty = stdout only
+	compare      bool   // in-process only: run admission off then on
+	compareBatch bool   // in-process only: run micro-batching off then on
 
 	// Scaling mode (in-process only): run the same workload through an
 	// in-process dprouter over each of these fleet sizes.
@@ -83,7 +94,8 @@ type config struct {
 	// In-process server knobs (ignored with -addr).
 	workers       int
 	timeout       time.Duration
-	cache         int // per-replica LRU entries (0 = server default)
+	cache         int // per-replica LRU entries (0 = server default, <0 disables)
+	batchMax      int // micro-batch size cap (0 = server default, 1 disables batching)
 	admit         bool
 	admitHeadroom float64
 }
@@ -102,11 +114,13 @@ func parseFlags(args []string) (config, error) {
 	keys := fs.Int("keys", 0, "draw requests from a fixed pool of this many distinct specs instead of a fresh spec per request (0 = fresh; >0 makes result-cache hits possible)")
 	out := fs.String("out", "", "write the JSON report here as well as stdout")
 	compare := fs.Bool("compare", false, "in-process only: run the workload with admission off, then on")
+	compareBatch := fs.Bool("compare-batch", false, "in-process only: run the workload with micro-batching off (BatchMax 1), then on; the result cache is disabled so repeat keys cannot mask batching")
 	replicasFlag := fs.String("replicas", "", "in-process scaling mode: comma-separated fleet sizes (e.g. 1,2,4,8); each size runs the identical workload through an in-process dprouter over that many dpserve replicas")
 	ablate := fs.Bool("ablate-random", false, "scaling mode: rerun the largest fleet with random (non-affine) placement as the cache-affinity ablation")
 	workers := fs.Int("workers", 0, "in-process server: general-pool workers (0 = NumCPU)")
 	timeout := fs.Duration("timeout", 2*time.Second, "in-process server: per-request solve budget (the deadline admission prices against)")
-	cache := fs.Int("cache", 0, "in-process server: per-replica LRU result-cache entries (0 = server default)")
+	cache := fs.Int("cache", 0, "in-process server: per-replica LRU result-cache entries (0 = server default, negative disables)")
+	batchMax := fs.Int("batch-max", 0, "in-process server: micro-batch size cap (0 = server default, 1 disables batching)")
 	admit := fs.Bool("admit", false, "in-process server: enable cycle-model admission control (single-run mode)")
 	admitHeadroom := fs.Float64("admit-headroom", 1.2, "in-process server: admission safety factor")
 	if err := fs.Parse(args); err != nil {
@@ -136,6 +150,15 @@ func parseFlags(args []string) (config, error) {
 	if *compare && *addr != "" {
 		return config{}, fmt.Errorf("-compare needs the in-process server (drop -addr)")
 	}
+	if *compareBatch && *addr != "" {
+		return config{}, fmt.Errorf("-compare-batch needs the in-process server (drop -addr)")
+	}
+	if *compareBatch && *compare {
+		return config{}, fmt.Errorf("-compare and -compare-batch are separate experiments; pick one")
+	}
+	if *compareBatch && len(fleet) > 0 {
+		return config{}, fmt.Errorf("-replicas and -compare-batch are separate experiments; pick one")
+	}
 	if len(fleet) > 0 && *addr != "" {
 		return config{}, fmt.Errorf("-replicas scaling mode needs the in-process fleet (drop -addr)")
 	}
@@ -156,17 +179,26 @@ func parseFlags(args []string) (config, error) {
 		scale:    *scale,
 		seed:     *seed,
 		keys:     *keys,
-		out:      *out,
-		compare:  *compare,
-		replicas: fleet,
-		ablate:   *ablate,
+		out:          *out,
+		compare:      *compare,
+		compareBatch: *compareBatch,
+		replicas:     fleet,
+		ablate:       *ablate,
 
 		workers:       *workers,
 		timeout:       *timeout,
 		cache:         *cache,
+		batchMax:      *batchMax,
 		admit:         *admit,
 		admitHeadroom: *admitHeadroom,
 	}, nil
+}
+
+// specBody is one marshalled instance tagged with its problem kind, so
+// the load loop can tally outcomes per kind without re-parsing JSON.
+type specBody struct {
+	kind string
+	raw  []byte
 }
 
 // bodies is a concurrency-safe stream of marshalled spec instances drawn
@@ -180,7 +212,7 @@ type bodies struct {
 	rng  *rand.Rand
 	mix  []string
 	gcfg check.GenConfig
-	pool [][]byte // nil = fresh instance per request
+	pool []specBody // nil = fresh instance per request
 }
 
 func newBodies(seed int64, mix []string, scale int) *bodies {
@@ -204,14 +236,14 @@ func newBodies(seed int64, mix []string, scale int) *bodies {
 // samples from the pool. Same seed + mix + scale + n = same pool, so
 // every run in a comparison faces the same key population.
 func (b *bodies) keyed(n int) *bodies {
-	b.pool = make([][]byte, n)
+	b.pool = make([]specBody, n)
 	for i := range b.pool {
 		b.pool[i] = b.generate()
 	}
 	return b
 }
 
-func (b *bodies) next() []byte {
+func (b *bodies) next() specBody {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.pool != nil {
@@ -222,7 +254,7 @@ func (b *bodies) next() []byte {
 
 // generate draws one fresh marshalled instance. Callers hold b.mu (or
 // have exclusive ownership during pool construction).
-func (b *bodies) generate() []byte {
+func (b *bodies) generate() specBody {
 	for {
 		in := check.GenKind(b.rng, b.mix[b.rng.Intn(len(b.mix))], b.gcfg)
 		if in.File.Validate() != nil {
@@ -232,7 +264,7 @@ func (b *bodies) generate() []byte {
 		if err != nil {
 			continue
 		}
-		return raw
+		return specBody{kind: in.Kind(), raw: raw}
 	}
 }
 
@@ -252,6 +284,20 @@ type RunReport struct {
 	P99ms       float64        `json:"p99_ms"`
 	ShedP50ms   float64        `json:"shed_p50_ms"` // latency of 429s (0 if none)
 	AdmitConfig string         `json:"admit,omitempty"`
+	BatchConfig string         `json:"batch,omitempty"` // compare-batch provenance
+
+	// Per-kind goodput: 200s per second of window, keyed by the problem
+	// kind of the REQUEST (the generator's tag, not the server's view) —
+	// the denominator every batching gain in EXPERIMENTS.md is quoted in.
+	OKByKind      map[string]int64   `json:"ok_by_kind,omitempty"`
+	GoodputByKind map[string]float64 `json:"goodput_by_kind_rps,omitempty"`
+
+	// Batching observability, scraped from the target's /metrics after
+	// the window (in-process runs only): flush count and mean instances
+	// per flush, keyed by execution-path kind (graph-stream, dtw-batch,
+	// chain-batch, nonserial-batch).
+	BatchFlushes       map[string]float64 `json:"batch_flushes,omitempty"`
+	BatchOccupancyMean map[string]float64 `json:"batch_occupancy_mean,omitempty"`
 
 	// Cache observability (from the X-Dpserve-Cache response header,
 	// which proxies pass through; zero when the pool is fresh-per-request
@@ -281,12 +327,13 @@ func loadRun(base string, cfg config, name string, targetRPS float64, gen *bodie
 	client := &http.Client{Timeout: cfg.timeout + 10*time.Second}
 	type sample struct {
 		status     int
+		kind       string
 		latency    time.Duration
 		retryAfter bool
 		cache      string // X-Dpserve-Cache: "hit", "miss", or ""
 	}
 	samples := make(chan sample, cfg.conc)
-	launch := make(chan []byte, cfg.conc)
+	launch := make(chan specBody, cfg.conc)
 	var sent, dropped, netErrs atomic.Int64
 
 	var workers sync.WaitGroup
@@ -296,7 +343,7 @@ func loadRun(base string, cfg config, name string, targetRPS float64, gen *bodie
 			defer workers.Done()
 			for body := range launch {
 				start := time.Now()
-				resp, err := client.Post(base+"/solve", "application/json", bytes.NewReader(body))
+				resp, err := client.Post(base+"/solve", "application/json", bytes.NewReader(body.raw))
 				if err != nil {
 					netErrs.Add(1)
 					continue
@@ -305,6 +352,7 @@ func loadRun(base string, cfg config, name string, targetRPS float64, gen *bodie
 				resp.Body.Close()
 				samples <- sample{
 					status:     resp.StatusCode,
+					kind:       body.kind,
 					latency:    time.Since(start),
 					retryAfter: resp.Header.Get("Retry-After") != "",
 					cache:      resp.Header.Get("X-Dpserve-Cache"),
@@ -315,6 +363,7 @@ func loadRun(base string, cfg config, name string, targetRPS float64, gen *bodie
 
 	// Collector drains samples so workers never block on the channel.
 	statuses := map[string]int{}
+	okByKind := map[string]int64{}
 	var okLat, shedLat []time.Duration
 	var retryAfter, cacheHits, cacheMisses int64
 	var collect sync.WaitGroup
@@ -326,6 +375,7 @@ func loadRun(base string, cfg config, name string, targetRPS float64, gen *bodie
 			switch s.status {
 			case http.StatusOK:
 				okLat = append(okLat, s.latency)
+				okByKind[s.kind]++
 				switch s.cache {
 				case "hit":
 					cacheHits++
@@ -393,6 +443,10 @@ func loadRun(base string, cfg config, name string, targetRPS float64, gen *bodie
 	if cacheHits+cacheMisses > 0 {
 		hitRate = float64(cacheHits) / float64(cacheHits+cacheMisses)
 	}
+	goodByKind := map[string]float64{}
+	for k, n := range okByKind {
+		goodByKind[k] = float64(n) / window.Seconds()
+	}
 	return RunReport{
 		Name:         name,
 		TargetRPS:    targetRPS,
@@ -410,7 +464,54 @@ func loadRun(base string, cfg config, name string, targetRPS float64, gen *bodie
 		CacheHits:    cacheHits,
 		CacheMisses:  cacheMisses,
 		CacheHitRate: hitRate,
+
+		OKByKind:      okByKind,
+		GoodputByKind: goodByKind,
 	}
+}
+
+// scrapeBatching reads the target's /metrics exposition and extracts the
+// batching view: flush counts and mean flush occupancy per execution-path
+// kind. Errors are swallowed (nil maps) — an external target may not be a
+// dpserve replica at all.
+func scrapeBatching(base string) (flushes, occMean map[string]float64) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, nil
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil
+	}
+	fams, err := promtext.Parse(string(raw))
+	if err != nil {
+		return nil, nil
+	}
+	f := fams["dpserve_batch_occupancy"]
+	if f == nil {
+		return nil, nil
+	}
+	sums := map[string]float64{}
+	counts := map[string]float64{}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case "dpserve_batch_occupancy_sum":
+			sums[s.Labels["kind"]] = s.Value
+		case "dpserve_batch_occupancy_count":
+			counts[s.Labels["kind"]] = s.Value
+		}
+	}
+	flushes = map[string]float64{}
+	occMean = map[string]float64{}
+	for kind, c := range counts {
+		if c == 0 {
+			continue
+		}
+		flushes[kind] = c
+		occMean[kind] = sums[kind] / c
+	}
+	return flushes, occMean
 }
 
 // probeCapacity measures the server's sustainable rate with a short
@@ -435,7 +536,7 @@ func probeCapacity(base string, cfg config, gen *bodies) float64 {
 		go func() {
 			defer wg.Done()
 			for ctx.Err() == nil {
-				resp, err := client.Post(base+"/solve", "application/json", bytes.NewReader(gen.next()))
+				resp, err := client.Post(base+"/solve", "application/json", bytes.NewReader(gen.next().raw))
 				if err != nil {
 					continue
 				}
@@ -462,6 +563,7 @@ func inprocServer(cfg config, admit bool) (string, func(), error) {
 		Workers:       cfg.workers,
 		Timeout:       cfg.timeout,
 		CacheSize:     cfg.cache,
+		BatchMax:      cfg.batchMax,
 		AdmitEnabled:  admit,
 		AdmitHeadroom: cfg.admitHeadroom,
 	})
@@ -603,14 +705,25 @@ func run(cfg config, stdout io.Writer) error {
 	}
 
 	// Each measured run gets a fresh generator with the same seed, so
-	// admission-off and admission-on face byte-identical workloads.
+	// every phase of a comparison faces byte-identical workloads.
 	type phase struct {
 		name  string
 		admit bool
+		cfg   config // per-phase in-process server knobs
 	}
-	phases := []phase{{"run", cfg.admit}}
+	phases := []phase{{"run", cfg.admit, cfg}}
 	if cfg.compare {
-		phases = []phase{{"admit-off", false}, {"admit-on", true}}
+		phases = []phase{{"admit-off", false, cfg}, {"admit-on", true, cfg}}
+	}
+	if cfg.compareBatch {
+		// Identical workload, batching off (BatchMax 1 routes every kind to
+		// the general pool) then on. The result cache is forced off in BOTH
+		// phases: with a -keys pool, repeat keys would otherwise resolve as
+		// cache hits and never reach the batcher, flattering neither side.
+		off, on := cfg, cfg
+		off.batchMax, off.cache = 1, -1
+		on.batchMax, on.cache = cfg.batchMax, -1
+		phases = []phase{{"batch-off", cfg.admit, off}, {"batch-on", cfg.admit, on}}
 	}
 
 	gen := func(seed int64) *bodies {
@@ -626,7 +739,7 @@ func run(cfg config, stdout io.Writer) error {
 		stop := func() {}
 		if base == "" {
 			var err error
-			base, stop, err = inprocServer(cfg, ph.admit)
+			base, stop, err = inprocServer(ph.cfg, ph.admit)
 			if err != nil {
 				return err
 			}
@@ -641,6 +754,14 @@ func run(cfg config, stdout io.Writer) error {
 		rr := loadRun(base, cfg, ph.name, target, gen(cfg.seed))
 		if cfg.addr == "" {
 			rr.AdmitConfig = fmt.Sprintf("enabled=%v headroom=%g", ph.admit, cfg.admitHeadroom)
+			rr.BatchFlushes, rr.BatchOccupancyMean = scrapeBatching(base)
+		}
+		if cfg.compareBatch {
+			bm := ph.cfg.batchMax
+			if bm == 0 {
+				bm = 16 // serve.Config default
+			}
+			rr.BatchConfig = fmt.Sprintf("batch_max=%d cache=off", bm)
 		}
 		report.Runs = append(report.Runs, rr)
 		stop()

@@ -61,13 +61,16 @@ func TestKeyedBodiesPool(t *testing.T) {
 	a := newBodies(42, []string{"chain", "dtw"}, 2).keyed(50)
 	b := newBodies(42, []string{"chain", "dtw"}, 2).keyed(50)
 	for i := range a.pool {
-		if string(a.pool[i]) != string(b.pool[i]) {
+		if string(a.pool[i].raw) != string(b.pool[i].raw) {
 			t.Fatalf("pool entry %d differs across same-seed generators", i)
+		}
+		if a.pool[i].kind == "" {
+			t.Fatalf("pool entry %d has no kind tag", i)
 		}
 	}
 	seen := map[string]bool{}
 	for i := 0; i < 500; i++ {
-		seen[string(a.next())] = true
+		seen[string(a.next().raw)] = true
 	}
 	if len(seen) > 50 {
 		t.Fatalf("keyed generator produced %d distinct bodies, pool is 50", len(seen))
@@ -82,13 +85,16 @@ func TestKeyedBodiesPool(t *testing.T) {
 func TestBodiesAreValidSpecs(t *testing.T) {
 	gen := newBodies(7, []string{"graph", "chain", "nonserial"}, 3)
 	for i := 0; i < 30; i++ {
-		raw := gen.next()
+		body := gen.next()
 		var v map[string]any
-		if err := json.Unmarshal(raw, &v); err != nil {
-			t.Fatalf("body %d is not JSON: %v\n%s", i, err, raw)
+		if err := json.Unmarshal(body.raw, &v); err != nil {
+			t.Fatalf("body %d is not JSON: %v\n%s", i, err, body.raw)
 		}
 		if v["problem"] == "" {
-			t.Fatalf("body %d has no problem kind: %s", i, raw)
+			t.Fatalf("body %d has no problem kind: %s", i, body.raw)
+		}
+		if v["problem"] != body.kind {
+			t.Fatalf("body %d kind tag %q != wire problem %q", i, body.kind, v["problem"])
 		}
 	}
 }
@@ -166,6 +172,71 @@ func TestDploadScalingSmoke(t *testing.T) {
 		// X-Dpserve-Cache header must survive the proxy hop.
 		if rr.CacheHits == 0 {
 			t.Errorf("run %d: no cache hits observed through the router: %+v", i, rr)
+		}
+	}
+}
+
+// Batching comparison end to end: two phases (batch-off, batch-on) over
+// the identical keyed mixed-kind workload, per-kind goodput tallied, and
+// nonzero batch occupancy scraped for the batched kinds in the ON phase.
+func TestDploadCompareBatchSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	cfg, err := parseFlags([]string{
+		"-duration", "1500ms", "-rps", "120", "-conc", "16",
+		"-mix", "chain,dtw", "-keys", "48", "-compare-batch",
+		"-timeout", "2s", "-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(cfg, &sb); err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("artifact is not a Report: %v\n%s", err, raw)
+	}
+	if len(rep.Runs) != 2 {
+		t.Fatalf("report has %d runs, want 2 (batch-off, batch-on)", len(rep.Runs))
+	}
+	off, on := rep.Runs[0], rep.Runs[1]
+	if off.Name != "batch-off" || on.Name != "batch-on" {
+		t.Fatalf("phase names = %q, %q", off.Name, on.Name)
+	}
+	if !strings.Contains(off.BatchConfig, "batch_max=1") || !strings.Contains(on.BatchConfig, "batch_max=16") {
+		t.Errorf("batch provenance = %q / %q", off.BatchConfig, on.BatchConfig)
+	}
+	for _, rr := range rep.Runs {
+		if rr.Statuses["200"] == 0 {
+			t.Fatalf("%s: no successful traffic: %+v", rr.Name, rr)
+		}
+		// Cache is forced off in both phases: nothing may report a hit.
+		if rr.CacheHits != 0 {
+			t.Errorf("%s: cache hits with the cache disabled: %+v", rr.Name, rr)
+		}
+		for _, kind := range []string{"chain", "dtw"} {
+			if rr.OKByKind[kind] == 0 {
+				t.Errorf("%s: no per-kind goodput recorded for %s: %v", rr.Name, kind, rr.OKByKind)
+			}
+		}
+	}
+	// The OFF phase routes everything to the pool: no flushes at all.
+	if len(off.BatchFlushes) != 0 {
+		t.Errorf("batch-off phase recorded flushes: %v", off.BatchFlushes)
+	}
+	// The ON phase must show both batched kinds flowing through kernels.
+	for _, kind := range []string{"chain-batch", "dtw-batch"} {
+		if off.BatchOccupancyMean[kind] != 0 {
+			t.Errorf("batch-off shows %s occupancy", kind)
+		}
+		if on.BatchFlushes[kind] == 0 || on.BatchOccupancyMean[kind] < 1 {
+			t.Errorf("batch-on phase: %s flushes=%v occupancy=%v, want >=1",
+				kind, on.BatchFlushes[kind], on.BatchOccupancyMean[kind])
 		}
 	}
 }

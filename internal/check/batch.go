@@ -1,0 +1,196 @@
+package check
+
+import (
+	"fmt"
+
+	"systolicdp/internal/dtw"
+	"systolicdp/internal/matchain"
+	"systolicdp/internal/nonserial"
+)
+
+// batchSizes are the multi-instance widths the oracle exercises against
+// every batch kernel: the degenerate single-instance batch, the smallest
+// real batch, and a non-power-of-two that staggers bucket arithmetic.
+var batchSizes = []int{1, 2, 7}
+
+// checkDTWBatch cross-checks the stacked anti-diagonal sweep
+// (dtw.SweepBatch) against the sequential recurrence: every instance of
+// every batch width must match bitwise, results must not depend on the
+// instance order inside the batch, and the lattice symmetry
+// DTW(x,y) == DTW(y,x) must survive batching.
+func (c *checker) checkDTWBatch() {
+	x, y := c.inst.File.X, c.inst.File.Y
+	// Same-shape variants: rotate x so instances differ in values while
+	// sharing the (|x|, |y|) lattice the kernel buckets on.
+	variant := func(i int) dtw.Pair {
+		vx := make([]float64, len(x))
+		for j := range x {
+			vx[j] = x[(j+i)%len(x)]
+		}
+		return dtw.Pair{X: vx, Y: y}
+	}
+	for _, b := range batchSizes {
+		pairs := make([]dtw.Pair, b)
+		want := make([]float64, b)
+		for i := range pairs {
+			pairs[i] = variant(i)
+			seq, err := dtw.Sequential(pairs[i].X, pairs[i].Y, dtw.AbsDist)
+			if err != nil {
+				c.addf("result", "dtw-batch-baseline", "b=%d i=%d: %v", b, i, err)
+				return
+			}
+			want[i] = seq
+		}
+		dists, cycles, err := dtw.SweepBatch(pairs, dtw.AbsDist)
+		if err != nil {
+			c.addf("result", "dtw-batch", "b=%d: %v", b, err)
+			return
+		}
+		for i := range dists {
+			c.cmpScalar("result", fmt.Sprintf("dtw-sequential vs dtw-batch[b=%d,i=%d]", b, i), want[i], dists[i])
+		}
+		c.cmpInt("cycles", fmt.Sprintf("dtw-batch[b=%d] wall cycles vs B*n+m-1", b),
+			cycles, b*len(x)+len(y)-1)
+		// Order invariance: reversing the batch permutes the outputs and
+		// changes nothing else.
+		rev := make([]dtw.Pair, b)
+		for i := range rev {
+			rev[i] = pairs[b-1-i]
+		}
+		rdists, _, err := dtw.SweepBatch(rev, dtw.AbsDist)
+		if err != nil {
+			c.addf("result", "dtw-batch-reversed", "b=%d: %v", b, err)
+			return
+		}
+		for i := range rdists {
+			c.cmpScalar("result", fmt.Sprintf("dtw-batch order invariance [b=%d,i=%d]", b, i),
+				dists[b-1-i], rdists[i])
+		}
+	}
+	// Symmetry survives batching: a batched solve of the swapped pair
+	// agrees with the sequential solve of the original.
+	swapped, _, err := dtw.SweepBatch([]dtw.Pair{{X: y, Y: x}}, dtw.AbsDist)
+	if err != nil {
+		c.addf("result", "dtw-batch-swapped", "%v", err)
+		return
+	}
+	seq, err := dtw.Sequential(x, y, dtw.AbsDist)
+	if err == nil {
+		c.cmpScalar("result", "dtw-batch(y,x) vs dtw-sequential(x,y) symmetry", seq, swapped[0])
+	}
+}
+
+// checkChainBatch cross-checks the shared diagonal sweep
+// (matchain.WavefrontBatch) against the sequential DP: costs AND
+// parenthesizations must match bitwise per instance at every batch
+// width, independent of instance order.
+func (c *checker) checkChainBatch() {
+	dims := c.inst.File.Dims
+	// Same-length variants: rotating the dimension vector preserves the
+	// chain length n the kernel buckets on while changing every cost.
+	variant := func(i int) []int {
+		v := make([]int, len(dims))
+		for j := range dims {
+			v[j] = dims[(j+i)%len(dims)]
+		}
+		return v
+	}
+	for _, b := range batchSizes {
+		dimsList := make([][]int, b)
+		wantCost := make([]float64, b)
+		wantParen := make([]string, b)
+		for i := range dimsList {
+			dimsList[i] = variant(i)
+			tab, err := matchain.DP(dimsList[i])
+			if err != nil {
+				c.addf("result", "chain-batch-baseline", "b=%d i=%d: %v", b, i, err)
+				return
+			}
+			wantCost[i] = tab.OptimalCost()
+			wantParen[i] = tab.Parenthesization()
+		}
+		tabs, _, err := matchain.WavefrontBatch(dimsList)
+		if err != nil {
+			c.addf("result", "chain-batch", "b=%d: %v", b, err)
+			return
+		}
+		for i, tab := range tabs {
+			c.cmpScalar("result", fmt.Sprintf("chain-dp vs chain-batch[b=%d,i=%d]", b, i),
+				wantCost[i], tab.OptimalCost())
+			c.combos++
+			if got := tab.Parenthesization(); got != wantParen[i] {
+				c.addf("result", fmt.Sprintf("chain-dp vs chain-batch[b=%d,i=%d]", b, i),
+					"parenthesization %q != %q", got, wantParen[i])
+			}
+		}
+		rev := make([][]int, b)
+		for i := range rev {
+			rev[i] = dimsList[b-1-i]
+		}
+		rtabs, _, err := matchain.WavefrontBatch(rev)
+		if err != nil {
+			c.addf("result", "chain-batch-reversed", "b=%d: %v", b, err)
+			return
+		}
+		for i := range rtabs {
+			c.cmpScalar("result", fmt.Sprintf("chain-batch order invariance [b=%d,i=%d]", b, i),
+				tabs[b-1-i].OptimalCost(), rtabs[i].OptimalCost())
+		}
+	}
+}
+
+// checkNonserialBatch cross-checks lockstep batched elimination
+// (nonserial.EliminateBatch) against per-instance Eliminate: bitwise
+// costs, the exact eq-(40) step total, and order invariance.
+func (c *checker) checkNonserialBatch(ch *nonserial.Chain3) {
+	// Same-profile variants: shift every domain value by the instance
+	// index — domain SIZES (the bucket shape) are untouched, the cost
+	// surface moves.
+	variant := func(i int) *nonserial.Chain3 {
+		doms := make([][]float64, len(ch.Domains))
+		for d, vals := range ch.Domains {
+			doms[d] = make([]float64, len(vals))
+			for j, v := range vals {
+				doms[d][j] = v + float64(i)
+			}
+		}
+		return &nonserial.Chain3{Domains: doms, G: ch.G}
+	}
+	for _, b := range batchSizes {
+		chains := make([]*nonserial.Chain3, b)
+		want := make([]float64, b)
+		wantSteps := 0
+		for i := range chains {
+			chains[i] = variant(i)
+			seq, steps, err := chains[i].Eliminate()
+			if err != nil {
+				c.addf("result", "ns-batch-baseline", "b=%d i=%d: %v", b, i, err)
+				return
+			}
+			want[i] = seq
+			wantSteps += steps
+		}
+		costs, steps, err := nonserial.EliminateBatch(chains)
+		if err != nil {
+			c.addf("result", "ns-batch", "b=%d: %v", b, err)
+			return
+		}
+		for i := range costs {
+			c.cmpScalar("result", fmt.Sprintf("ns-eliminate vs ns-batch[b=%d,i=%d]", b, i), want[i], costs[i])
+		}
+		c.cmpInt("invariant", fmt.Sprintf("ns-batch[b=%d] steps vs sum of eq(40)", b), steps, wantSteps)
+		rev := make([]*nonserial.Chain3, b)
+		for i := range rev {
+			rev[i] = chains[b-1-i]
+		}
+		rcosts, _, err := nonserial.EliminateBatch(rev)
+		if err != nil {
+			c.addf("result", "ns-batch-reversed", "b=%d: %v", b, err)
+			return
+		}
+		for i := range rcosts {
+			c.cmpScalar("result", fmt.Sprintf("ns-batch order invariance [b=%d,i=%d]", b, i),
+				costs[b-1-i], rcosts[i])
+		}
+	}
+}

@@ -668,6 +668,7 @@ func (c *checker) checkDTW() {
 	if err == nil {
 		c.cmpScalar("result", "dtw(x,y) vs dtw(y,x) symmetry", seq, sym)
 	}
+	c.checkDTWBatch()
 }
 
 // checkChain cross-checks the chain-ordering DP against the concurrent
@@ -717,6 +718,7 @@ func (c *checker) checkChain(workers []int) {
 			c.cmpScalar("result", "chain-dp vs "+name, best, tr.Cost)
 		}
 	}
+	c.checkChainBatch()
 }
 
 // checkNonserial cross-checks direct elimination of the ternary chain
@@ -744,6 +746,7 @@ func (c *checker) checkNonserial(workers []int) {
 		return
 	}
 	c.cmpInt("invariant", "ns-eliminate steps vs eq(40)", steps, ch.StepsEq40())
+	c.checkNonserialBatch(ch)
 	total := 1
 	for _, d := range ch.Domains {
 		total *= len(d)

@@ -3,9 +3,13 @@ package core
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"systolicdp/internal/dtw"
+	"systolicdp/internal/matchain"
+	papermetrics "systolicdp/internal/metrics"
 	"systolicdp/internal/multistage"
+	"systolicdp/internal/nonserial"
 	"systolicdp/internal/pipearray"
 	"systolicdp/internal/semiring"
 )
@@ -107,14 +111,17 @@ func SolveGraphBatch(gs []*multistage.Graph) ([]*Solution, error) {
 	return sols, err
 }
 
-// BatchStats reports the engine-side measurements of one streamed batch
-// run: the wall-cycle count, the compute-phase worker count the lock-step
-// engine used after threshold gating, and the measured processor
-// utilization (the paper's PU, observed through the serving path).
+// BatchStats reports the engine-side measurements of one batch run: the
+// model wall-cycle count, the compute-phase worker count the lock-step
+// engine used after threshold gating (1 for the software wavefront
+// kernels), the measured processor utilization (the paper's PU, observed
+// through the serving path), and — where the paper has a closed form for
+// the shape — the predicted PU to chart next to the measurement.
 type BatchStats struct {
 	Cycles      int
 	Workers     int
 	Utilization float64
+	PUExpected  float64 // 0 when the kind has no closed-form prediction
 }
 
 // SolveGraphBatchParallel is SolveGraphBatch with the lock-step engine's
@@ -148,6 +155,9 @@ func SolveGraphBatchParallel(gs []*multistage.Graph, parallelism, threshold int)
 		Cycles:      res.Cycles,
 		Workers:     st.LockstepWorkers(),
 		Utilization: res.Utilization(),
+		// Eq. (9) closed-form PU for this stream's shape: n = K'+1 stages of
+		// m-vectors.
+		PUExpected: papermetrics.PUEq9(len(problems[0].Ms)+1, len(problems[0].V)),
 	}
 	mp := semiring.MinPlus{}
 	class := Class{Monadic, Serial}
@@ -158,6 +168,238 @@ func SolveGraphBatchParallel(gs []*multistage.Graph, parallelism, threshold int)
 			Method: Recommend(class).Method,
 			Cost:   semiring.Fold(mp, out),
 		}
+	}
+	return sols, stats, nil
+}
+
+// BatchKernel is one problem kind's batched solver: the serving tier's
+// shape-bucketed scheduler groups concurrent problems by (Kind, Shape)
+// and hands each bucket to its kernel in one shared run. Implementations
+// must be bitwise identical per instance to the kind's sequential engine
+// (the differential checker enforces this), and must not let one
+// instance's values affect another's.
+type BatchKernel interface {
+	// Kind names the kernel's execution path. It doubles as the admission
+	// cost-model calibration key for batched work, so it must differ from
+	// the kind EstimateCost assigns the general-pool path whenever the two
+	// paths have different service rates.
+	Kind() string
+	// Shape returns the batch-compatibility bucket for p: problems this
+	// kernel accepts with equal shape strings may share one run. ok=false
+	// means p is not batchable by this kernel.
+	Shape(p Problem) (shape string, ok bool)
+	// Solve runs the whole batch in one shared sweep, returning one
+	// Solution per problem in order. parallelism/threshold are the
+	// lock-step engine knobs; kernels without an engine ignore them.
+	Solve(ps []Problem, parallelism, threshold int) ([]*Solution, *BatchStats, error)
+}
+
+// BatchKernels returns the kernel set in serving priority order. The
+// first kernel whose Shape accepts a problem owns it; kinds without a
+// kernel (nodevalued, matrixstring) stay on the general pool.
+func BatchKernels() []BatchKernel {
+	return []BatchKernel{
+		GraphStreamKernel{},
+		DTWKernel{},
+		ChainKernel{},
+		NonserialKernel{},
+	}
+}
+
+// GraphStreamKernel batches Design-1 multistage graphs through the
+// streamed pipelined array (SolveGraphBatchParallel): B same-shape
+// instances share one pipeline fill, B·K'·m + m − 1 cycles total.
+type GraphStreamKernel struct{}
+
+// Kind names the Design-1 stream path.
+func (GraphStreamKernel) Kind() string { return "graph-stream" }
+
+// Shape returns the FULL per-matrix dimension profile of the stream
+// decomposition — every cost matrix's rows×cols plus the vector length —
+// not just (m, k, rows[0]): two specs can agree on vector length, matrix
+// count and first-stage rows yet still disagree on later-stage
+// dimensions, and co-batching those would feed pipearray.NewStream a
+// mixed-shape batch that fails as a whole.
+func (GraphStreamKernel) Shape(p Problem) (string, bool) {
+	mp, ok := p.(*MultistageProblem)
+	if !ok || mp.Design != 1 {
+		return "", false
+	}
+	sp, err := StreamProblemFromGraph(mp.Graph)
+	if err != nil {
+		return "", false
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "v%d", len(sp.V))
+	for _, m := range sp.Ms {
+		fmt.Fprintf(&b, ";%dx%d", m.Rows, m.Cols)
+	}
+	return b.String(), true
+}
+
+// Solve streams the batch through the pipelined array.
+func (GraphStreamKernel) Solve(ps []Problem, parallelism, threshold int) ([]*Solution, *BatchStats, error) {
+	gs := make([]*multistage.Graph, len(ps))
+	for i, p := range ps {
+		mp, ok := p.(*MultistageProblem)
+		if !ok {
+			return nil, nil, fmt.Errorf("core: graph-stream kernel got %T", p)
+		}
+		gs[i] = mp.Graph
+	}
+	return SolveGraphBatchParallel(gs, parallelism, threshold)
+}
+
+// DTWKernel batches same-shape DTW instances with one anti-diagonal
+// wavefront over the stacked lattices (dtw.SweepBatch).
+type DTWKernel struct{}
+
+// Kind names the batched DTW path.
+func (DTWKernel) Kind() string { return "dtw-batch" }
+
+// Shape buckets by (|x|, |y|) — the full lattice shape.
+func (DTWKernel) Shape(p Problem) (string, bool) {
+	q, ok := p.(*DTWProblem)
+	if !ok || len(q.X) == 0 || len(q.Y) == 0 {
+		return "", false
+	}
+	return fmt.Sprintf("x%d;y%d", len(q.X), len(q.Y)), true
+}
+
+// Solve sweeps the stacked lattices.
+func (DTWKernel) Solve(ps []Problem, _, _ int) ([]*Solution, *BatchStats, error) {
+	pairs := make([]dtw.Pair, len(ps))
+	for i, p := range ps {
+		q, ok := p.(*DTWProblem)
+		if !ok {
+			return nil, nil, fmt.Errorf("core: dtw kernel got %T", p)
+		}
+		pairs[i] = dtw.Pair{X: q.X, Y: q.Y}
+	}
+	dists, cycles, err := dtw.SweepBatch(pairs, dtw.AbsDist)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, m := len(pairs[0].X), len(pairs[0].Y)
+	stats := &BatchStats{
+		Cycles:  cycles,
+		Workers: 1,
+		// Stream-model PU of m PEs over B·n+m−1 cycles doing B·n useful
+		// updates each: fill amortization pushes this toward 1 as B grows.
+		Utilization: float64(len(ps)*n) / float64(cycles),
+	}
+	class := Class{Monadic, Serial}
+	sols := make([]*Solution, len(ps))
+	for i, d := range dists {
+		sols[i] = &Solution{Class: class, Method: Recommend(class).Method, Cost: d}
+	}
+	_ = m
+	return sols, stats, nil
+}
+
+// ChainKernel batches same-length matrix-chain ordering instances with
+// one shared diagonal wavefront (matchain.WavefrontBatch).
+type ChainKernel struct{}
+
+// Kind names the batched chain path.
+func (ChainKernel) Kind() string { return "chain-batch" }
+
+// Shape buckets by chain length.
+func (ChainKernel) Shape(p Problem) (string, bool) {
+	q, ok := p.(*ChainOrderingProblem)
+	if !ok || len(q.Dims) < 2 {
+		return "", false
+	}
+	return fmt.Sprintf("n%d", len(q.Dims)-1), true
+}
+
+// Solve fills the stacked tables wave by wave.
+func (ChainKernel) Solve(ps []Problem, _, _ int) ([]*Solution, *BatchStats, error) {
+	dimsList := make([][]int, len(ps))
+	for i, p := range ps {
+		q, ok := p.(*ChainOrderingProblem)
+		if !ok {
+			return nil, nil, fmt.Errorf("core: chain kernel got %T", p)
+		}
+		dimsList[i] = q.Dims
+	}
+	tabs, cycles, err := matchain.WavefrontBatch(dimsList)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := tabs[0].N
+	stats := &BatchStats{
+		Cycles:  cycles,
+		Workers: 1,
+		// Proposition-3 stream model: B·(n−1) useful waves out of
+		// B·(n−1)+(n−1) ripple cycles, → B/(B+1).
+		Utilization: float64(len(ps)) / float64(len(ps)+1),
+	}
+	if n < 2 {
+		stats.Utilization = 1
+	}
+	class := Class{Polyadic, Nonserial}
+	sols := make([]*Solution, len(ps))
+	for i, tab := range tabs {
+		sols[i] = &Solution{
+			Class:    class,
+			Method:   Recommend(class).Method,
+			Cost:     tab.OptimalCost(),
+			Ordering: tab.Parenthesization(),
+		}
+	}
+	return sols, stats, nil
+}
+
+// NonserialKernel batches same-profile ternary chains through lockstep
+// variable elimination (nonserial.EliminateBatch).
+type NonserialKernel struct{}
+
+// Kind names the batched elimination path.
+func (NonserialKernel) Kind() string { return "nonserial-batch" }
+
+// Shape buckets by the full domain-size profile.
+func (NonserialKernel) Shape(p Problem) (string, bool) {
+	q, ok := p.(*NonserialChainProblem)
+	if !ok || q.Chain == nil || q.Chain.Validate() != nil {
+		return "", false
+	}
+	var b strings.Builder
+	b.WriteString("d")
+	for i, d := range q.Chain.Domains {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", len(d))
+	}
+	return b.String(), true
+}
+
+// Solve eliminates all chains in lockstep.
+func (NonserialKernel) Solve(ps []Problem, _, _ int) ([]*Solution, *BatchStats, error) {
+	chains := make([]*nonserial.Chain3, len(ps))
+	for i, p := range ps {
+		q, ok := p.(*NonserialChainProblem)
+		if !ok {
+			return nil, nil, fmt.Errorf("core: nonserial kernel got %T", p)
+		}
+		chains[i] = q.Chain
+	}
+	costs, steps, err := nonserial.EliminateBatch(chains)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &BatchStats{
+		Cycles:  steps,
+		Workers: 1,
+		// Elimination has no pipeline fill: every step is a useful table
+		// update, so the sweep itself runs at full utilization.
+		Utilization: 1,
+	}
+	class := Class{Monadic, Nonserial}
+	sols := make([]*Solution, len(ps))
+	for i, c := range costs {
+		sols[i] = &Solution{Class: class, Method: Recommend(class).Method, Cost: c}
 	}
 	return sols, stats, nil
 }

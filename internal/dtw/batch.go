@@ -1,0 +1,93 @@
+package dtw
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pair is one DTW instance of a multi-instance batch: query series X
+// matched against reference series Y.
+type Pair struct {
+	X, Y []float64
+}
+
+// SweepBatch computes the DTW distance of B same-shape instances with ONE
+// anti-diagonal wavefront swept over the stacked |x|×|y| lattices — the
+// multi-instance pipelining trick of the GPU-DP paper (PAPERS.md): since
+// every lattice shares the wavefront schedule, stacking B instances turns
+// B pipeline fills into one. All pairs must share len(X) and len(Y); a
+// mismatched pair fails the whole batch (shape bucketing upstream keeps
+// mismatches out of one batch).
+//
+// Per instance the cell updates are EXACTLY Sequential's float64
+// operations in a different evaluation order — the recurrence has no
+// cross-cell arithmetic reassociation — so results are bitwise identical
+// to Sequential (and therefore to the systolic Array, which the
+// differential checker pins to Sequential).
+//
+// The returned cycle count is the Design-1-style stream model for a
+// linear array of m PEs: the B stacked lattices stream their B·n query
+// rows back to back through one pipeline, so the batch occupies the
+// array for B·n + m − 1 cycles instead of B·(n + m − 1) — the fill is
+// paid once.
+func SweepBatch(pairs []Pair, d Dist) (dists []float64, cycles int, err error) {
+	if len(pairs) == 0 {
+		return nil, 0, fmt.Errorf("dtw: empty batch")
+	}
+	if d == nil {
+		d = AbsDist
+	}
+	n, m := len(pairs[0].X), len(pairs[0].Y)
+	for i, p := range pairs {
+		if len(p.X) == 0 || len(p.Y) == 0 {
+			return nil, 0, fmt.Errorf("dtw: batch instance %d has an empty series", i)
+		}
+		if len(p.X) != n || len(p.Y) != m {
+			return nil, 0, fmt.Errorf("dtw: batch instance %d is %dx%d, batch shape is %dx%d",
+				i, len(p.X), len(p.Y), n, m)
+		}
+	}
+	b := len(pairs)
+	// Three rolling anti-diagonal buffers per instance, indexed by lattice
+	// row i: cur is diagonal t (cells i+j = t), prev is t-1, prev2 is t-2.
+	// Cell (i,j) reads up = prev[i-1] (= D(i-1,j)), left = prev[i]
+	// (= D(i,j-1)) and diag = prev2[i-1] (= D(i-1,j-1)).
+	prev2 := make([]float64, b*n)
+	prev := make([]float64, b*n)
+	cur := make([]float64, b*n)
+	for t := 0; t < n+m-1; t++ {
+		lo := t - m + 1
+		if lo < 0 {
+			lo = 0
+		}
+		hi := t
+		if hi > n-1 {
+			hi = n - 1
+		}
+		for q, p := range pairs {
+			base := q * n
+			for i := lo; i <= hi; i++ {
+				j := t - i
+				c := d(p.X[i], p.Y[j])
+				switch {
+				case i == 0 && j == 0:
+					cur[base+i] = c
+				case i == 0:
+					cur[base+i] = c + prev[base+i] // D(0, j-1)
+				case j == 0:
+					cur[base+i] = c + prev[base+i-1] // D(i-1, 0)
+				default:
+					cur[base+i] = c + math.Min(prev[base+i-1], math.Min(prev[base+i], prev2[base+i-1]))
+				}
+			}
+		}
+		prev2, prev, cur = prev, cur, prev2
+	}
+	// After the final rotation prev holds the last diagonal, which contains
+	// only the corner cell (n-1, m-1).
+	dists = make([]float64, b)
+	for q := range pairs {
+		dists[q] = prev[q*n+n-1]
+	}
+	return dists, b*n + m - 1, nil
+}

@@ -1,0 +1,92 @@
+package dtw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randSeries(rng *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = math.Floor(rng.Float64()*20) - 10 // integer-valued: sums stay exact
+	}
+	return s
+}
+
+// The batched sweep must be bitwise identical to the sequential DP for
+// every instance, at several batch sizes and lattice shapes (including
+// degenerate 1×m and n×1 lattices).
+func TestSweepBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	shapes := [][2]int{{1, 1}, {1, 5}, {5, 1}, {2, 3}, {7, 7}, {13, 6}, {4, 19}}
+	for _, sh := range shapes {
+		n, m := sh[0], sh[1]
+		for _, b := range []int{1, 2, 7} {
+			pairs := make([]Pair, b)
+			for q := range pairs {
+				pairs[q] = Pair{X: randSeries(rng, n), Y: randSeries(rng, m)}
+			}
+			dists, cycles, err := SweepBatch(pairs, AbsDist)
+			if err != nil {
+				t.Fatalf("SweepBatch(n=%d m=%d b=%d): %v", n, m, b, err)
+			}
+			if want := b*n + m - 1; cycles != want {
+				t.Fatalf("n=%d m=%d b=%d: cycles = %d, want stream model %d", n, m, b, cycles, want)
+			}
+			for q, p := range pairs {
+				seq, err := Sequential(p.X, p.Y, AbsDist)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dists[q] != seq {
+					t.Fatalf("n=%d m=%d b=%d instance %d: batch %v != sequential %v", n, m, b, q, dists[q], seq)
+				}
+			}
+		}
+	}
+}
+
+// Batch order must not affect any instance's answer.
+func TestSweepBatchOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pairs := make([]Pair, 5)
+	for q := range pairs {
+		pairs[q] = Pair{X: randSeries(rng, 6), Y: randSeries(rng, 9)}
+	}
+	fwd, _, err := SweepBatch(pairs, AbsDist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := make([]Pair, len(pairs))
+	for q := range pairs {
+		rev[q] = pairs[len(pairs)-1-q]
+	}
+	back, _, err := SweepBatch(rev, AbsDist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := range pairs {
+		if fwd[q] != back[len(pairs)-1-q] {
+			t.Fatalf("instance %d: %v forward vs %v reversed", q, fwd[q], back[len(pairs)-1-q])
+		}
+	}
+}
+
+func TestSweepBatchRejectsMismatchedShapes(t *testing.T) {
+	_, _, err := SweepBatch([]Pair{
+		{X: []float64{1, 2}, Y: []float64{3}},
+		{X: []float64{1, 2, 3}, Y: []float64{3}},
+	}, nil)
+	if err == nil {
+		t.Fatal("mismatched |x| accepted")
+	}
+	_, _, err = SweepBatch(nil, nil)
+	if err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	_, _, err = SweepBatch([]Pair{{X: nil, Y: []float64{1}}}, nil)
+	if err == nil {
+		t.Fatal("empty series accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package matchain
+
+import (
+	"fmt"
+	"math"
+)
+
+// WavefrontBatch fills B same-length chain tables with ONE shared
+// diagonal wavefront: wave s evaluates every size-s subproblem of every
+// instance before any instance advances to size s+1, the stacked-lattice
+// form of the Guibas-Kung-Thompson sweep (one triangular array, B tables
+// resident). All dims vectors must share their length; a mismatch fails
+// the whole batch.
+//
+// Per instance the cell updates are exactly DP's float64 operations (same
+// k scan order, same strict-< argmin), so Cost and Split are bitwise
+// identical to DP — only the interleaving across instances differs.
+//
+// The returned cycle count is the streamed Proposition-3 model: one
+// instance completes in T_p(N) = 2(n-1) ripple cycles (fill n-1 plus
+// drain n-1), and a following instance can enter one wave behind the
+// previous one, so B stacked instances finish in B·(n−1) + (n−1) cycles
+// instead of B·2(n−1) — the fill is paid once.
+func WavefrontBatch(dimsList [][]int) (tables []*Table, cycles int, err error) {
+	if len(dimsList) == 0 {
+		return nil, 0, fmt.Errorf("matchain: empty batch")
+	}
+	b := len(dimsList)
+	tables = make([]*Table, b)
+	var n int
+	for q, dims := range dimsList {
+		nq, err := validDims(dims)
+		if err != nil {
+			return nil, 0, fmt.Errorf("matchain: batch instance %d: %v", q, err)
+		}
+		if q == 0 {
+			n = nq
+		} else if nq != n {
+			return nil, 0, fmt.Errorf("matchain: batch instance %d has n=%d, batch shape is n=%d", q, nq, n)
+		}
+		t := &Table{N: nq, Dims: append([]int(nil), dims...)}
+		t.Cost = make([][]float64, nq)
+		t.Split = make([][]int, nq)
+		for i := range t.Cost {
+			t.Cost[i] = make([]float64, nq)
+			t.Split[i] = make([]int, nq)
+			for j := range t.Split[i] {
+				t.Split[i][j] = -1
+			}
+		}
+		tables[q] = t
+	}
+	for s := 2; s <= n; s++ {
+		for q, t := range tables {
+			dims := dimsList[q]
+			for i := 0; i+s-1 < n; i++ {
+				j := i + s - 1
+				best, arg := math.Inf(1), -1
+				for k := i; k < j; k++ {
+					c := t.Cost[i][k] + t.Cost[k+1][j] + float64(dims[i]*dims[k+1]*dims[j+1])
+					if c < best {
+						best, arg = c, k
+					}
+				}
+				t.Cost[i][j] = best
+				t.Split[i][j] = arg
+			}
+		}
+	}
+	if n < 2 {
+		// A single-matrix chain has no waves; the model still charges one
+		// cycle per instance for the trivial answer.
+		return tables, b, nil
+	}
+	return tables, b*(n-1) + (n - 1), nil
+}

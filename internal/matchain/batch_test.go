@@ -1,0 +1,88 @@
+package matchain
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randDims(rng *rand.Rand, n int) []int {
+	dims := make([]int, n+1)
+	for i := range dims {
+		dims[i] = 1 + rng.Intn(12)
+	}
+	return dims
+}
+
+// Batched tables must equal DP's bitwise — Cost and Split both, since the
+// serving path renders the parenthesisation from Split.
+func TestWavefrontBatchMatchesDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{1, 2, 3, 8, 15} {
+		for _, b := range []int{1, 2, 7} {
+			dimsList := make([][]int, b)
+			for q := range dimsList {
+				dimsList[q] = randDims(rng, n)
+			}
+			tabs, cycles, err := WavefrontBatch(dimsList)
+			if err != nil {
+				t.Fatalf("WavefrontBatch(n=%d b=%d): %v", n, b, err)
+			}
+			wantCycles := b
+			if n >= 2 {
+				wantCycles = b*(n-1) + (n - 1)
+			}
+			if cycles != wantCycles {
+				t.Fatalf("n=%d b=%d: cycles = %d, want %d", n, b, cycles, wantCycles)
+			}
+			for q, dims := range dimsList {
+				ref, err := DP(dims)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := tabs[q].OptimalCost(), ref.OptimalCost(); got != want {
+					t.Fatalf("n=%d b=%d instance %d: cost %v != DP %v", n, b, q, got, want)
+				}
+				if got, want := tabs[q].Parenthesization(), ref.Parenthesization(); got != want {
+					t.Fatalf("n=%d b=%d instance %d: ordering %q != DP %q", n, b, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestWavefrontBatchOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	dimsList := make([][]int, 5)
+	for q := range dimsList {
+		dimsList[q] = randDims(rng, 6)
+	}
+	fwd, _, err := WavefrontBatch(dimsList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := make([][]int, len(dimsList))
+	for q := range dimsList {
+		rev[q] = dimsList[len(dimsList)-1-q]
+	}
+	back, _, err := WavefrontBatch(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := range dimsList {
+		if fwd[q].OptimalCost() != back[len(dimsList)-1-q].OptimalCost() {
+			t.Fatalf("instance %d: cost differs under batch reordering", q)
+		}
+	}
+}
+
+func TestWavefrontBatchRejectsMismatchedShapes(t *testing.T) {
+	if _, _, err := WavefrontBatch([][]int{{2, 3, 4}, {2, 3, 4, 5}}); err == nil {
+		t.Fatal("mismatched chain lengths accepted")
+	}
+	if _, _, err := WavefrontBatch(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, _, err := WavefrontBatch([][]int{{2, 0, 4}}); err == nil {
+		t.Fatal("invalid dims accepted")
+	}
+}

@@ -1,0 +1,93 @@
+package nonserial
+
+import (
+	"fmt"
+	"math"
+)
+
+// EliminateBatch runs the multistage elimination of equations (37)-(39)
+// over B chains in lockstep: one shared pass per eliminated variable,
+// with every instance's h-table advanced before any instance moves to
+// the next variable — the batched form of Eliminate that a shape-bucketed
+// scheduler feeds. All chains must share the domain-size profile
+// (len(Domains) and each len(Domains[k])); a mismatch fails the whole
+// batch. Cost functions stay per-instance, so chains that share shape but
+// not weights co-batch freely.
+//
+// Per instance the table updates are exactly Eliminate's float64
+// operations in the same order, so costs are bitwise identical to
+// Eliminate. steps is the total measured step count, Σ StepsEq40 across
+// the batch (elimination has no pipeline fill to amortize; batching here
+// buys scheduler amortization, not cycle count).
+func EliminateBatch(chains []*Chain3) (costs []float64, steps int, err error) {
+	if len(chains) == 0 {
+		return nil, 0, fmt.Errorf("nonserial: empty batch")
+	}
+	profile := chains[0].Domains
+	for q, c := range chains {
+		if err := c.Validate(); err != nil {
+			return nil, 0, fmt.Errorf("nonserial: batch instance %d: %v", q, err)
+		}
+		if len(c.Domains) != len(profile) {
+			return nil, 0, fmt.Errorf("nonserial: batch instance %d has %d variables, batch shape has %d",
+				q, len(c.Domains), len(profile))
+		}
+		for k := range c.Domains {
+			if len(c.Domains[k]) != len(profile[k]) {
+				return nil, 0, fmt.Errorf("nonserial: batch instance %d domain %d has %d values, batch shape has %d",
+					q, k, len(c.Domains[k]), len(profile[k]))
+			}
+		}
+	}
+	b := len(chains)
+	n := len(profile)
+	// One h-table per instance over (V_{k+1}, V_{k+2}); initially zero over
+	// (V_0, V_1), exactly Eliminate's initialization.
+	hs := make([][][]float64, b)
+	for q, c := range chains {
+		h := make([][]float64, len(c.Domains[0]))
+		for a := range h {
+			h[a] = make([]float64, len(c.Domains[1]))
+		}
+		hs[q] = h
+	}
+	for k := 0; k+2 < n; k++ {
+		for q, c := range chains {
+			da, db, dc := c.Domains[k], c.Domains[k+1], c.Domains[k+2]
+			nh := make([][]float64, len(db))
+			for bi := range nh {
+				nh[bi] = make([]float64, len(dc))
+				for cc := range nh[bi] {
+					nh[bi][cc] = math.Inf(1)
+				}
+			}
+			h := hs[q]
+			for a := range da {
+				for bi := range db {
+					for cc := range dc {
+						cand := h[a][bi] + c.G(da[a], db[bi], dc[cc])
+						if cand < nh[bi][cc] {
+							nh[bi][cc] = cand
+						}
+						steps++
+					}
+				}
+			}
+			hs[q] = nh
+		}
+	}
+	costs = make([]float64, b)
+	for q := range chains {
+		cost := math.Inf(1)
+		for bi := range hs[q] {
+			for cc := range hs[q][bi] {
+				if hs[q][bi][cc] < cost {
+					cost = hs[q][bi][cc]
+				}
+				steps++
+			}
+		}
+		costs[q] = cost
+	}
+	return costs, steps, nil
+}

@@ -1,0 +1,79 @@
+package nonserial
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Batched elimination must be bitwise identical to Eliminate per
+// instance, and the total step count must be the sum of the per-instance
+// eq-(40) counts.
+func TestEliminateBatchMatchesEliminate(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, nv := range []int{3, 4, 6} {
+		for _, b := range []int{1, 2, 7} {
+			chains := make([]*Chain3, b)
+			wantSteps := 0
+			for q := range chains {
+				chains[q] = RandomChain3(rand.New(rand.NewSource(rng.Int63())), nv, 3, -5, 5)
+				wantSteps += chains[q].StepsEq40()
+			}
+			costs, steps, err := EliminateBatch(chains)
+			if err != nil {
+				t.Fatalf("EliminateBatch(N=%d b=%d): %v", nv, b, err)
+			}
+			if steps != wantSteps {
+				t.Fatalf("N=%d b=%d: steps = %d, want Σ eq(40) = %d", nv, b, steps, wantSteps)
+			}
+			for q, c := range chains {
+				ref, _, err := c.Eliminate()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if costs[q] != ref {
+					t.Fatalf("N=%d b=%d instance %d: batch %v != Eliminate %v", nv, b, q, costs[q], ref)
+				}
+			}
+		}
+	}
+}
+
+func TestEliminateBatchOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	chains := make([]*Chain3, 5)
+	for q := range chains {
+		chains[q] = RandomChain3(rand.New(rand.NewSource(rng.Int63())), 4, 3, -5, 5)
+	}
+	fwd, _, err := EliminateBatch(chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := make([]*Chain3, len(chains))
+	for q := range chains {
+		rev[q] = chains[len(chains)-1-q]
+	}
+	back, _, err := EliminateBatch(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := range chains {
+		if fwd[q] != back[len(chains)-1-q] {
+			t.Fatalf("instance %d: cost differs under batch reordering", q)
+		}
+	}
+}
+
+func TestEliminateBatchRejectsMismatchedShapes(t *testing.T) {
+	a := RandomChain3(rand.New(rand.NewSource(1)), 4, 3, -5, 5)
+	bb := RandomChain3(rand.New(rand.NewSource(2)), 4, 2, -5, 5)
+	if _, _, err := EliminateBatch([]*Chain3{a, bb}); err == nil {
+		t.Fatal("mismatched domain sizes accepted")
+	}
+	c := RandomChain3(rand.New(rand.NewSource(3)), 5, 3, -5, 5)
+	if _, _, err := EliminateBatch([]*Chain3{a, c}); err == nil {
+		t.Fatal("mismatched variable counts accepted")
+	}
+	if _, _, err := EliminateBatch(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}

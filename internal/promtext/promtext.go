@@ -212,3 +212,72 @@ func formatBound(b float64) string {
 	}
 	return fmt.Sprintf("%g", b)
 }
+
+// HistogramVec is one labeled histogram family: a set of histograms
+// sharing bucket bounds, keyed by the value of a single label (problem
+// kind). All label values share one # TYPE line; each renders its own
+// _bucket/_sum/_count series with the vec label ahead of le, and values
+// are created on first touch and rendered sorted, so the exposition
+// stays deterministic.
+type HistogramVec struct {
+	label  string
+	bounds []float64
+	mu     sync.Mutex
+	m      map[string]*Histogram
+}
+
+// NewHistogramVec builds a histogram family over the given label name and
+// ascending bucket bounds.
+func NewHistogramVec(label string, bounds ...float64) *HistogramVec {
+	return &HistogramVec{label: label, bounds: bounds, m: make(map[string]*Histogram)}
+}
+
+// With returns the histogram for one label value, creating it if new.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.m[value]
+	if !ok {
+		h = NewHistogram(v.bounds...)
+		v.m[value] = h
+	}
+	return h
+}
+
+// Write renders the family: one # TYPE line, then each label value's
+// _bucket/_sum/_count series in sorted label order. An empty family still
+// declares its TYPE so scrapers see a stable family set.
+func (v *HistogramVec) Write(w io.Writer, name string) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.m))
+	for k := range v.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	hists := make([]*Histogram, len(keys))
+	for i, k := range keys {
+		hists[i] = v.m[k]
+	}
+	label := v.label
+	v.mu.Unlock()
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	for i, k := range keys {
+		hists[i].writeLabeled(w, name, label, k)
+	}
+}
+
+// writeLabeled renders one histogram's series with an extra leading
+// label and no # TYPE line (the owning vec already declared the family).
+func (h *Histogram) writeLabeled(w io.Writer, name, label, value string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", name, label, value, formatBound(b), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, value, cum)
+	fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", name, label, value, h.sum)
+	fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, value, h.count)
+}

@@ -147,3 +147,53 @@ func TestWritersRoundTripThroughParse(t *testing.T) {
 		t.Errorf("histogram series: %d buckets, %d sum, %d count", bucket, sum, count)
 	}
 }
+
+func TestHistogramVecWriteRoundTrips(t *testing.T) {
+	v := NewHistogramVec("kind", 1, 2, 4)
+	v.With("dtw").Observe(1)
+	v.With("dtw").Observe(3)
+	v.With("chain").Observe(2)
+	var b strings.Builder
+	v.Write(&b, "occ")
+	fams, err := Parse(b.String())
+	if err != nil {
+		t.Fatalf("Lint rejected HistogramVec exposition: %v\n%s", err, b.String())
+	}
+	f := fams["occ"]
+	if f == nil || f.Type != "histogram" {
+		t.Fatalf("occ family missing or wrong type: %+v", f)
+	}
+	// 4 buckets (3 finite + Inf) + sum + count per label value.
+	if len(f.Samples) != 2*6 {
+		t.Fatalf("got %d samples, want 12:\n%s", len(f.Samples), b.String())
+	}
+	counts := map[string]float64{}
+	sums := map[string]float64{}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case "occ_count":
+			counts[s.Labels["kind"]] = s.Value
+		case "occ_sum":
+			sums[s.Labels["kind"]] = s.Value
+		}
+	}
+	if counts["dtw"] != 2 || counts["chain"] != 1 {
+		t.Fatalf("per-kind counts = %v", counts)
+	}
+	if sums["dtw"] != 4 || sums["chain"] != 2 {
+		t.Fatalf("per-kind sums = %v", sums)
+	}
+	// Deterministic order: chain sorts before dtw.
+	out := b.String()
+	if !strings.Contains(out, "# TYPE occ histogram\n") || strings.Index(out, `kind="chain"`) > strings.Index(out, `kind="dtw"`) {
+		t.Fatalf("non-deterministic or untyped exposition:\n%s", out)
+	}
+}
+
+func TestHistogramVecEmptyStillDeclaresType(t *testing.T) {
+	var b strings.Builder
+	NewHistogramVec("kind", 1).Write(&b, "occ")
+	if b.String() != "# TYPE occ histogram\n" {
+		t.Fatalf("empty vec exposition = %q", b.String())
+	}
+}

@@ -30,7 +30,9 @@ func TestStressAdmissionShedUnderRamp(t *testing.T) {
 
 	s := New(Config{BatchWindow: -1, Timeout: time.Second, AdmitEnabled: true})
 	ts := httptest.NewServer(s.Handler())
-	s.admit.setRate("chain", 1) // ~57 units -> minutes of predicted work
+	// Chains route through the batch kernel, so their admission rate key
+	// is the execution path's kind, not the pool kind.
+	s.admit.setRate("chain-batch", 1) // ~57 units -> minutes of predicted work
 
 	const ramp = 40
 	var shed, solved, other atomic.Int64
@@ -141,7 +143,7 @@ func TestStressCloseDuringShedding(t *testing.T) {
 	for round := 0; round < 5; round++ {
 		s := New(Config{BatchWindow: -1, Timeout: time.Second, AdmitEnabled: true})
 		ts := httptest.NewServer(s.Handler())
-		s.admit.setRate("chain", 1)
+		s.admit.setRate("chain-batch", 1)
 
 		var wg sync.WaitGroup
 		start := make(chan struct{})

@@ -174,8 +174,10 @@ func TestServeAdmissionShedsOverHTTP(t *testing.T) {
 	defer ts.Close()
 
 	// Calibrate chain ordering absurdly slow: 1 unit/second means the
-	// ~57-unit chain below prices far past the 50ms budget.
-	s.admit.setRate("chain", 1)
+	// ~57-unit chain below prices far past the 50ms budget. Chains route
+	// through the batch kernel, so the rate key is the execution path's
+	// kind ("chain-batch"), not the pool kind.
+	s.admit.setRate("chain-batch", 1)
 
 	resp, err := http.Post(ts.URL+"/solve", "application/json",
 		strings.NewReader(`{"problem":"chain","dims":[30,35,15,5,10,20,25]}`))
@@ -208,7 +210,7 @@ func TestServeAdmissionShedsOverHTTP(t *testing.T) {
 
 	// A feasible request still solves, and its measured rate rewrites the
 	// bogus calibration so subsequent requests admit again.
-	s.admit.setRate("chain", 0)
+	s.admit.setRate("chain-batch", 0)
 	resp, err = http.Post(ts.URL+"/solve", "application/json",
 		strings.NewReader(`{"problem":"chain","dims":[3,5,7,2]}`))
 	if err != nil {
@@ -219,8 +221,8 @@ func TestServeAdmissionShedsOverHTTP(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("feasible request after recalibration: status %d", resp.StatusCode)
 	}
-	if s.admit.Rate("chain") <= 0 {
-		t.Error("successful solve did not calibrate the chain rate")
+	if s.admit.Rate("chain-batch") <= 0 {
+		t.Error("successful solve did not calibrate the chain-batch rate")
 	}
 }
 
@@ -238,8 +240,8 @@ func TestAdmitterCalibratesFromTraffic(t *testing.T) {
 	if r := s.admit.Rate("graph-stream"); r <= 0 {
 		t.Error("batched Design-1 solve did not calibrate graph-stream rate")
 	}
-	if r := s.admit.Rate("chain"); r <= 0 {
-		t.Error("general-pool solve did not calibrate chain rate")
+	if r := s.admit.Rate("chain-batch"); r <= 0 {
+		t.Error("batched chain solve did not calibrate chain-batch rate")
 	}
 	if got := s.admit.BacklogSeconds(); got != 0 {
 		t.Errorf("backlog non-zero at idle: %v", got)

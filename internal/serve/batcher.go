@@ -7,40 +7,47 @@ import (
 	"time"
 
 	"systolicdp/internal/core"
-	papermetrics "systolicdp/internal/metrics"
 	"systolicdp/internal/multistage"
 	"systolicdp/internal/obs"
 	"systolicdp/internal/pipearray"
 )
 
-// Batcher micro-batches concurrent Design-1 multistage-graph requests:
-// instances of identical shape that arrive within one collection window
-// are flushed together through the streamed pipelined array
-// (core.SolveGraphBatch), so B instances pay one pipeline fill instead of
-// B. This is the serving-side form of the paper's Section 3.2 observation
-// that successive matrices can be fed with no inter-problem delay.
+// Batcher micro-batches concurrent requests of every batchable kind:
+// problems of one kind and one shape that arrive within one collection
+// window are flushed together through that kind's batch kernel — the
+// streamed pipelined array for Design-1 graphs, the stacked anti-diagonal
+// wavefront for DTW, the shared diagonal sweep for chain ordering, and
+// lockstep elimination for nonserial chains — so B instances pay one
+// pipeline fill (and one scheduling round) instead of B. This is the
+// serving-side form of the paper's Section 3.2 observation that
+// successive instances can be fed with no inter-problem delay,
+// generalized from graphs to all wavefront-shaped kinds.
 type Batcher struct {
 	window   time.Duration // collection window after the first arrival
 	maxBatch int           // flush immediately at this many instances
 	maxQueue int           // total waiting instances before backpressure
 
-	// Lock-step engine parallel-compute knobs for the streamed run; see
-	// systolic.Array.Parallelism / ParallelThreshold.
+	// kernels is the per-kind batch solver set, in lookup priority order.
+	kernels []core.BatchKernel
+
+	// Lock-step engine parallel-compute knobs for streamed graph runs; see
+	// systolic.Array.Parallelism / ParallelThreshold. Software wavefront
+	// kernels ignore them.
 	engineParallelism int
 	engineThreshold   int
 
 	mu       sync.Mutex
-	pending  map[shapeKey]*batch
+	pending  map[batchKey]*batch
 	inflight int
 	closed   bool
 	wg       sync.WaitGroup // outstanding flush goroutines
 
 	metrics *Metrics
-	admit   *Admitter // calibration sink for measured stream rates; may be nil
+	admit   *Admitter // calibration sink for measured batch rates; may be nil
 
 	// solveBatch is the batch solve entry point; tests override it to
-	// exercise the flush failure paths. Nil means the real engine.
-	solveBatch func(gs []*multistage.Graph, parallelism, threshold int) ([]*core.Solution, *core.BatchStats, error)
+	// exercise the flush failure paths. Nil means the kernel's own Solve.
+	solveBatch func(k core.BatchKernel, ps []core.Problem, parallelism, threshold int) ([]*core.Solution, *core.BatchStats, error)
 
 	// testPreFlush is a test seam that runs in Submit between releasing
 	// b.mu and spawning the size-triggered flush goroutine — the window in
@@ -49,19 +56,23 @@ type Batcher struct {
 	testPreFlush func()
 }
 
-// shapeKey identifies a stream-compatible problem shape: vector length,
-// matrix-string length, and first-matrix row count (pipearray.NewStream's
-// batching precondition).
-type shapeKey struct{ m, k, rows int }
+// batchKey identifies one bucket of co-batchable problems: the kernel's
+// execution-path kind plus its kernel-specific shape string. The shape is
+// the FULL compatibility profile (for graphs, every stage matrix's
+// dimensions — not just the first), so two problems share a bucket only
+// when the kernel can actually run them in one sweep.
+type batchKey struct{ kind, shape string }
 
 type batch struct {
-	key   shapeKey
-	items []*batchItem
-	timer *time.Timer
+	key    batchKey
+	kernel core.BatchKernel
+	items  []*batchItem
+	timer  *time.Timer
 }
 
 type batchItem struct {
-	graph    *multistage.Graph
+	problem  core.Problem
+	units    float64          // EstimateCost work units (admission calibration)
 	ctx      context.Context  // the submitter's context; cancelled items are dropped at flush
 	ch       chan batchResult // buffered; flush never blocks on delivery
 	enqueued time.Time
@@ -90,22 +101,39 @@ func NewBatcher(window time.Duration, maxBatch, maxQueue int, m *Metrics) *Batch
 		window:   window,
 		maxBatch: maxBatch,
 		maxQueue: maxQueue,
-		pending:  make(map[shapeKey]*batch),
+		kernels:  core.BatchKernels(),
+		pending:  make(map[batchKey]*batch),
 		metrics:  m,
 	}
 }
 
-// Submit enqueues one Design-1 graph and blocks until its batch flushes
-// (or ctx is done). Returns ErrBusy when maxQueue instances are already
-// waiting and ErrShutdown after Close.
-func (b *Batcher) Submit(ctx context.Context, g *multistage.Graph) (*core.Solution, error) {
-	sp, err := core.StreamProblemFromGraph(g)
-	if err != nil {
-		return nil, err
+// Kernel returns the batch kernel owning p and p's shape bucket, or
+// ok=false when no kernel accepts it (the problem stays on the general
+// pool). The server's dispatch uses this to pick the admission rate key
+// before pricing, so batched work is priced against the batched path's
+// calibration, not the pool's.
+func (b *Batcher) Kernel(p core.Problem) (core.BatchKernel, string, bool) {
+	for _, k := range b.kernels {
+		if shape, ok := k.Shape(p); ok {
+			return k, shape, true
+		}
 	}
-	key := shapeKey{m: len(sp.V), k: len(sp.Ms), rows: sp.Ms[0].Rows}
+	return nil, "", false
+}
+
+// Submit enqueues one batchable problem and blocks until its batch
+// flushes (or ctx is done). Returns ErrBusy when maxQueue instances are
+// already waiting and ErrShutdown after Close.
+func (b *Batcher) Submit(ctx context.Context, p core.Problem) (*core.Solution, error) {
+	kernel, shape, ok := b.Kernel(p)
+	if !ok {
+		return nil, fmt.Errorf("serve: no batch kernel accepts %T", p)
+	}
+	key := batchKey{kind: kernel.Kind(), shape: shape}
+	_, units := EstimateCost(p)
 	item := &batchItem{
-		graph:    g,
+		problem:  p,
+		units:    units,
 		ctx:      ctx,
 		ch:       make(chan batchResult, 1),
 		enqueued: time.Now(),
@@ -122,9 +150,9 @@ func (b *Batcher) Submit(ctx context.Context, g *multistage.Graph) (*core.Soluti
 		return nil, ErrBusy
 	}
 	b.inflight++
-	bt, ok := b.pending[key]
-	if !ok {
-		bt = &batch{key: key}
+	bt, found := b.pending[key]
+	if !found {
+		bt = &batch{key: key, kernel: kernel}
 		b.pending[key] = bt
 		if b.window > 0 && b.maxBatch > 1 {
 			bt.timer = time.AfterFunc(b.window, func() { b.flushKey(key, bt) })
@@ -171,7 +199,7 @@ func (b *Batcher) releaseSlot(it *batchItem) {
 
 // detachLocked removes bt from the pending map and stops its timer.
 // Callers hold b.mu.
-func (b *Batcher) detachLocked(key shapeKey, bt *batch) {
+func (b *Batcher) detachLocked(key batchKey, bt *batch) {
 	if b.pending[key] == bt {
 		delete(b.pending, key)
 	}
@@ -181,7 +209,7 @@ func (b *Batcher) detachLocked(key shapeKey, bt *batch) {
 }
 
 // flushKey is the timer path: flush bt if it is still pending.
-func (b *Batcher) flushKey(key shapeKey, bt *batch) {
+func (b *Batcher) flushKey(key batchKey, bt *batch) {
 	b.mu.Lock()
 	if b.pending[key] != bt {
 		b.mu.Unlock()
@@ -206,14 +234,15 @@ func (b *Batcher) runFlush(bt *batch) {
 	}()
 }
 
-// flush runs one streamed batch and delivers each instance's result.
-// Items whose submitter already gave up (ctx done) are dropped at
-// assembly: their slots are released immediately, they consume no array
+// flush runs one batched kernel sweep and delivers each instance's
+// result. Items whose submitter already gave up (ctx done) are dropped at
+// assembly: their slots are released immediately, they consume no kernel
 // cycles, and no spans are recorded for them — the submitter has long
-// since returned ctx.Err(). Stage accounting for live items: each item's
+// since returned ctx.Err(). A batch whose items ALL abandoned skips the
+// kernel entirely. Stage accounting for live items: each item's
 // queue_wait is its enqueue -> flush start; the flush's batch_assembly is
 // the oldest item's wait (what the batching window added to tail
-// latency); solve is the shared streamed array run.
+// latency); solve is the shared kernel run.
 func (b *Batcher) flush(bt *batch) {
 	flushStart := time.Now()
 	live := make([]*batchItem, 0, len(bt.items))
@@ -232,12 +261,12 @@ func (b *Batcher) flush(bt *batch) {
 		}
 	}
 	if len(live) == 0 {
-		return // nothing left to solve: the array never spins up
+		return // nothing left to solve: the kernel never spins up
 	}
-	gs := make([]*multistage.Graph, len(live))
+	ps := make([]core.Problem, len(live))
 	earliest := flushStart
 	for i, it := range live {
-		gs[i] = it.graph
+		ps[i] = it.problem
 		if it.enqueued.Before(earliest) {
 			earliest = it.enqueued
 		}
@@ -255,28 +284,48 @@ func (b *Batcher) flush(bt *batch) {
 		}()
 		solve := b.solveBatch
 		if solve == nil {
-			solve = core.SolveGraphBatchParallel
+			solve = func(k core.BatchKernel, ps []core.Problem, parallelism, threshold int) ([]*core.Solution, *core.BatchStats, error) {
+				return k.Solve(ps, parallelism, threshold)
+			}
 		}
-		return solve(gs, b.engineParallelism, b.engineThreshold)
+		return solve(bt.kernel, ps, b.engineParallelism, b.engineThreshold)
 	}()
 	solveEnd := time.Now()
 	b.metrics.Batches.Inc()
 	b.metrics.Batched.Add(int64(len(live)))
-	b.metrics.BatchOccupancy.Observe(float64(len(live)))
+	b.metrics.BatchOccupancy.With(bt.key.kind).Observe(float64(len(live)))
 	b.metrics.BatchAssemblySeconds.Observe(flushStart.Sub(earliest).Seconds())
 	if stats != nil {
-		b.metrics.EngineWorkers.Set(float64(stats.Workers))
-		b.metrics.EngineUtilization.Set(stats.Utilization)
-		// Publish the paper's Eq. 9 closed-form PU for this batch's shape
-		// (n = k+1 stages of m-vectors) next to the measured utilization,
-		// so dptop and /metrics scrapes can show measured-vs-predicted
-		// without re-deriving the formula.
-		b.metrics.EnginePUExpected.Set(papermetrics.PUEq9(bt.key.k+1, bt.key.m))
+		if _, stream := bt.kernel.(core.GraphStreamKernel); stream {
+			// The engine gauges describe the last streamed ARRAY run; the
+			// software wavefront kernels must not clobber them with their
+			// fixed single-worker shape.
+			b.metrics.EngineWorkers.Set(float64(stats.Workers))
+			b.metrics.EngineUtilization.Set(stats.Utilization)
+			// The paper's Eq. 9 closed-form PU for this batch's shape next to
+			// the measured utilization, so dptop and /metrics scrapes can show
+			// measured-vs-predicted without re-deriving the formula.
+			b.metrics.EnginePUExpected.Set(stats.PUExpected)
+		}
 		if b.admit != nil && err == nil {
-			// Calibrate the admission model with the measured stream rate:
-			// the engine reports exactly the cycle count the closed form
-			// predicts, so cycles/second here prices future Design-1 work.
-			b.admit.Observe("graph-stream", float64(stats.Cycles), solveEnd.Sub(solveStart).Seconds())
+			// Calibrate the admission model with the measured BATCHED rate,
+			// under the kernel's own execution-path kind (satellite: pool-
+			// calibrated rates must not price batched work, and vice versa).
+			// The streamed graph engine reports exactly the cycle count the
+			// closed form predicts, so its measured cycles are the right
+			// units; the software kernels report their own sweep models, so
+			// for them the batch's work is the sum of the per-item
+			// EstimateCost units — dividing by the batch wall time makes the
+			// calibrated rate absorb occupancy, which is what prices a single
+			// batched request at marginal rather than standalone cost.
+			units := float64(stats.Cycles)
+			if _, stream := bt.kernel.(core.GraphStreamKernel); !stream {
+				units = 0
+				for _, it := range live {
+					units += it.units
+				}
+			}
+			b.admit.Observe(bt.key.kind, units, solveEnd.Sub(solveStart).Seconds())
 		}
 	}
 	for _, it := range live {

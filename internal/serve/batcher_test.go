@@ -15,10 +15,10 @@ import (
 	"systolicdp/internal/semiring"
 )
 
-func batchGraph(seed int64, stages, m int) *multistage.Graph {
+func batchGraph(seed int64, stages, m int) *core.MultistageProblem {
 	rng := rand.New(rand.NewSource(seed))
 	inner := multistage.RandomUniform(rng, stages, m, 1, 10)
-	return multistage.SingleSourceSink(semiring.MinPlus{}, inner)
+	return &core.MultistageProblem{Graph: multistage.SingleSourceSink(semiring.MinPlus{}, inner), Design: 1}
 }
 
 // Instances arriving inside one window flush together; each waiter gets
@@ -29,7 +29,7 @@ func TestBatcherFlushOnWindow(t *testing.T) {
 	defer b.Close()
 
 	const n = 3
-	gs := make([]*multistage.Graph, n)
+	gs := make([]*core.MultistageProblem, n)
 	for i := range gs {
 		gs[i] = batchGraph(int64(i+1), 5, 4)
 	}
@@ -55,7 +55,7 @@ func TestBatcherFlushOnWindow(t *testing.T) {
 		t.Errorf("batched instances = %d, want %d", got, n)
 	}
 	for i, g := range gs {
-		want, err := core.Solve(&core.MultistageProblem{Graph: g, Design: 1})
+		want, err := core.Solve(g)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -90,7 +90,7 @@ func TestBatcherFlushOnFull(t *testing.T) {
 	if got := met.Batches.Value(); got != 1 {
 		t.Errorf("flushes = %d, want 1", got)
 	}
-	if got := met.BatchOccupancy.Sum(); got != maxBatch {
+	if got := met.BatchOccupancy.With("graph-stream").Sum(); got != maxBatch {
 		t.Errorf("occupancy sum = %v, want %v", got, maxBatch)
 	}
 }
@@ -103,9 +103,9 @@ func TestBatcherShardsByShape(t *testing.T) {
 	defer b.Close()
 
 	var wg sync.WaitGroup
-	for _, g := range []*multistage.Graph{batchGraph(1, 5, 4), batchGraph(2, 5, 3)} {
+	for _, g := range []*core.MultistageProblem{batchGraph(1, 5, 4), batchGraph(2, 5, 3)} {
 		wg.Add(1)
-		go func(g *multistage.Graph) {
+		go func(g *core.MultistageProblem) {
 			defer wg.Done()
 			if _, err := b.Submit(context.Background(), g); err != nil {
 				t.Error(err)
@@ -332,7 +332,7 @@ func TestBatcherFlushPanicDeliversErrors(t *testing.T) {
 	met := NewMetrics()
 	b := NewBatcher(20*time.Millisecond, 16, 4, met)
 	defer b.Close()
-	b.solveBatch = func([]*multistage.Graph, int, int) ([]*core.Solution, *core.BatchStats, error) {
+	b.solveBatch = func(core.BatchKernel, []core.Problem, int, int) ([]*core.Solution, *core.BatchStats, error) {
 		panic("engine blew up")
 	}
 
@@ -360,7 +360,7 @@ func TestBatcherFlushPanicDeliversErrors(t *testing.T) {
 	if err != nil {
 		t.Fatalf("post-panic submit: %v", err)
 	}
-	want, err := core.Solve(&core.MultistageProblem{Graph: g, Design: 1})
+	want, err := core.Solve(g)
 	if err != nil {
 		t.Fatal(err)
 	}

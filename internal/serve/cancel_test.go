@@ -50,7 +50,7 @@ func TestBatcherCancelBeforeFlush(t *testing.T) {
 	if got := met.Batched.Value(); got != 2 {
 		t.Errorf("batched = %d, want 2 (cancelled item must not be solved)", got)
 	}
-	if got := met.BatchOccupancy.Sum(); got != 2 {
+	if got := met.BatchOccupancy.With("graph-stream").Sum(); got != 2 {
 		t.Errorf("occupancy sum = %v, want 2", got)
 	}
 	b.mu.Lock()

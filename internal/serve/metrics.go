@@ -48,8 +48,8 @@ type Metrics struct {
 	EngineUtilization Gauge // measured PU of the last streamed run
 	EnginePUExpected  Gauge // paper eq (9) closed-form PU for the last streamed run's shape
 
-	BatchOccupancy *Histogram // instances per flush
-	SolveSeconds   *Histogram // end-to-end solve latency
+	BatchOccupancy *promtext.HistogramVec // instances per flush, labeled by execution-path kind
+	SolveSeconds   *Histogram             // end-to-end solve latency
 
 	// Per-stage latency histograms: where a request's time actually went.
 	QueueWaitSeconds     *Histogram // enqueue -> worker pickup / batch flush
@@ -63,7 +63,7 @@ type Metrics struct {
 func NewMetrics() *Metrics {
 	return &Metrics{
 		requests:             promtext.NewCounterVec("problem"),
-		BatchOccupancy:       NewHistogram(1, 2, 4, 8, 16, 32, 64),
+		BatchOccupancy:       promtext.NewHistogramVec("kind", 1, 2, 4, 8, 16, 32, 64),
 		SolveSeconds:         NewHistogram(0.0001, 0.001, 0.01, 0.1, 1, 10),
 		QueueWaitSeconds:     NewHistogram(0.00001, 0.0001, 0.001, 0.01, 0.1, 1),
 		BatchAssemblySeconds: NewHistogram(0.00001, 0.0001, 0.001, 0.01, 0.1, 1),

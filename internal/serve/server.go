@@ -7,10 +7,11 @@
 //
 // Architecture:
 //
-//   - a worker pool sharded by problem class: Design-1 multistage-graph
-//     requests go to the micro-batcher (one streamed array run per
-//     batch); everything else (graph designs 0/2, nodevalued, chain,
-//     nonserial, dtw) goes to a bounded general pool;
+//   - a worker pool sharded by problem class: batchable kinds — Design-1
+//     multistage graphs, DTW, chain ordering, nonserial chains — go to
+//     the kind-generic micro-batcher (one shared kernel sweep per
+//     same-shape batch); everything else (graph designs 0/2, nodevalued)
+//     goes to a bounded general pool;
 //   - an LRU result cache keyed by the canonical spec hash, with
 //     singleflight deduplication so identical in-flight requests solve
 //     once;
@@ -281,6 +282,20 @@ func (s *Server) submit(j *job) error {
 // until the work finishes on any path — success, error, or abandonment.
 func (s *Server) dispatch(ctx context.Context, p core.Problem) (*core.Solution, error) {
 	kind, cycles := EstimateCost(p)
+	// Routing decides the admission rate key: a kind's pool-calibrated
+	// service rate describes one-at-a-time solves and goes stale the moment
+	// the kind cuts over to a batch kernel (whose per-request marginal cost
+	// is far lower), so batched work is priced and calibrated under the
+	// kernel's own execution-path kind instead. EstimateCost already names
+	// the Design-1 stream path "graph-stream"; the other kernels report
+	// "<kind>-batch".
+	batched := false
+	if s.cfg.BatchMax > 1 {
+		if k, _, ok := s.batcher.Kernel(p); ok {
+			batched = true
+			kind = k.Kind()
+		}
+	}
 	deadline := s.cfg.Timeout
 	if dl, ok := ctx.Deadline(); ok {
 		deadline = time.Until(dl)
@@ -291,8 +306,8 @@ func (s *Server) dispatch(ctx context.Context, p core.Problem) (*core.Solution, 
 		return nil, err
 	}
 	defer res.Release()
-	if mp, ok := p.(*core.MultistageProblem); ok && mp.Design == 1 && s.cfg.BatchMax > 1 {
-		return s.batcher.Submit(ctx, mp.Graph)
+	if batched {
+		return s.batcher.Submit(ctx, p)
 	}
 	j := &job{
 		problem:  p,

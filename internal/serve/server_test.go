@@ -210,7 +210,7 @@ func TestServeMicroBatchesConcurrentGraphs(t *testing.T) {
 	for _, want := range []string{
 		"dpserve_batches_total 1",
 		fmt.Sprintf("dpserve_batched_requests_total %d", n),
-		fmt.Sprintf("dpserve_batch_occupancy_sum %d", n),
+		fmt.Sprintf(`dpserve_batch_occupancy_sum{kind="graph-stream"} %d`, n),
 	} {
 		if !strings.Contains(mt, want) {
 			t.Errorf("/metrics missing %q in:\n%s", want, mt)
