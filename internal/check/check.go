@@ -230,12 +230,14 @@ func (c *checker) checkGraph(workers []int) {
 	ms, v := mats[:k-1], mats[k-1].Col(0)
 	ref := matrix.ChainVec(s, ms, v)
 	c.cmpScalar("result", "seq-baseline vs chain-vec", base.Cost, semiring.Fold(s, ref))
+	c.checkGraphFast(s, ms, v, ref)
 
 	m := len(v)
 	c.checkPipearray(workers, s, srName, ms, v, ref, g)
 	c.checkBcastarray(workers, s, srName, ms, v, ref)
 	if srName == "min-plus" {
 		c.checkStream(ms, v, ref, g, base.Cost, workers)
+		c.checkStreamFast(g, base.Cost)
 		if !hasNonFinite(g) {
 			c.checkSpecRoundTrip(g, base.Cost)
 		}
@@ -668,6 +670,7 @@ func (c *checker) checkDTW() {
 	if err == nil {
 		c.cmpScalar("result", "dtw(x,y) vs dtw(y,x) symmetry", seq, sym)
 	}
+	c.checkDTWFast(seq)
 	c.checkDTWBatch()
 }
 
@@ -718,6 +721,7 @@ func (c *checker) checkChain(workers []int) {
 			c.cmpScalar("result", "chain-dp vs "+name, best, tr.Cost)
 		}
 	}
+	c.checkChainFast(tab)
 	c.checkChainBatch()
 }
 
@@ -746,6 +750,7 @@ func (c *checker) checkNonserial(workers []int) {
 		return
 	}
 	c.cmpInt("invariant", "ns-eliminate steps vs eq(40)", steps, ch.StepsEq40())
+	c.checkNonserialFast(ch, name, elim, steps)
 	c.checkNonserialBatch(ch)
 	total := 1
 	for _, d := range ch.Domains {

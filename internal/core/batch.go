@@ -7,6 +7,7 @@ import (
 
 	"systolicdp/internal/dtw"
 	"systolicdp/internal/matchain"
+	"systolicdp/internal/matrix"
 	papermetrics "systolicdp/internal/metrics"
 	"systolicdp/internal/multistage"
 	"systolicdp/internal/nonserial"
@@ -31,11 +32,10 @@ func (p *DTWProblem) Describe() string {
 }
 
 func solveDTW(p *DTWProblem) (*Solution, error) {
-	arr, err := dtw.New(p.Y, dtw.AbsDist)
-	if err != nil {
-		return nil, err
-	}
-	d, _, err := arr.Match(p.X, false)
+	// The cache-tiled monomorphized kernel (bitwise identical to the
+	// cycle-stepped array and to dtw.Sequential) is the serving hot path;
+	// the PE-level array stays available via dtw.New for cycle telemetry.
+	d, err := dtw.SolveFast(p.X, p.Y, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -98,6 +98,28 @@ func StreamProblemFromGraph(g *multistage.Graph) (pipearray.StreamProblem, error
 	sp.Ms = mats[:k-1]
 	sp.V = mats[k-1].Col(0)
 	return sp, nil
+}
+
+// SolveGraphDirect solves one single-sink multistage graph on the
+// monomorphized min-plus chain product (matrix.ChainVecG) — the library
+// and benchmark fast path, bitwise identical to the ChainVec baseline
+// and therefore to the Design-1 engines the checker pins against it. The
+// serving path intentionally keeps the streamed engine
+// (SolveGraphBatchParallel): its cycle counts and measured PU feed the
+// observability plane, which the direct product cannot produce.
+func SolveGraphDirect(g *multistage.Graph) (*Solution, error) {
+	sp, err := StreamProblemFromGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	mp := semiring.MinPlus{}
+	out := matrix.ChainVecG(mp, sp.Ms, sp.V)
+	class := Class{Monadic, Serial}
+	return &Solution{
+		Class:  class,
+		Method: Recommend(class).Method,
+		Cost:   semiring.FoldOps(mp, out),
+	}, nil
 }
 
 // SolveGraphBatch solves a batch of identically-shaped single-sink
@@ -251,7 +273,7 @@ func (GraphStreamKernel) Solve(ps []Problem, parallelism, threshold int) ([]*Sol
 }
 
 // DTWKernel batches same-shape DTW instances with one anti-diagonal
-// wavefront over the stacked lattices (dtw.SweepBatch).
+// wavefront over the stacked lattices (dtw.SweepBatchFast).
 type DTWKernel struct{}
 
 // Kind names the batched DTW path.
@@ -276,7 +298,10 @@ func (DTWKernel) Solve(ps []Problem, _, _ int) ([]*Solution, *BatchStats, error)
 		}
 		pairs[i] = dtw.Pair{X: q.X, Y: q.Y}
 	}
-	dists, cycles, err := dtw.SweepBatch(pairs, dtw.AbsDist)
+	// SweepBatchFast is the monomorphized zero-allocation sweep; a nil
+	// metric selects the inlinable AbsDist op, bitwise identical to
+	// SweepBatch(pairs, dtw.AbsDist).
+	dists, cycles, err := dtw.SweepBatchFast(pairs, nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -298,7 +323,7 @@ func (DTWKernel) Solve(ps []Problem, _, _ int) ([]*Solution, *BatchStats, error)
 }
 
 // ChainKernel batches same-length matrix-chain ordering instances with
-// one shared diagonal wavefront (matchain.WavefrontBatch).
+// one shared diagonal wavefront (matchain.WavefrontBatchFast).
 type ChainKernel struct{}
 
 // Kind names the batched chain path.
@@ -323,11 +348,13 @@ func (ChainKernel) Solve(ps []Problem, _, _ int) ([]*Solution, *BatchStats, erro
 		}
 		dimsList[i] = q.Dims
 	}
-	tabs, cycles, err := matchain.WavefrontBatch(dimsList)
+	// WavefrontBatchFast runs the flat zero-allocation kernel on a pooled
+	// table, bitwise identical per instance to WavefrontBatch/DP.
+	costs, parens, cycles, err := matchain.WavefrontBatchFast(dimsList)
 	if err != nil {
 		return nil, nil, err
 	}
-	n := tabs[0].N
+	n := len(dimsList[0]) - 1
 	stats := &BatchStats{
 		Cycles:  cycles,
 		Workers: 1,
@@ -340,19 +367,19 @@ func (ChainKernel) Solve(ps []Problem, _, _ int) ([]*Solution, *BatchStats, erro
 	}
 	class := Class{Polyadic, Nonserial}
 	sols := make([]*Solution, len(ps))
-	for i, tab := range tabs {
+	for i := range ps {
 		sols[i] = &Solution{
 			Class:    class,
 			Method:   Recommend(class).Method,
-			Cost:     tab.OptimalCost(),
-			Ordering: tab.Parenthesization(),
+			Cost:     costs[i],
+			Ordering: parens[i],
 		}
 	}
 	return sols, stats, nil
 }
 
 // NonserialKernel batches same-profile ternary chains through lockstep
-// variable elimination (nonserial.EliminateBatch).
+// variable elimination (nonserial.EliminateBatchFast).
 type NonserialKernel struct{}
 
 // Kind names the batched elimination path.
@@ -385,7 +412,9 @@ func (NonserialKernel) Solve(ps []Problem, _, _ int) ([]*Solution, *BatchStats, 
 		}
 		chains[i] = q.Chain
 	}
-	costs, steps, err := nonserial.EliminateBatch(chains)
+	// EliminateBatchFast monomorphizes the ternary cost (via Chain3.GName)
+	// and reuses pooled flat tables, bitwise identical to EliminateBatch.
+	costs, steps, err := nonserial.EliminateBatchFast(chains)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -263,12 +263,13 @@ func Solve(p Problem) (*Solution, error) {
 		// The product matrix's fold is the best any-to-any cost.
 		sol.Cost = semiring.Fold(mp, res.Product.Data)
 	case *ChainOrderingProblem:
-		tab, err := matchain.DP(q.Dims)
+		// Pooled flat-table kernel, bitwise identical to matchain.DP.
+		cost, paren, err := matchain.SolveFast(q.Dims)
 		if err != nil {
 			return nil, err
 		}
-		sol.Cost = tab.OptimalCost()
-		sol.Ordering = tab.Parenthesization()
+		sol.Cost = cost
+		sol.Ordering = paren
 	case *NonserialChainProblem:
 		if err := q.Chain.Validate(); err != nil {
 			return nil, err

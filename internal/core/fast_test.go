@@ -1,0 +1,47 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"systolicdp/internal/matrix"
+	"systolicdp/internal/semiring"
+)
+
+// SolveGraphDirect must be bitwise identical to the ChainVec baseline
+// and agree with the Design-1 engine path.
+func TestSolveGraphDirectMatchesBaselineAndEngine(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		g := testGraph(seed, 5, 4)
+		direct, err := SolveGraphDirect(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := StreamProblemFromGraph(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp := semiring.MinPlus{}
+		want := semiring.Fold(mp, matrix.ChainVec(mp, sp.Ms, sp.V))
+		if direct.Cost != want {
+			t.Fatalf("seed %d: direct cost %v != baseline %v (must be bitwise)", seed, direct.Cost, want)
+		}
+		engine, err := Solve(&MultistageProblem{Graph: g, Design: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(direct.Cost-engine.Cost) > 1e-9 {
+			t.Fatalf("seed %d: direct cost %v, engine cost %v", seed, direct.Cost, engine.Cost)
+		}
+	}
+}
+
+func TestSolveGraphDirectRejectsBadGraph(t *testing.T) {
+	rngGraph := testGraph(9, 5, 4)
+	// Drop the single-sink final stage: StreamProblemFromGraph must refuse.
+	rngGraph.Cost = rngGraph.Cost[:len(rngGraph.Cost)-1]
+	rngGraph.StageSizes = rngGraph.StageSizes[:len(rngGraph.StageSizes)-1]
+	if _, err := SolveGraphDirect(rngGraph); err == nil {
+		t.Fatal("multi-sink graph accepted")
+	}
+}

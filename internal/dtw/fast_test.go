@@ -1,0 +1,162 @@
+package dtw
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSolveTiledBitwiseVsSequential sweeps tile sizes (including the
+// degenerate 1×1 tiling and a single full-lattice tile) over a grid of
+// lattice shapes (including 1×1, 1×m, n×1, tile-aligned and ragged) and
+// requires bitwise agreement with Sequential for both named metrics and
+// a func-valued metric.
+func TestSolveTiledBitwiseVsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	shapes := [][2]int{{1, 1}, {1, 7}, {7, 1}, {5, 5}, {64, 64}, {65, 63}, {1, 200}, {130, 3}, {129, 257}}
+	tiles := []int{1, 7, 64, 0, 1 << 20} // 0 = default, 1<<20 = one full tile
+	dists := map[string]Dist{"abs": AbsDist, "sq": SqDist}
+	for _, sh := range shapes {
+		x, y := randSeries(rng, sh[0]), randSeries(rng, sh[1])
+		for name, d := range dists {
+			want, err := Sequential(x, y, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, T := range tiles {
+				got, err := SolveTiled(x, y, d, T)
+				if err != nil {
+					t.Fatalf("%v %s T=%d: %v", sh, name, T, err)
+				}
+				if got != want {
+					t.Fatalf("%v %s T=%d: tiled %v != sequential %v", sh, name, T, got, want)
+				}
+			}
+		}
+		// The monomorphized Abs op (nil Dist) must equal the func path.
+		want, _ := Sequential(x, y, nil)
+		got, err := SolveFast(x, y, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%v: SolveFast(nil) %v != Sequential %v", sh, got, want)
+		}
+	}
+}
+
+func TestSolveFastEmptySeries(t *testing.T) {
+	if _, err := SolveFast(nil, []float64{1}, nil); err == nil {
+		t.Fatal("empty x accepted")
+	}
+	if _, err := SolveFast([]float64{1}, nil, nil); err == nil {
+		t.Fatal("empty y accepted")
+	}
+}
+
+func TestSweepBatchFastMatchesSweepBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	y := randSeries(rng, 33)
+	for _, b := range []int{1, 2, 7} {
+		pairs := make([]Pair, b)
+		for i := range pairs {
+			pairs[i] = Pair{X: randSeries(rng, 21), Y: y}
+		}
+		want, wc, err := SweepBatch(pairs, AbsDist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gc, err := SweepBatchFast(pairs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gc != wc {
+			t.Fatalf("b=%d: cycles %d != %d", b, gc, wc)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("b=%d i=%d: %v != %v", b, i, got[i], want[i])
+			}
+		}
+	}
+	// Shape mismatches fail the whole batch, like SweepBatch.
+	if _, _, err := SweepBatchFast([]Pair{{X: y, Y: y}, {X: y[:5], Y: y}}, nil); err == nil {
+		t.Fatal("mismatched batch accepted")
+	}
+}
+
+// TestSolveFastZeroAllocSteadyState is the tentpole's allocation gate
+// for the DTW kernel: repeated same-shape solves on a warm per-shape
+// arena must not touch the allocator.
+func TestSolveFastZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x, y := randSeries(rng, 200), randSeries(rng, 150)
+	if _, err := SolveFast(x, y, nil); err != nil { // warm the shape bucket
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := SolveFast(x, y, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SolveFast allocates %v objects/op steady-state, want 0", allocs)
+	}
+}
+
+func TestSweepBatchFastIntoZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	pairs := []Pair{
+		{X: randSeries(rng, 40), Y: randSeries(rng, 40)},
+		{X: randSeries(rng, 40)},
+	}
+	pairs[1].Y = pairs[0].Y
+	dists := make([]float64, len(pairs))
+	if _, err := SweepBatchFastInto(dists, pairs, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := SweepBatchFastInto(dists, pairs, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SweepBatchFastInto allocates %v objects/op steady-state, want 0", allocs)
+	}
+}
+
+func BenchmarkDTWSequential256(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	x, y := randSeries(rng, 256), randSeries(rng, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sequential(x, y, AbsDist); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDTWSolveFast256(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	x, y := randSeries(rng, 256), randSeries(rng, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveFast(x, y, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDTWArray256(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	x, y := randSeries(rng, 256), randSeries(rng, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		arr, err := New(y, AbsDist)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := arr.Match(x, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

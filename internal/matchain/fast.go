@@ -1,0 +1,193 @@
+package matchain
+
+// The zero-allocation flat matrix-chain kernel. DP's [][]-of-rows tables
+// cost one allocation per row and an indirection per cell read; the hot
+// inner loop also walks Cost[k+1][j] down a column, a stride-n access
+// pattern on row-major storage. Flat fixes both: Cost, its transpose
+// CostT, and Split live in three flat arrays grown in place, so the
+// k-scan of cell (i, j) reads row i of Cost and column j of CostT, both
+// stride-1, and a reused Flat performs no allocations at all.
+//
+// Every cell evaluates EXACTLY DP's float64 expression — the additive
+// constant keeps the single-rounding int product float64(d_i*d_{k+1}*
+// d_{j+1}), the k scan order and the strict-< argmin are unchanged — so
+// Cost and Split are bitwise identical to DP. The differential checker
+// pins this per cell.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"systolicdp/internal/arena"
+)
+
+// Flat is the flat-storage DP table of equation (6): cell (i, j) of the
+// n×n triangle lives at Cost[i*n+j], its mirror at CostT[j*n+i], and the
+// optimal split at Split[i*n+j]. Cells below the diagonal are unused and
+// hold garbage after reuse; the diagonal is zero cost, split -1.
+type Flat struct {
+	N     int
+	Dims  []int
+	Cost  []float64
+	CostT []float64
+	Split []int
+}
+
+// Solve fills the table for dims in place, growing the backing arrays
+// only when the chain outgrows their capacity — a reused same-size Flat
+// allocates nothing. Bitwise identical to DP.
+func (f *Flat) Solve(dims []int) error {
+	n, err := validDims(dims)
+	if err != nil {
+		return err
+	}
+	f.N = n
+	f.Dims = arena.Ints(f.Dims, len(dims))
+	copy(f.Dims, dims)
+	f.Cost = arena.Floats(f.Cost, n*n)
+	f.CostT = arena.Floats(f.CostT, n*n)
+	f.Split = arena.Ints(f.Split, n*n)
+	for i := 0; i < n; i++ {
+		f.Cost[i*n+i] = 0
+		f.CostT[i*n+i] = 0
+		f.Split[i*n+i] = -1
+	}
+	for s := 2; s <= n; s++ {
+		for i := 0; i+s-1 < n; i++ {
+			j := i + s - 1
+			best, arg := math.Inf(1), -1
+			rowI := f.Cost[i*n : i*n+n]  // rowI[k] = Cost[i][k]
+			colJ := f.CostT[j*n : j*n+n] // colJ[k] = Cost[k][j]
+			di, dj1 := dims[i], dims[j+1]
+			for k := i; k < j; k++ {
+				c := rowI[k] + colJ[k+1] + float64(di*dims[k+1]*dj1)
+				if c < best {
+					best, arg = c, k
+				}
+			}
+			f.Cost[i*n+j] = best
+			f.CostT[j*n+i] = best
+			f.Split[i*n+j] = arg
+		}
+	}
+	return nil
+}
+
+// DPFlat solves equation (6) into a fresh flat table: the allocating
+// entry point (the differential checker's handle on the kernel).
+func DPFlat(dims []int) (*Flat, error) {
+	f := new(Flat)
+	if err := f.Solve(dims); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// OptimalCost returns m_{1,N}, the cost of the best ordering.
+func (f *Flat) OptimalCost() float64 { return f.Cost[f.N-1] }
+
+// Parenthesization renders the optimal order exactly like
+// Table.Parenthesization, e.g. "((M1 M2)(M3 M4))".
+func (f *Flat) Parenthesization() string {
+	n := f.N
+	var b strings.Builder
+	var rec func(i, j int)
+	rec = func(i, j int) {
+		if i == j {
+			fmt.Fprintf(&b, "M%d", i+1)
+			return
+		}
+		k := f.Split[i*n+j]
+		b.WriteByte('(')
+		rec(i, k)
+		b.WriteByte(' ')
+		rec(k+1, j)
+		b.WriteByte(')')
+	}
+	rec(0, n-1)
+	return b.String()
+}
+
+type flatKey struct{ n int }
+
+var flatPool = arena.NewKeyed[flatKey](func() *Flat { return new(Flat) })
+
+// SolveFast solves one chain on a pooled flat table and returns the
+// optimal cost and parenthesization — the serving path's single-solve
+// kernel. Only the returned string allocates on a warm same-size pool.
+func SolveFast(dims []int) (cost float64, paren string, err error) {
+	n, err := validDims(dims)
+	if err != nil {
+		return 0, "", err
+	}
+	key := flatKey{n}
+	f := flatPool.Get(key)
+	if err := f.Solve(dims); err != nil {
+		return 0, "", err
+	}
+	cost = f.OptimalCost()
+	paren = f.Parenthesization()
+	flatPool.Put(key, f) // clean completion only (arena discipline)
+	return cost, paren, nil
+}
+
+// WavefrontBatchFast solves B same-length chains on one pooled flat
+// table and returns per-instance costs and parenthesizations. It
+// validates and prices exactly like WavefrontBatch — same error
+// messages, same streamed-wavefront cycle model B·(n−1) + (n−1) — and
+// each instance's table is bitwise identical to DP (instances are
+// independent, so the interleaving order WavefrontBatch uses and the
+// per-instance order here compute identical cells).
+func WavefrontBatchFast(dimsList [][]int) (costs []float64, parens []string, cycles int, err error) {
+	costs = make([]float64, len(dimsList))
+	parens = make([]string, len(dimsList))
+	cycles, err = WavefrontBatchFastInto(costs, parens, dimsList)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return costs, parens, cycles, nil
+}
+
+// WavefrontBatchFastInto is WavefrontBatchFast writing into caller-owned
+// slices (parens may be nil to skip rendering; len(costs) must equal the
+// batch size) for allocation-free steady-state batches.
+func WavefrontBatchFastInto(costs []float64, parens []string, dimsList [][]int) (cycles int, err error) {
+	if len(dimsList) == 0 {
+		return 0, fmt.Errorf("matchain: empty batch")
+	}
+	if len(costs) != len(dimsList) {
+		return 0, fmt.Errorf("matchain: costs length %d != batch size %d", len(costs), len(dimsList))
+	}
+	b := len(dimsList)
+	var n int
+	for q, dims := range dimsList {
+		nq, err := validDims(dims)
+		if err != nil {
+			return 0, fmt.Errorf("matchain: batch instance %d: %v", q, err)
+		}
+		if q == 0 {
+			n = nq
+		} else if nq != n {
+			return 0, fmt.Errorf("matchain: batch instance %d has n=%d, batch shape is n=%d", q, nq, n)
+		}
+	}
+	key := flatKey{n}
+	f := flatPool.Get(key)
+	for q, dims := range dimsList {
+		if err := f.Solve(dims); err != nil {
+			return 0, fmt.Errorf("matchain: batch instance %d: %v", q, err)
+		}
+		costs[q] = f.OptimalCost()
+		if parens != nil {
+			parens[q] = f.Parenthesization()
+		}
+	}
+	flatPool.Put(key, f) // clean completion only
+	if n < 2 {
+		// A single-matrix chain has no waves; the model still charges one
+		// cycle per instance for the trivial answer (as WavefrontBatch).
+		return b, nil
+	}
+	return b*(n-1) + (n - 1), nil
+}

@@ -1,0 +1,154 @@
+package matchain
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFlatBitwiseVsDP pins the flat kernel cell-by-cell against DP:
+// every Cost value bitwise, every Split index equal, plus the rendered
+// parenthesization.
+func TestFlatBitwiseVsDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{1, 2, 3, 7, 16, 40} {
+		dims := randDims(rng, n)
+		want, err := DP(dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DPFlat(dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				if got.Cost[i*n+j] != want.Cost[i][j] {
+					t.Fatalf("n=%d cell (%d,%d): cost %v != %v", n, i, j, got.Cost[i*n+j], want.Cost[i][j])
+				}
+				if got.CostT[j*n+i] != want.Cost[i][j] {
+					t.Fatalf("n=%d cell (%d,%d): transpose out of sync", n, i, j)
+				}
+				if got.Split[i*n+j] != want.Split[i][j] {
+					t.Fatalf("n=%d cell (%d,%d): split %d != %d", n, i, j, got.Split[i*n+j], want.Split[i][j])
+				}
+			}
+		}
+		if got.Parenthesization() != want.Parenthesization() {
+			t.Fatalf("n=%d: parenthesization %q != %q", n, got.Parenthesization(), want.Parenthesization())
+		}
+		cost, paren, err := SolveFast(dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost != want.OptimalCost() || paren != want.Parenthesization() {
+			t.Fatalf("n=%d: SolveFast (%v, %q) != DP (%v, %q)", n, cost, paren, want.OptimalCost(), want.Parenthesization())
+		}
+	}
+}
+
+func TestFlatRejectsBadDims(t *testing.T) {
+	if _, err := DPFlat([]int{3}); err == nil {
+		t.Fatal("single-dim chain accepted")
+	}
+	if _, err := DPFlat([]int{3, 0, 2}); err == nil {
+		t.Fatal("nonpositive dimension accepted")
+	}
+	if _, _, err := SolveFast([]int{3}); err == nil {
+		t.Fatal("SolveFast accepted a single-dim chain")
+	}
+}
+
+func TestWavefrontBatchFastMatchesWavefrontBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, b := range []int{1, 2, 7} {
+		dimsList := make([][]int, b)
+		for q := range dimsList {
+			dimsList[q] = randDims(rng, 9)
+		}
+		wantTabs, wantCycles, err := WavefrontBatch(dimsList)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs, parens, cycles, err := WavefrontBatchFast(dimsList)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cycles != wantCycles {
+			t.Fatalf("b=%d: cycles %d != %d", b, cycles, wantCycles)
+		}
+		for q := range wantTabs {
+			if costs[q] != wantTabs[q].OptimalCost() {
+				t.Fatalf("b=%d q=%d: cost %v != %v", b, q, costs[q], wantTabs[q].OptimalCost())
+			}
+			if parens[q] != wantTabs[q].Parenthesization() {
+				t.Fatalf("b=%d q=%d: paren %q != %q", b, q, parens[q], wantTabs[q].Parenthesization())
+			}
+		}
+	}
+	// Mismatched lengths fail the whole batch, like WavefrontBatch.
+	if _, _, _, err := WavefrontBatchFast([][]int{{2, 3, 4}, {2, 3}}); err == nil {
+		t.Fatal("mismatched batch accepted")
+	}
+	if _, _, _, err := WavefrontBatchFast(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+// TestFlatSolveZeroAllocSteadyState is the tentpole's allocation gate
+// for the chain kernel: refilling a warm flat table allocates nothing.
+func TestFlatSolveZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	dims := randDims(rng, 24)
+	var f Flat
+	if err := f.Solve(dims); err != nil { // warm the backing arrays
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := f.Solve(dims); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Flat.Solve allocates %v objects/op steady-state, want 0", allocs)
+	}
+}
+
+func TestWavefrontBatchFastIntoZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	dimsList := [][]int{randDims(rng, 12), randDims(rng, 12)}
+	costs := make([]float64, len(dimsList))
+	if _, err := WavefrontBatchFastInto(costs, nil, dimsList); err != nil { // warm
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := WavefrontBatchFastInto(costs, nil, dimsList); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("WavefrontBatchFastInto allocates %v objects/op steady-state, want 0", allocs)
+	}
+}
+
+func BenchmarkChainDP24(b *testing.B) {
+	rng := rand.New(rand.NewSource(25))
+	dims := randDims(rng, 24)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DP(dims); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChainFlat24(b *testing.B) {
+	rng := rand.New(rand.NewSource(25))
+	dims := randDims(rng, 24)
+	var f Flat
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := f.Solve(dims); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package matrix
+
+// Monomorphized chain-product kernels. ChainVec is the single-processor
+// baseline the engines are judged against AND the library fast path for
+// backward multistage evaluation; its interface-typed semiring costs two
+// indirect calls per cell and its right-to-left product allocates one
+// vector per stage. The generic mirrors instantiate at a concrete
+// zero-size semiring (the per-cell Add/Mul inline) and ping-pong two
+// pooled buffers, so a steady-state evaluation allocates only its result
+// slice — or nothing, with ChainVecInto.
+//
+// The reduction order is exactly MulVec's row-major Add-fold, so outputs
+// are bitwise identical to ChainVec for every semiring.
+
+import (
+	"fmt"
+	"sync"
+
+	"systolicdp/internal/arena"
+	"systolicdp/internal/semiring"
+)
+
+// MulVecG computes out = a (.) v with the semiring monomorphized,
+// writing into out (which must have length a.Rows). Bitwise identical to
+// MulVec.
+func MulVecG[S semiring.Semiring](s S, a *Matrix, v, out []float64) {
+	if a.Cols != len(v) {
+		panic(fmt.Sprintf("matrix: MulVec dimension mismatch %dx%d . %d", a.Rows, a.Cols, len(v)))
+	}
+	if len(out) != a.Rows {
+		panic(fmt.Sprintf("matrix: MulVecG out length %d, want %d", len(out), a.Rows))
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : i*a.Cols+a.Cols]
+		acc := s.Zero()
+		for k, x := range row {
+			acc = s.Add(acc, s.Mul(x, v[k]))
+		}
+		out[i] = acc
+	}
+}
+
+type chainWS struct{ a, b []float64 }
+
+var chainPool = sync.Pool{New: func() any { return new(chainWS) }}
+
+// ChainVecG evaluates equation (8c) right-to-left like ChainVec, with
+// the semiring monomorphized and pooled intermediate vectors. Bitwise
+// identical to ChainVec(s, ms, v); only the returned slice allocates.
+func ChainVecG[S semiring.Semiring](s S, ms []*Matrix, v []float64) []float64 {
+	n := len(v)
+	if len(ms) > 0 {
+		n = ms[0].Rows
+	}
+	out := make([]float64, n)
+	ChainVecInto(s, out, ms, v)
+	return out
+}
+
+// ChainVecInto is ChainVecG writing into a caller-owned result slice
+// (length ms[0].Rows, or len(v) for an empty chain) for allocation-free
+// steady-state evaluation.
+func ChainVecInto[S semiring.Semiring](s S, dst []float64, ms []*Matrix, v []float64) {
+	want := len(v)
+	if len(ms) > 0 {
+		want = ms[0].Rows
+	}
+	if len(dst) != want {
+		panic(fmt.Sprintf("matrix: ChainVecInto dst length %d, want %d", len(dst), want))
+	}
+	if len(ms) == 0 {
+		copy(dst, v)
+		return
+	}
+	ws := chainPool.Get().(*chainWS)
+	cur := arena.Floats(ws.a, len(v))
+	copy(cur, v)
+	next := ws.b
+	for i := len(ms) - 1; i >= 0; i-- {
+		if i == 0 {
+			MulVecG(s, ms[0], cur, dst)
+			break
+		}
+		next = arena.Floats(next, ms[i].Rows)
+		MulVecG(s, ms[i], cur, next)
+		cur, next = next, cur
+	}
+	ws.a, ws.b = cur, next // keep the grown capacity pooled
+	chainPool.Put(ws)      // clean completion only (arena discipline)
+}

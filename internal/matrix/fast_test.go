@@ -1,0 +1,97 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+
+	"systolicdp/internal/semiring"
+)
+
+func randChain(rng *rand.Rand, sizes []int) ([]*Matrix, []float64) {
+	ms := make([]*Matrix, len(sizes)-1)
+	for i := range ms {
+		ms[i] = Random(rng, sizes[i], sizes[i+1], -5, 5)
+	}
+	v := make([]float64, sizes[len(sizes)-1])
+	for i := range v {
+		v[i] = rng.Float64()*10 - 5
+	}
+	return ms, v
+}
+
+// TestChainVecGBitwiseVsChainVec pins the monomorphized chain product
+// against the interface-typed baseline for every semiring, including
+// ragged stage sizes and the empty chain.
+func TestChainVecGBitwiseVsChainVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	shapes := [][]int{{1, 1}, {3, 5}, {4, 4, 4}, {2, 7, 3, 5, 1}, {6}}
+	for _, sizes := range shapes {
+		ms, v := randChain(rng, sizes)
+		for _, s := range semiring.All() {
+			want := ChainVec(s, ms, v)
+			var got []float64
+			switch sr := s.(type) {
+			case semiring.MinPlus:
+				got = ChainVecG(sr, ms, v)
+			case semiring.MaxPlus:
+				got = ChainVecG(sr, ms, v)
+			case semiring.PlusTimes:
+				got = ChainVecG(sr, ms, v)
+			case semiring.BoolOrAnd:
+				got = ChainVecG(sr, ms, v)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%v %s: length %d != %d", sizes, s.Name(), len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v %s: out[%d] = %v != %v", sizes, s.Name(), i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMulVecGPanicsOnMismatch(t *testing.T) {
+	a := New(2, 3, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	MulVecG(semiring.MinPlus{}, a, []float64{1, 2}, make([]float64, 2))
+}
+
+// TestChainVecIntoZeroAllocSteadyState is the tentpole's allocation gate
+// for the graph chain-product kernel.
+func TestChainVecIntoZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ms, v := randChain(rng, []int{4, 6, 5, 3})
+	dst := make([]float64, ms[0].Rows)
+	ChainVecInto(semiring.MinPlus{}, dst, ms, v) // warm the pool
+	allocs := testing.AllocsPerRun(100, func() {
+		ChainVecInto(semiring.MinPlus{}, dst, ms, v)
+	})
+	if allocs != 0 {
+		t.Fatalf("ChainVecInto allocates %v objects/op steady-state, want 0", allocs)
+	}
+}
+
+func BenchmarkChainVec32(b *testing.B) {
+	rng := rand.New(rand.NewSource(43))
+	ms, v := randChain(rng, []int{32, 32, 32, 32, 32, 32})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ChainVec(semiring.MinPlus{}, ms, v)
+	}
+}
+
+func BenchmarkChainVecInto32(b *testing.B) {
+	rng := rand.New(rand.NewSource(43))
+	ms, v := randChain(rng, []int{32, 32, 32, 32, 32, 32})
+	dst := make([]float64, ms[0].Rows)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ChainVecInto(semiring.MinPlus{}, dst, ms, v)
+	}
+}

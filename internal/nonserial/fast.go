@@ -1,0 +1,183 @@
+package nonserial
+
+// The zero-allocation monomorphized elimination kernel. Eliminate's hot
+// loop pays three costs the paper's fixed-function cells don't: a func
+// call per step for G, one allocation per h-table row per eliminated
+// variable, and [][] indirection per cell. EliminateFast closes all
+// three: the ternary cost is a generic value-type Ternary op so named
+// costs inline, and the h-tables are two flat ping-pong buffers drawn
+// from a pooled workspace.
+//
+// Every step evaluates EXACTLY Eliminate's float64 expression
+// h[a][b] + G(v_a, v_b, v_c) with the same strict-< minimization in the
+// same (a, b, c) order, so costs are bitwise identical to Eliminate and
+// the measured step count equals equation (40) exactly as before.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"systolicdp/internal/arena"
+)
+
+// Ternary is the monomorphizable ternary-cost constraint: implemented by
+// zero-size op structs so the generic kernel inlines the per-step call.
+type Ternary interface {
+	At(a, b, c float64) float64
+}
+
+// DefaultOp is DefaultG as an inlinable value type.
+type DefaultOp struct{}
+
+// At returns |a-b| + |b-c| + |a-c|/2.
+func (DefaultOp) At(a, b, c float64) float64 { return DefaultG(a, b, c) }
+
+// SpanOp is SpanG as an inlinable value type.
+type SpanOp struct{}
+
+// At returns max(a,b,c) - min(a,b,c).
+func (SpanOp) At(a, b, c float64) float64 { return SpanG(a, b, c) }
+
+// FuncOp adapts an arbitrary ternary cost to the Ternary constraint —
+// the fallback for unnamed costs; it keeps one indirect call per step,
+// exactly the old cost.
+type FuncOp struct{ F func(a, b, c float64) float64 }
+
+// At calls the wrapped function.
+func (o FuncOp) At(a, b, c float64) float64 { return o.F(a, b, c) }
+
+// elimWS is the pooled pair of flat ping-pong h-tables.
+type elimWS struct{ h, nh []float64 }
+
+var elimPool = sync.Pool{New: func() any { return new(elimWS) }}
+
+// EliminateFast is Eliminate on the monomorphized kernel: it dispatches
+// on GName to an inlinable op (falling back to calling G through FuncOp
+// when the name is unknown or empty) and runs the elimination on pooled
+// flat tables. Bitwise identical to Eliminate in both cost and steps.
+func EliminateFast(c *Chain3) (cost float64, steps int, err error) {
+	if err := c.Validate(); err != nil {
+		return 0, 0, err
+	}
+	ws := elimPool.Get().(*elimWS)
+	cost, steps = eliminateWS(c, ws)
+	elimPool.Put(ws) // clean completion only (arena discipline)
+	return cost, steps, nil
+}
+
+// eliminateWS dispatches GName to the matching op. GName is a promise
+// that G is the named function (the constructors and the spec parser
+// uphold it); an empty or unrecognized name takes the FuncOp path, which
+// is always correct.
+func eliminateWS(c *Chain3, ws *elimWS) (float64, int) {
+	switch c.GName {
+	case GNameDefault:
+		return eliminateFlat(c.Domains, DefaultOp{}, ws)
+	case GNameSpan:
+		return eliminateFlat(c.Domains, SpanOp{}, ws)
+	default:
+		return eliminateFlat(c.Domains, FuncOp{c.G}, ws)
+	}
+}
+
+// eliminateFlat runs equations (37)-(39) on flat ping-pong tables:
+// h[a*mb+b] is h_{k-1}(v_k, v_{k+1}), rebuilt into nh[b*mc+cc] per
+// eliminated variable. The (a, b, c) loop order, the candidate
+// expression and the strict-< updates are exactly Eliminate's, so the
+// result is bitwise identical; the step count is accumulated in bulk
+// (the per-iteration counter hoisted out of the loop) and equals
+// equation (40) as before.
+func eliminateFlat[O Ternary](domains [][]float64, op O, ws *elimWS) (float64, int) {
+	n := len(domains)
+	steps := 0
+	h := arena.Floats(ws.h, len(domains[0])*len(domains[1]))
+	for i := range h {
+		h[i] = 0
+	}
+	nh := ws.nh
+	for k := 0; k+2 < n; k++ {
+		da, db, dc := domains[k], domains[k+1], domains[k+2]
+		mb, mc := len(db), len(dc)
+		nh = arena.Floats(nh, mb*mc)
+		for i := range nh {
+			nh[i] = math.Inf(1)
+		}
+		for a := range da {
+			va := da[a]
+			hrow := h[a*mb : a*mb+mb]
+			for b := range db {
+				hab := hrow[b]
+				vb := db[b]
+				nrow := nh[b*mc : b*mc+mc]
+				for cc := range dc {
+					cand := hab + op.At(va, vb, dc[cc])
+					if cand < nrow[cc] {
+						nrow[cc] = cand
+					}
+				}
+			}
+		}
+		steps += len(da) * mb * mc
+		h, nh = nh, h
+	}
+	cost := math.Inf(1)
+	for _, v := range h {
+		if v < cost {
+			cost = v
+		}
+	}
+	steps += len(h)
+	ws.h, ws.nh = h, nh // keep the grown capacity pooled
+	return cost, steps
+}
+
+// EliminateBatchFast is EliminateBatch on the monomorphized kernel: it
+// validates exactly like EliminateBatch (same error messages) and solves
+// the instances on one pooled workspace. Instances are independent, so
+// the per-instance order here and EliminateBatch's lockstep interleaving
+// compute identical tables; costs and the summed step count are bitwise
+// identical.
+func EliminateBatchFast(chains []*Chain3) (costs []float64, steps int, err error) {
+	costs = make([]float64, len(chains))
+	steps, err = EliminateBatchFastInto(costs, chains)
+	if err != nil {
+		return nil, 0, err
+	}
+	return costs, steps, nil
+}
+
+// EliminateBatchFastInto is EliminateBatchFast writing into a
+// caller-owned cost slice for allocation-free steady-state batches.
+func EliminateBatchFastInto(costs []float64, chains []*Chain3) (steps int, err error) {
+	if len(chains) == 0 {
+		return 0, fmt.Errorf("nonserial: empty batch")
+	}
+	if len(costs) != len(chains) {
+		return 0, fmt.Errorf("nonserial: costs length %d != batch size %d", len(costs), len(chains))
+	}
+	profile := chains[0].Domains
+	for q, c := range chains {
+		if err := c.Validate(); err != nil {
+			return 0, fmt.Errorf("nonserial: batch instance %d: %v", q, err)
+		}
+		if len(c.Domains) != len(profile) {
+			return 0, fmt.Errorf("nonserial: batch instance %d has %d variables, batch shape has %d",
+				q, len(c.Domains), len(profile))
+		}
+		for k := range c.Domains {
+			if len(c.Domains[k]) != len(profile[k]) {
+				return 0, fmt.Errorf("nonserial: batch instance %d domain %d has %d values, batch shape has %d",
+					q, k, len(c.Domains[k]), len(profile[k]))
+			}
+		}
+	}
+	ws := elimPool.Get().(*elimWS)
+	for q, c := range chains {
+		cost, s := eliminateWS(c, ws)
+		costs[q] = cost
+		steps += s
+	}
+	elimPool.Put(ws) // clean completion only
+	return steps, nil
+}

@@ -176,6 +176,13 @@ func (p *Problem) Eval(idx []int) float64 {
 type Chain3 struct {
 	Domains [][]float64
 	G       func(a, b, c float64) float64
+	// GName optionally names G so the monomorphized kernel (EliminateFast)
+	// can dispatch to an inlinable op: GNameDefault and GNameSpan promise
+	// G is DefaultG / SpanG respectively; any other value (including "")
+	// means "call G through its func value". Setters of G are responsible
+	// for keeping the promise — the constructors here and the spec parser
+	// do.
+	GName string
 }
 
 // Validate checks the chain has at least three variables, nonempty
@@ -378,7 +385,7 @@ func (c *Chain3) UniformDomains() bool {
 // RandomChain3 generates an N-variable chain with m values per domain
 // drawn from [lo, hi) and a smooth ternary cost |a-b| + |b-c| + |a-c|/2.
 func RandomChain3(rng *rand.Rand, n, m int, lo, hi float64) *Chain3 {
-	c := &Chain3{G: DefaultG}
+	c := &Chain3{G: DefaultG, GName: GNameDefault}
 	for k := 0; k < n; k++ {
 		d := make([]float64, m)
 		for i := range d {
@@ -396,14 +403,29 @@ func RandomUniformChain3(rng *rand.Rand, n, m int, lo, hi float64) *Chain3 {
 	for i := range d {
 		d[i] = lo + rng.Float64()*(hi-lo)
 	}
-	c := &Chain3{G: DefaultG}
+	c := &Chain3{G: DefaultG, GName: GNameDefault}
 	for k := 0; k < n; k++ {
 		c.Domains = append(c.Domains, d)
 	}
 	return c
 }
 
+// Names of the built-in ternary costs, used as Chain3.GName values so
+// EliminateFast can pick the matching inlinable op.
+const (
+	GNameDefault = "default"
+	GNameSpan    = "span"
+)
+
 // DefaultG is a representative ternary interaction cost.
 func DefaultG(a, b, c float64) float64 {
 	return math.Abs(a-b) + math.Abs(b-c) + math.Abs(a-c)/2
+}
+
+// SpanG is the range of the three values, max - min: the "span" cost of
+// the spec vocabulary.
+func SpanG(a, b, c float64) float64 {
+	hi := math.Max(a, math.Max(b, c))
+	lo := math.Min(a, math.Min(b, c))
+	return hi - lo
 }

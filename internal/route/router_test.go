@@ -510,3 +510,47 @@ func waitFor(t *testing.T, d time.Duration, cond func() bool) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// A micro-batching replica calibrates its admission rates under the
+// batch kernels' execution kinds ("chain-batch", ...), not the pool
+// kinds EstimateCostFile reports ("chain", ...). The edge shed must
+// price against the batch rate when that is what the replica
+// advertises — before the fix this request forwarded into the hour-long
+// backlog instead of shedding at the edge.
+func TestRouterEarlyShedBatchedKinds(t *testing.T) {
+	a := newFakeReplica()
+	defer a.ts.Close()
+	rt := newTestRouter(t, Config{
+		Replicas:       []string{a.base()},
+		HealthInterval: 10 * time.Millisecond,
+		ShedEnabled:    true,
+		ShedHeadroom:   1.0,
+		Deadline:       time.Second,
+	})
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+
+	// The replica batches chain solves: only "chain-batch" is calibrated.
+	a.status.Store(serve.Statusz{
+		Workers: 1,
+		Admit: serve.AdmitStatus{
+			BacklogSeconds: 3600,
+			Rates:          map[string]float64{"chain-batch": 1e6},
+		},
+	})
+	waitFor(t, time.Second, func() bool {
+		rep := rt.Statusz()
+		return len(rep) == 1 && rep[0].BacklogSeconds > 0
+	})
+	solved := a.solves.Load()
+	resp, _ := postBody(t, ts.URL, chainBody(2))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("batched-kind overload status %d, want 429 (edge shed blind to batch rates)", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("edge shed missing Retry-After")
+	}
+	if a.solves.Load() != solved {
+		t.Error("shed request still burned a proxy hop")
+	}
+}

@@ -1,0 +1,31 @@
+package semiring
+
+// Monomorphizable mirrors of Fold and Dot. The concrete semirings
+// (MinPlus, MaxPlus, PlusTimes, BoolOrAnd) are zero-size value types, so
+// instantiating these generics at a concrete semiring lets the compiler
+// devirtualize and inline the per-element Add/Mul calls that the
+// interface-typed Fold/Dot pay on every iteration. The loop bodies are
+// copies of Fold and Dot, so results are bitwise identical.
+
+import "fmt"
+
+// FoldOps is Fold with the semiring monomorphized.
+func FoldOps[S Semiring](s S, xs []float64) float64 {
+	acc := s.Zero()
+	for _, x := range xs {
+		acc = s.Add(acc, x)
+	}
+	return acc
+}
+
+// DotOps is Dot with the semiring monomorphized.
+func DotOps[S Semiring](s S, a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("semiring: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	acc := s.Zero()
+	for i := range a {
+		acc = s.Add(acc, s.Mul(a[i], b[i]))
+	}
+	return acc
+}

@@ -1,0 +1,40 @@
+package semiring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The monomorphized folds must be bitwise identical to the
+// interface-typed originals for every semiring.
+func TestOpsBitwiseVsInterface(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	xs := make([]float64, 33)
+	ys := make([]float64, 33)
+	for i := range xs {
+		xs[i] = rng.Float64()*20 - 10
+		ys[i] = rng.Float64()*20 - 10
+	}
+	check := func(s Semiring, fold, dot float64) {
+		if want := Fold(s, xs); fold != want {
+			t.Fatalf("%s: FoldOps %v != Fold %v", s.Name(), fold, want)
+		}
+		if want := Dot(s, xs, ys); dot != want {
+			t.Fatalf("%s: DotOps %v != Dot %v", s.Name(), dot, want)
+		}
+	}
+	check(MinPlus{}, FoldOps(MinPlus{}, xs), DotOps(MinPlus{}, xs, ys))
+	check(MaxPlus{}, FoldOps(MaxPlus{}, xs), DotOps(MaxPlus{}, xs, ys))
+	check(PlusTimes{}, FoldOps(PlusTimes{}, xs), DotOps(PlusTimes{}, xs, ys))
+	check(BoolOrAnd{}, FoldOps(BoolOrAnd{}, xs), DotOps(BoolOrAnd{}, xs, ys))
+	// Empty and mismatched inputs behave like the originals.
+	if FoldOps(MinPlus{}, nil) != Fold(MinPlus{}, nil) {
+		t.Fatal("empty FoldOps differs")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DotOps length mismatch did not panic")
+		}
+	}()
+	DotOps(MinPlus{}, xs, ys[:5])
+}

@@ -274,3 +274,29 @@ func TestAdmitterBacklogReleasesOnAllPaths(t *testing.T) {
 		t.Errorf("backlog after successful dispatch = %v, want 0", got)
 	}
 }
+
+// BatchKind must cover every batch kernel the server can calibrate
+// under: for each core.BatchKernels() kernel there is a pool kind whose
+// BatchKind is that kernel's Kind(), and BatchKind never invents a kind
+// no kernel executes.
+func TestBatchKindCoversBatchKernels(t *testing.T) {
+	poolKinds := []string{"graph-stream", "graph", "nodevalued", "dtw", "chain", "nonserial", "other"}
+	reachable := make(map[string]bool)
+	for _, k := range poolKinds {
+		if bk := BatchKind(k); bk != "" {
+			reachable[bk] = true
+		}
+	}
+	execKinds := make(map[string]bool)
+	for _, kern := range core.BatchKernels() {
+		execKinds[kern.Kind()] = true
+		if !reachable[kern.Kind()] {
+			t.Errorf("batch kernel kind %q unreachable from any pool kind via BatchKind", kern.Kind())
+		}
+	}
+	for bk := range reachable {
+		if !execKinds[bk] {
+			t.Errorf("BatchKind maps to %q, but no batch kernel executes under that kind", bk)
+		}
+	}
+}

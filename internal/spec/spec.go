@@ -21,7 +21,6 @@ package spec
 import (
 	"encoding/json"
 	"fmt"
-	"math"
 
 	"systolicdp/internal/core"
 	"systolicdp/internal/matrix"
@@ -63,12 +62,8 @@ func PairCosts() map[string]multistage.CostFunc {
 // TernaryCosts maps names to ternary cost functions for nonserial chains.
 func TernaryCosts() map[string]func(a, b, c float64) float64 {
 	return map[string]func(a, b, c float64) float64{
-		"default": nonserial.DefaultG,
-		"span": func(a, b, c float64) float64 {
-			hi := math.Max(a, math.Max(b, c))
-			lo := math.Min(a, math.Min(b, c))
-			return hi - lo
-		},
+		nonserial.GNameDefault: nonserial.DefaultG,
+		nonserial.GNameSpan:    nonserial.SpanG,
 	}
 }
 
@@ -156,7 +151,9 @@ func (f *File) Build() (core.Problem, error) {
 		if !ok {
 			return nil, fmt.Errorf("spec: unknown ternary cost %q", name)
 		}
-		c := &nonserial.Chain3{Domains: f.Domains, G: g}
+		// GName carries the spec's cost name into the chain so the
+		// monomorphized kernel can dispatch to the inlinable op.
+		c := &nonserial.Chain3{Domains: f.Domains, G: g, GName: name}
 		if err := c.Validate(); err != nil {
 			return nil, fmt.Errorf("spec: %v", err)
 		}

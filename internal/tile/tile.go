@@ -1,0 +1,148 @@
+// Package tile provides the persistent worker pool the cache-tiled DP
+// kernels share for wavefront-parallel tile diagonals. One pool of
+// GOMAXPROCS workers serves every kernel in the process (the software
+// analogue of the paper's fixed PE array: the compute fabric is a
+// resident resource the problems stream through, not a per-request
+// spawn).
+//
+// Run dispatches a Job's indices across the workers and barriers until
+// all complete — one tile anti-diagonal per Run call. The Job interface
+// (rather than a closure parameter) exists for the zero-allocation hot
+// path: kernels keep a reusable job struct in their pooled workspace, so
+// a steady-state solve performs no per-diagonal allocations. A panic in
+// any Do call aborts the remaining indices and re-panics on the Run
+// caller's goroutine, preserving the kernels' drop-on-panic workspace
+// discipline (see internal/arena).
+package tile
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Job is one parallel sweep: Do is invoked once per index i in [0, n),
+// concurrently, with slot identifying which worker lane (0..Workers()-1)
+// is calling — kernels use the slot to pick a private scratch buffer.
+type Job interface {
+	Do(slot, i int)
+}
+
+// Pool is a fixed set of persistent workers with barrier semantics.
+// A Pool is safe for concurrent Run calls (they serialize internally);
+// the zero-size sequential case bypasses the workers entirely.
+type Pool struct {
+	workers int
+
+	mu    sync.Mutex // serializes Run: one sweep owns the workers at a time
+	job   Job
+	n     int
+	next  atomic.Int64
+	start []chan struct{}
+	wg    sync.WaitGroup
+
+	panicMu  sync.Mutex
+	panicVal any
+}
+
+// NewPool builds a pool of the given width; workers < 1 is clamped to 1.
+// A width-1 pool spawns no goroutines: Run degrades to an inline loop.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers}
+	// The Run caller participates as the last slot, so only workers-1
+	// helper goroutines are needed.
+	p.start = make([]chan struct{}, workers-1)
+	for w := range p.start {
+		p.start[w] = make(chan struct{}, 1)
+		go p.helper(w)
+	}
+	return p
+}
+
+// Workers reports the pool width (parallel lanes available to Run).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+func (p *Pool) helper(slot int) {
+	for range p.start[slot] {
+		p.drain(slot)
+		p.wg.Done()
+	}
+}
+
+// drain grabs indices until the counter passes n, recovering a panic by
+// recording it and cancelling the remaining indices.
+func (p *Pool) drain(slot int) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicMu.Lock()
+			if p.panicVal == nil {
+				p.panicVal = r
+			}
+			p.panicMu.Unlock()
+			p.next.Store(int64(p.n)) // abort the sweep for the other lanes
+		}
+	}()
+	for {
+		i := int(p.next.Add(1)) - 1
+		if i >= p.n {
+			return
+		}
+		p.job.Do(slot, i)
+	}
+}
+
+// Run invokes j.Do for every index in [0, n) and returns when all calls
+// have completed. With one index, one worker, or a nil pool it runs
+// inline on the caller (slot 0) with no synchronization. If any Do
+// panics, Run panics with the first recovered value after the barrier.
+func (p *Pool) Run(n int, j Job) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || p.workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			j.Do(0, i)
+		}
+		return
+	}
+	p.mu.Lock()
+	p.job, p.n = j, n
+	p.next.Store(0)
+	p.panicVal = nil
+	p.wg.Add(len(p.start))
+	for _, c := range p.start {
+		c <- struct{}{}
+	}
+	p.drain(p.workers - 1) // the caller is the last lane
+	p.wg.Wait()
+	pv := p.panicVal
+	p.job = nil
+	p.mu.Unlock()
+	if pv != nil {
+		panic(pv)
+	}
+}
+
+var (
+	defaultOnce sync.Once
+	defaultPool *Pool
+)
+
+// Default returns the process-wide pool, sized to GOMAXPROCS at first
+// use. On a single-vCPU host this is a width-1 pool and every kernel
+// sweep stays inline — the tiling then buys cache locality alone, which
+// is the dominant term anyway (see docs/tiling.md).
+func Default() *Pool {
+	defaultOnce.Do(func() {
+		defaultPool = NewPool(runtime.GOMAXPROCS(0))
+	})
+	return defaultPool
+}

@@ -1,0 +1,119 @@
+package tile
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+type countJob struct {
+	hits []atomic.Int64
+}
+
+func (j *countJob) Do(slot, i int) { j.hits[i].Add(1) }
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 3, 17, 256} {
+			j := &countJob{hits: make([]atomic.Int64, n)}
+			p.Run(n, j)
+			for i := range j.hits {
+				if got := j.hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+type slotJob struct {
+	max  int
+	seen []atomic.Int64
+}
+
+func (j *slotJob) Do(slot, i int) {
+	if slot < 0 || slot >= j.max {
+		panic("slot out of range")
+	}
+	j.seen[slot].Add(1)
+}
+
+func TestSlotsStayInRange(t *testing.T) {
+	p := NewPool(4)
+	j := &slotJob{max: p.Workers(), seen: make([]atomic.Int64, p.Workers())}
+	p.Run(1000, j)
+	total := int64(0)
+	for i := range j.seen {
+		total += j.seen[i].Load()
+	}
+	if total != 1000 {
+		t.Fatalf("total Do calls = %d, want 1000", total)
+	}
+}
+
+type panicJob struct{ at int }
+
+func (j *panicJob) Do(slot, i int) {
+	if i == j.at {
+		panic("tile kernel failure")
+	}
+}
+
+// TestRunPropagatesPanic pins the drop-on-panic contract the arena
+// workspaces rely on: a panic inside any lane resurfaces on the Run
+// caller, after the barrier, so the caller's (non-deferred) pool.Put is
+// skipped and the pool is reusable afterwards.
+func TestRunPropagatesPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+			}()
+			p.Run(64, &panicJob{at: 13})
+		}()
+		// The pool must still work after a panicked sweep.
+		j := &countJob{hits: make([]atomic.Int64, 32)}
+		p.Run(32, j)
+		for i := range j.hits {
+			if j.hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: pool wedged after panic (index %d)", workers, i)
+			}
+		}
+	}
+}
+
+func TestConcurrentRunsSerialize(t *testing.T) {
+	p := NewPool(3)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				j := &countJob{hits: make([]atomic.Int64, 20)}
+				p.Run(20, j)
+				for i := range j.hits {
+					if j.hits[i].Load() != 1 {
+						t.Errorf("concurrent Run corrupted a sweep")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestRunAllocsSteadyState(t *testing.T) {
+	p := NewPool(2)
+	j := &countJob{hits: make([]atomic.Int64, 64)}
+	p.Run(64, j) // warm
+	allocs := testing.AllocsPerRun(100, func() { p.Run(64, j) })
+	if allocs != 0 {
+		t.Fatalf("Run allocates %v objects per sweep, want 0", allocs)
+	}
+}
