@@ -23,6 +23,7 @@ import (
 	"os"
 	"testing"
 
+	"systolicdp/internal/align"
 	"systolicdp/internal/dtw"
 	"systolicdp/internal/matchain"
 	"systolicdp/internal/matrix"
@@ -131,6 +132,49 @@ func main() {
 			}
 		},
 		func() { _, _ = dtw.SweepBatchFastInto(dists, pairs, nil) })
+
+	// Affine-gap alignment single solve: 256×256 lattice, three layers.
+	ap := align.Params{Open: 3, Ext: 1}
+	ax, ay := series(256), series(256)
+	add("align", "256x256",
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := align.Sequential(ax, ay, ap); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := align.SolveFast(ax, ay, ap); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		func() { _, _ = align.SolveFast(ax, ay, ap) })
+
+	// Alignment batch: 8 same-shape 128-point pairs, one stacked lattice.
+	apairs := make([]align.Pair, 8)
+	for i := range apairs {
+		apairs[i] = align.Pair{X: series(128), Y: series(128)}
+	}
+	acosts := make([]float64, len(apairs))
+	add("align-batch", "8x128x128",
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := align.SweepBatch(apairs, ap); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := align.SweepBatchFastInto(acosts, apairs, ap); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		func() { _, _ = align.SweepBatchFastInto(acosts, apairs, ap) })
 
 	// Chain ordering: 24-matrix product.
 	dims := make([]int, 25)

@@ -1,0 +1,206 @@
+package align
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteForce enumerates every alignment (sequence of match / gap-in-y /
+// gap-in-x moves) recursively, charging affine gaps by tracking the
+// previous move — the independent oracle for small instances.
+func bruteForce(x, y []float64, p Params) float64 {
+	const (
+		moveNone = iota
+		moveMatch
+		moveGapX // consume x[i] against a gap
+		moveGapY // consume y[j] against a gap
+	)
+	var rec func(i, j, last int) float64
+	rec = func(i, j, last int) float64 {
+		if i == len(x) && j == len(y) {
+			return 0
+		}
+		best := math.Inf(1)
+		if i < len(x) && j < len(y) {
+			if v := sub(x[i], y[j]) + rec(i+1, j+1, moveMatch); v < best {
+				best = v
+			}
+		}
+		if i < len(x) {
+			c := p.Ext
+			if last != moveGapX {
+				c += p.Open
+			}
+			if v := c + rec(i+1, j, moveGapX); v < best {
+				best = v
+			}
+		}
+		if j < len(y) {
+			c := p.Ext
+			if last != moveGapY {
+				c += p.Open
+			}
+			if v := c + rec(i, j+1, moveGapY); v < best {
+				best = v
+			}
+		}
+		return best
+	}
+	return rec(0, 0, moveNone)
+}
+
+func randSeries(rng *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = float64(rng.Intn(19) - 9)
+	}
+	return s
+}
+
+func TestSequentialMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		x := randSeries(rng, rng.Intn(6))
+		y := randSeries(rng, rng.Intn(6))
+		p := Params{Open: float64(rng.Intn(5)), Ext: float64(1 + rng.Intn(3))}
+		got, err := Sequential(x, y, p)
+		if err != nil {
+			t.Fatalf("Sequential: %v", err)
+		}
+		want := bruteForce(x, y, p)
+		if got != want {
+			t.Fatalf("trial %d: |x|=%d |y|=%d %+v: Sequential %v, brute force %v",
+				trial, len(x), len(y), p, got, want)
+		}
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	p := Params{Open: 3, Ext: 2}
+	if got, _ := Sequential(nil, nil, p); got != 0 {
+		t.Fatalf("align(empty, empty) = %v, want 0", got)
+	}
+	y := []float64{1, 2, 3}
+	// One gap run over y: Open + 3*Ext.
+	if got, _ := Sequential(nil, y, p); got != 3+3*2 {
+		t.Fatalf("align(empty, y) = %v, want %v", got, 3+3*2)
+	}
+	if got, _ := Sequential(y, nil, p); got != 3+3*2 {
+		t.Fatalf("align(y, empty) = %v, want %v", got, 3+3*2)
+	}
+	if got, _ := SolveFast(nil, y, p); got != 3+3*2 {
+		t.Fatalf("SolveFast(empty, y) = %v, want %v", got, 3+3*2)
+	}
+}
+
+func TestFastBitwiseIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		x := randSeries(rng, rng.Intn(20))
+		y := randSeries(rng, rng.Intn(20))
+		p := Params{Open: float64(rng.Intn(6)), Ext: float64(rng.Intn(4))}
+		want, err := Sequential(x, y, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SolveFast(x, y, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d |x|=%d |y|=%d: fast %v != sequential %v", trial, len(x), len(y), got, want)
+		}
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		x := randSeries(rng, rng.Intn(10))
+		y := randSeries(rng, rng.Intn(10))
+		p := Params{Open: float64(rng.Intn(5)), Ext: float64(rng.Intn(3))}
+		a, _ := Sequential(x, y, p)
+		b, _ := Sequential(y, x, p)
+		if a != b {
+			t.Fatalf("align(x,y)=%v != align(y,x)=%v", a, b)
+		}
+	}
+}
+
+func TestSweepBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, b := range []int{1, 2, 7} {
+		n, m := rng.Intn(10), rng.Intn(10)
+		p := Params{Open: 2, Ext: 1}
+		pairs := make([]Pair, b)
+		want := make([]float64, b)
+		for i := range pairs {
+			pairs[i] = Pair{X: randSeries(rng, n), Y: randSeries(rng, m)}
+			w, err := Sequential(pairs[i].X, pairs[i].Y, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = w
+		}
+		got, cycles, err := SweepBatch(pairs, p)
+		if err != nil {
+			t.Fatalf("b=%d: %v", b, err)
+		}
+		if wantCyc := b*(n+1) + m; cycles != wantCyc {
+			t.Fatalf("b=%d: cycles %d, want %d", b, cycles, wantCyc)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("b=%d i=%d: batch %v != sequential %v", b, i, got[i], want[i])
+			}
+		}
+		fast, fcyc, err := SweepBatchFast(pairs, p)
+		if err != nil {
+			t.Fatalf("b=%d fast: %v", b, err)
+		}
+		if fcyc != cycles {
+			t.Fatalf("b=%d: fast cycles %d != %d", b, fcyc, cycles)
+		}
+		for i := range want {
+			if fast[i] != want[i] {
+				t.Fatalf("b=%d i=%d: fast batch %v != sequential %v", b, i, fast[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSweepBatchShapeMismatch(t *testing.T) {
+	pairs := []Pair{{X: []float64{1}, Y: []float64{1, 2}}, {X: []float64{1, 2}, Y: []float64{1, 2}}}
+	if _, _, err := SweepBatch(pairs, Params{}); err == nil {
+		t.Fatal("mixed-shape batch accepted")
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	if _, err := Sequential(nil, nil, Params{Open: -1}); err == nil {
+		t.Fatal("negative open accepted")
+	}
+	if _, err := SolveFast(nil, nil, Params{Ext: math.NaN()}); err == nil {
+		t.Fatal("NaN ext accepted")
+	}
+}
+
+func TestSolveFastSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts randomly under the race detector")
+	}
+	x, y := randSeries(rand.New(rand.NewSource(1)), 64), randSeries(rand.New(rand.NewSource(2)), 64)
+	p := Params{Open: 2, Ext: 1}
+	if _, err := SolveFast(x, y, p); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := SolveFast(x, y, p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SolveFast allocates %v per op in steady state, want 0", allocs)
+	}
+}

@@ -1,0 +1,281 @@
+package align
+
+// The anti-diagonal fast path. Cells on one anti-diagonal of the
+// affine-gap lattice are independent — all three layers of cell (i,j)
+// read only diagonals t-1 and t-2 — so the sweep follows the paper's
+// wavefront order on nine rolling diagonal buffers (three layers ×
+// three diagonals), drawn from a per-shape pooled workspace
+// (internal/arena, drop-on-panic discipline) so steady-state same-shape
+// solves allocate nothing. Wide diagonals fan out in chunks across the
+// shared internal/tile wavefront pool, the same persistent PE fabric
+// the DTW kernel uses.
+//
+// Every cell evaluates EXACTLY Sequential's float64 expressions (same
+// math.Min nesting, Open+Ext folded once per solve in both engines) in
+// a dependency-respecting order, so results are bitwise identical; the
+// differential checker pins this on every generated instance, empty
+// series included.
+
+import (
+	"fmt"
+	"math"
+
+	"systolicdp/internal/arena"
+	"systolicdp/internal/tile"
+)
+
+// parallelMinCells gates the wavefront fan-out: below this much lattice
+// the barrier overhead exceeds the win.
+const parallelMinCells = 1 << 16
+
+// parallelMinSpan is the minimum diagonal width worth splitting across
+// lanes: one barrier per diagonal only pays off when each lane gets a
+// substantial contiguous span of three-layer cell updates.
+const parallelMinSpan = 2048
+
+// Workspace is the pooled per-shape diagonal storage: three layers ×
+// three rolling diagonals, plus the reusable fan-out job.
+type Workspace struct {
+	bufs [9][]float64
+	job  *alignJob
+}
+
+type shapeKey struct{ n, m int }
+
+var wsPool = arena.NewKeyed[shapeKey](func() *Workspace { return new(Workspace) })
+
+// SolveFast computes the affine-gap alignment cost on the pooled
+// anti-diagonal kernel — bitwise identical to Sequential(x, y, p).
+func SolveFast(x, y []float64, p Params) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	key := shapeKey{len(x), len(y)}
+	ws := wsPool.Get(key)
+	v := solveDiag(x, y, p, ws, tile.Default())
+	// Clean completion only — a panicking solve drops ws (arena
+	// poisoning discipline).
+	wsPool.Put(key, ws)
+	return v, nil
+}
+
+// alignJob carries one anti-diagonal's chunked fan-out across the tile
+// pool; it lives in the Workspace so steady-state sweeps allocate
+// nothing.
+type alignJob struct {
+	x, y             []float64
+	oe, ext          float64
+	t, lo            int // current diagonal and its lowest row index
+	hi               int
+	chunk            int
+	cur, prev, prev2 [3][]float64
+}
+
+func (j *alignJob) Do(_, k int) {
+	a := j.lo + k*j.chunk
+	b := a + j.chunk
+	if b > j.hi+1 {
+		b = j.hi + 1
+	}
+	alignSpan(j.x, j.y, j.oe, j.ext, j.t, a, b, j.cur, j.prev, j.prev2)
+}
+
+// alignSpan evaluates cells i in [a, b) of anti-diagonal t (j = t - i).
+// The layer order inside cur/prev/prev2 is [M, Ix, Iy]; buffers are
+// indexed by lattice row i. The per-cell expressions are Sequential's,
+// verbatim: the boundary arms mirror its row-0/column-0 loops and the
+// interior arm is the shared interior() kernel.
+func alignSpan(x, y []float64, oe, ext float64, t, a, b int, cur, prev, prev2 [3][]float64) {
+	cM, cX, cY := cur[0], cur[1], cur[2]
+	pM, pX, pY := prev[0], prev[1], prev[2]
+	qM, qX, qY := prev2[0], prev2[1], prev2[2]
+	for i := a; i < b; i++ {
+		j := t - i
+		switch {
+		case i == 0 && j == 0:
+			cM[0], cX[0], cY[0] = 0, inf, inf
+		case j == 0:
+			// Empty-y boundary: only Ix (gap run over x) is live.
+			cM[i], cY[i] = inf, inf
+			cX[i] = math.Min(pM[i-1]+oe, math.Min(pX[i-1]+ext, pY[i-1]+oe))
+		case i == 0:
+			// Empty-x boundary: only Iy (gap run over y) is live.
+			cM[0], cX[0] = inf, inf
+			cY[0] = math.Min(pM[0]+oe, math.Min(pY[0]+ext, pX[0]+oe))
+		default:
+			s := sub(x[i-1], y[j-1])
+			cM[i], cX[i], cY[i] = interior(s,
+				qM[i-1], qX[i-1], qY[i-1],
+				pM[i-1], pX[i-1], pY[i-1],
+				pM[i], pX[i], pY[i],
+				oe, ext)
+		}
+	}
+}
+
+// solveDiag runs the pooled anti-diagonal sweep; pl supplies the
+// wavefront lanes (nil or width 1 keeps the sweep inline).
+func solveDiag(x, y []float64, p Params, ws *Workspace, pl *tile.Pool) float64 {
+	n, m := len(x), len(y)
+	rows := n + 1
+	for i := range ws.bufs {
+		ws.bufs[i] = arena.Floats(ws.bufs[i], rows)
+	}
+	if ws.job == nil {
+		ws.job = new(alignJob)
+	}
+	j := ws.job
+	j.x, j.y = x, y
+	j.oe, j.ext = p.Open+p.Ext, p.Ext
+	j.cur = [3][]float64{ws.bufs[0], ws.bufs[1], ws.bufs[2]}
+	j.prev = [3][]float64{ws.bufs[3], ws.bufs[4], ws.bufs[5]}
+	j.prev2 = [3][]float64{ws.bufs[6], ws.bufs[7], ws.bufs[8]}
+	lanes := pl.Workers()
+	par := lanes > 1 && rows*(m+1) >= parallelMinCells
+	for t := 0; t <= n+m; t++ {
+		lo := t - m
+		if lo < 0 {
+			lo = 0
+		}
+		hi := t
+		if hi > n {
+			hi = n
+		}
+		width := hi - lo + 1
+		if par && width >= parallelMinSpan {
+			j.t, j.lo, j.hi = t, lo, hi
+			j.chunk = (width + lanes - 1) / lanes
+			pl.Run(lanes, j)
+		} else {
+			alignSpan(x, y, j.oe, j.ext, t, lo, hi+1, j.cur, j.prev, j.prev2)
+		}
+		j.cur, j.prev, j.prev2 = j.prev2, j.cur, j.prev
+	}
+	// After the final rotation prev holds diagonal n+m (the corner cell).
+	v := math.Min(j.prev[0][n], math.Min(j.prev[1][n], j.prev[2][n]))
+	j.x, j.y = nil, nil // don't pin caller series in the pool
+	return v
+}
+
+// Pair is one alignment instance of a multi-instance batch.
+type Pair struct {
+	X, Y []float64
+}
+
+// SweepBatch aligns B same-shape instances with ONE anti-diagonal
+// wavefront over the stacked (n+1)×(m+1) lattices — the same
+// multi-instance pipelining as dtw.SweepBatch. All pairs must share
+// len(X) and len(Y) (empties included: the empty row/column is part of
+// every lattice). Per instance the cell updates are EXACTLY
+// Sequential's, so results are bitwise identical.
+//
+// The returned cycle count is the stream model for a linear array of
+// m+1 PEs: the B stacked lattices stream their B·(n+1) rows back to
+// back through one pipeline, so the batch occupies the array for
+// B·(n+1) + m cycles instead of B·(n+1 + m).
+func SweepBatch(pairs []Pair, p Params) (costs []float64, cycles int, err error) {
+	if len(pairs) == 0 {
+		return nil, 0, fmt.Errorf("align: empty batch")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n, m := len(pairs[0].X), len(pairs[0].Y)
+	for i, pr := range pairs {
+		if len(pr.X) != n || len(pr.Y) != m {
+			return nil, 0, fmt.Errorf("align: batch instance %d is %dx%d, batch shape is %dx%d",
+				i, len(pr.X), len(pr.Y), n, m)
+		}
+	}
+	b := len(pairs)
+	rows := n + 1
+	var bufs [9][]float64
+	for i := range bufs {
+		bufs[i] = make([]float64, b*rows)
+	}
+	costs = make([]float64, b)
+	sweepBatch(costs, pairs, p, bufs)
+	return costs, b*rows + m, nil
+}
+
+// SweepBatchFast is SweepBatch on a shared pooled workspace — bitwise
+// identical per instance, zero allocations in steady state beyond the
+// result slice.
+func SweepBatchFast(pairs []Pair, p Params) (costs []float64, cycles int, err error) {
+	costs = make([]float64, len(pairs))
+	cycles, err = SweepBatchFastInto(costs, pairs, p)
+	if err != nil {
+		return nil, 0, err
+	}
+	return costs, cycles, nil
+}
+
+// SweepBatchFastInto is SweepBatchFast writing into a caller-owned
+// result slice for allocation-free steady-state batches.
+func SweepBatchFastInto(costs []float64, pairs []Pair, p Params) (cycles int, err error) {
+	if len(pairs) == 0 {
+		return 0, fmt.Errorf("align: empty batch")
+	}
+	if len(costs) != len(pairs) {
+		return 0, fmt.Errorf("align: costs length %d != batch size %d", len(costs), len(pairs))
+	}
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	n, m := len(pairs[0].X), len(pairs[0].Y)
+	for i, pr := range pairs {
+		if len(pr.X) != n || len(pr.Y) != m {
+			return 0, fmt.Errorf("align: batch instance %d is %dx%d, batch shape is %dx%d",
+				i, len(pr.X), len(pr.Y), n, m)
+		}
+	}
+	b := len(pairs)
+	rows := n + 1
+	key := shapeKey{n, m}
+	ws := wsPool.Get(key)
+	var bufs [9][]float64
+	for i := range ws.bufs {
+		ws.bufs[i] = arena.Floats(ws.bufs[i], b*rows)
+		bufs[i] = ws.bufs[i]
+	}
+	sweepBatch(costs, pairs, p, bufs)
+	wsPool.Put(key, ws) // clean completion only
+	return b*rows + m, nil
+}
+
+// sweepBatch is the shared stacked-lattice sweep: one wavefront
+// schedule, per-instance buffer strips, Sequential's exact cell
+// expressions via alignSpan.
+func sweepBatch(costs []float64, pairs []Pair, p Params, bufs [9][]float64) {
+	n, m := len(pairs[0].X), len(pairs[0].Y)
+	rows := n + 1
+	oe, ext := p.Open+p.Ext, p.Ext
+	cur := [3][]float64{bufs[0], bufs[1], bufs[2]}
+	prev := [3][]float64{bufs[3], bufs[4], bufs[5]}
+	prev2 := [3][]float64{bufs[6], bufs[7], bufs[8]}
+	for t := 0; t <= n+m; t++ {
+		lo := t - m
+		if lo < 0 {
+			lo = 0
+		}
+		hi := t
+		if hi > n {
+			hi = n
+		}
+		for q, pr := range pairs {
+			base := q * rows
+			var c, pv, p2 [3][]float64
+			for l := 0; l < 3; l++ {
+				c[l] = cur[l][base : base+rows]
+				pv[l] = prev[l][base : base+rows]
+				p2[l] = prev2[l][base : base+rows]
+			}
+			alignSpan(pr.X, pr.Y, oe, ext, t, lo, hi+1, c, pv, p2)
+		}
+		cur, prev, prev2 = prev2, cur, prev
+	}
+	for q := range pairs {
+		base := q * rows
+		costs[q] = math.Min(prev[0][base+n], math.Min(prev[1][base+n], prev[2][base+n]))
+	}
+}

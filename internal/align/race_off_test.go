@@ -1,0 +1,5 @@
+//go:build !race
+
+package align
+
+const raceEnabled = false

@@ -130,6 +130,12 @@ func Check(inst *Instance, workers []int) (mismatches []*Mismatch, combos int) {
 		c.checkNodeValued(workers)
 	case "dtw":
 		c.checkDTW()
+	case "align":
+		c.checkAlign()
+	case "viterbi":
+		c.checkViterbi(workers)
+	case "knapsack":
+		c.checkKnapsack()
 	case "chain":
 		c.checkChain(workers)
 	case "nonserial":

@@ -29,9 +29,12 @@ import (
 	"systolicdp/internal/spec"
 )
 
-// Kinds lists the instance kinds the generator produces.
+// Kinds lists the instance kinds the generator produces — every
+// servable spec kind. The serving tier's pricing exhaustiveness test
+// iterates this list, so adding a kind here without an EstimateCost arm
+// fails CI.
 func Kinds() []string {
-	return []string{"graph", "nodevalued", "dtw", "chain", "nonserial"}
+	return []string{"graph", "nodevalued", "dtw", "align", "viterbi", "knapsack", "chain", "nonserial"}
 }
 
 // Instance is one randomized DP instance. The problem data rides in a
@@ -65,6 +68,7 @@ type GenConfig struct {
 	MaxLen    int // dtw series length; default 12
 	MaxChain  int // matrices in a chain-ordering instance; default 8
 	MaxVars   int // variables of a nonserial chain; default 6
+	MaxJobs   int // jobs of a knapsack instance; default 8
 }
 
 func (c GenConfig) withDefaults() GenConfig {
@@ -82,6 +86,9 @@ func (c GenConfig) withDefaults() GenConfig {
 	}
 	if c.MaxVars <= 2 {
 		c.MaxVars = 6
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 8
 	}
 	return c
 }
@@ -136,6 +143,12 @@ func GenKind(rng *rand.Rand, kind string, cfg GenConfig) *Instance {
 		return genNodeValued(rng, cfg)
 	case "dtw":
 		return genDTW(rng, cfg)
+	case "align":
+		return genAlign(rng, cfg)
+	case "viterbi":
+		return genViterbi(rng, cfg)
+	case "knapsack":
+		return genKnapsack(rng, cfg)
 	case "chain":
 		return genChain(rng, cfg)
 	case "nonserial":
@@ -246,6 +259,108 @@ func genDTW(rng *rand.Rand, cfg GenConfig) *Instance {
 			Y:       genSeries(rng, ny, class),
 		},
 		Label: fmt.Sprintf("|x|=%d |y|=%d w%d", nx, ny, class),
+	}
+}
+
+// genAlign produces an affine-gap alignment instance. Unlike dtw, empty
+// series are legal degenerates (all-gap alignments); gap penalties stay
+// small integers so every engine sum is exact.
+func genAlign(rng *rand.Rand, cfg GenConfig) *Instance {
+	nx := 1 + rng.Intn(cfg.MaxLen)
+	ny := 1 + rng.Intn(cfg.MaxLen)
+	label := ""
+	switch rng.Intn(8) {
+	case 0:
+		nx = 0
+		label = " degenerate:empty-x"
+	case 1:
+		ny = 0
+		label = " degenerate:empty-y"
+	case 2:
+		nx, ny = 0, 0
+		label = " degenerate:empty-both"
+	}
+	class := rng.Intn(4)
+	return &Instance{
+		File: spec.File{
+			Problem:   "align",
+			X:         genSeries(rng, nx, class),
+			Y:         genSeries(rng, ny, class),
+			GapOpen:   float64(rng.Intn(6)),
+			GapExtend: float64(rng.Intn(4)),
+		},
+		Label: fmt.Sprintf("|x|=%d |y|=%d w%d%s", nx, ny, class, label),
+	}
+}
+
+// genViterbi produces a trellis instance on the node/transition wire
+// form (Values = stage node costs, Costs = transition matrices).
+// Roughly half are uniform (the shape the Design-3 feedback array
+// accepts) and ~1/8 are single-stage degenerates (no transitions).
+func genViterbi(rng *rand.Rand, cfg GenConfig) *Instance {
+	n := 2 + rng.Intn(cfg.MaxStages-1)
+	uniform := rng.Intn(2) == 0
+	label := ""
+	if rng.Intn(8) == 0 {
+		n = 1
+		label = " degenerate:single-stage"
+	}
+	class := rng.Intn(4)
+	sizes := make([]int, n)
+	m := 1 + rng.Intn(cfg.MaxM)
+	for k := range sizes {
+		if uniform {
+			sizes[k] = m
+		} else {
+			sizes[k] = 1 + rng.Intn(cfg.MaxM)
+		}
+	}
+	values := make([][]float64, n)
+	for k := range values {
+		values[k] = genSeries(rng, sizes[k], class)
+	}
+	var trans [][][]float64
+	for k := 0; k+1 < n; k++ {
+		blk := make([][]float64, sizes[k])
+		for i := range blk {
+			blk[i] = genSeries(rng, sizes[k+1], class)
+		}
+		trans = append(trans, blk)
+	}
+	return &Instance{
+		File:  spec.File{Problem: "viterbi", Values: values, Costs: trans},
+		Label: fmt.Sprintf("n=%d uniform=%v w%d%s", n, uniform, class, label),
+	}
+}
+
+// genKnapsack produces a weighted-deadline scheduling instance with
+// degenerate shapes: no jobs, all-zero weights, and zero-length jobs
+// (P=0 occurs naturally in the processing-time range).
+func genKnapsack(rng *rand.Rand, cfg GenConfig) *Instance {
+	n := 1 + rng.Intn(cfg.MaxJobs)
+	label := ""
+	zeroWeight := false
+	switch rng.Intn(8) {
+	case 0:
+		n = 0
+		label = " degenerate:no-jobs"
+	case 1:
+		zeroWeight = true
+		label = " degenerate:zero-weights"
+	}
+	proc := make([]int, n)
+	due := make([]int, n)
+	weights := make([]float64, n)
+	for i := 0; i < n; i++ {
+		proc[i] = rng.Intn(6)
+		due[i] = rng.Intn(16)
+		if !zeroWeight {
+			weights[i] = float64(rng.Intn(10))
+		}
+	}
+	return &Instance{
+		File:  spec.File{Problem: "knapsack", Proc: proc, Due: due, Weights: weights},
+		Label: fmt.Sprintf("n=%d%s", n, label),
 	}
 }
 

@@ -223,6 +223,7 @@ func BatchKernels() []BatchKernel {
 	return []BatchKernel{
 		GraphStreamKernel{},
 		DTWKernel{},
+		AlignKernel{},
 		ChainKernel{},
 		NonserialKernel{},
 	}

@@ -297,6 +297,24 @@ func Solve(p Problem) (*Solution, error) {
 			return nil, err
 		}
 		sol.Cost = res.Cost
+	case *AlignProblem:
+		res, err := solveAlign(q)
+		if err != nil {
+			return nil, err
+		}
+		sol.Cost = res.Cost
+	case *ViterbiProblem:
+		res, err := solveViterbi(q)
+		if err != nil {
+			return nil, err
+		}
+		sol.Cost, sol.Path = res.Cost, res.Path
+	case *KnapsackProblem:
+		res, err := solveKnapsack(q)
+		if err != nil {
+			return nil, err
+		}
+		sol.Cost = res.Cost
 	default:
 		return nil, fmt.Errorf("core: unsupported problem type %T", p)
 	}

@@ -88,6 +88,9 @@ func TestSweepBatchFastMatchesSweepBatch(t *testing.T) {
 // for the DTW kernel: repeated same-shape solves on a warm per-shape
 // arena must not touch the allocator.
 func TestSolveFastZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts randomly under the race detector")
+	}
 	rng := rand.New(rand.NewSource(11))
 	x, y := randSeries(rng, 200), randSeries(rng, 150)
 	if _, err := SolveFast(x, y, nil); err != nil { // warm the shape bucket
@@ -104,6 +107,9 @@ func TestSolveFastZeroAllocSteadyState(t *testing.T) {
 }
 
 func TestSweepBatchFastIntoZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts randomly under the race detector")
+	}
 	rng := rand.New(rand.NewSource(12))
 	pairs := []Pair{
 		{X: randSeries(rng, 40), Y: randSeries(rng, 40)},

@@ -1,0 +1,5 @@
+//go:build !race
+
+package dtw
+
+const raceEnabled = false

@@ -1,0 +1,165 @@
+package knapsack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randJobs(rng *rand.Rand, n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{
+			P: rng.Intn(5),
+			D: rng.Intn(12),
+			W: float64(rng.Intn(10)),
+		}
+	}
+	return jobs
+}
+
+// bruteForce tries every subset as the on-time set: a subset is
+// feasible iff scheduling its members in EDD order meets every due
+// date (EDD-feasibility is exact for 1|| problems).
+func bruteForce(jobs []Job) float64 {
+	n := len(jobs)
+	best := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		var sel []Job
+		w := 0.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sel = append(sel, jobs[i])
+				w += jobs[i].W
+			}
+		}
+		t := 0
+		ok := true
+		for _, j := range eddOrder(sel) {
+			t += j.P
+			if t > j.D {
+				ok = false
+				break
+			}
+		}
+		if ok && w > best {
+			best = w
+		}
+	}
+	return best
+}
+
+func TestOnTimeWeightMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		jobs := randJobs(rng, rng.Intn(9))
+		got, err := OnTimeWeight(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := bruteForce(jobs); got != want {
+			t.Fatalf("trial %d %v: OnTimeWeight %v, brute force %v", trial, jobs, got, want)
+		}
+	}
+}
+
+func TestLockstepBitwiseIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		jobs := randJobs(rng, rng.Intn(12))
+		want, err := Sequential(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, cycles, err := Lockstep(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d %v: Lockstep %v != Sequential %v", trial, jobs, got, want)
+		}
+		if cycles != len(jobs) {
+			t.Fatalf("trial %d: cycles %d, want %d", trial, cycles, len(jobs))
+		}
+	}
+}
+
+func TestPrefixMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	jobs := randJobs(rng, 10)
+	prev := 0.0
+	for k := 0; k <= len(jobs); k++ {
+		v, err := OnTimeWeight(jobs[:k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev {
+			t.Fatalf("prefix %d: on-time weight fell %v -> %v", k, prev, v)
+		}
+		prev = v
+	}
+}
+
+func TestDegenerates(t *testing.T) {
+	if v, err := Sequential(nil); err != nil || v != 0 {
+		t.Fatalf("empty: %v %v", v, err)
+	}
+	// All-zero-weight jobs: late or not, nothing is lost.
+	if v, err := Sequential([]Job{{P: 3, D: 1, W: 0}, {P: 2, D: 0, W: 0}}); err != nil || v != 0 {
+		t.Fatalf("zero-weight: %v %v", v, err)
+	}
+	// Zero-length job always fits at its due date.
+	if v, err := Sequential([]Job{{P: 0, D: 0, W: 5}}); err != nil || v != 0 {
+		t.Fatalf("zero-length: %v %v", v, err)
+	}
+	// Impossible deadline: full weight lost.
+	if v, err := Sequential([]Job{{P: 4, D: 2, W: 7}}); err != nil || v != 7 {
+		t.Fatalf("impossible: %v %v", v, err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	for i, jobs := range [][]Job{
+		{{P: -1, D: 0, W: 0}},
+		{{P: 0, D: -1, W: 0}},
+		{{P: 0, D: 0, W: -1}},
+		{{P: 0, D: 0, W: math.NaN()}},
+		{{P: 0, D: 0, W: math.Inf(1)}},
+	} {
+		if err := Validate(jobs); err == nil {
+			t.Fatalf("bad jobs %d accepted", i)
+		}
+	}
+}
+
+func TestHorizon(t *testing.T) {
+	if h := Horizon(nil); h != 0 {
+		t.Fatalf("empty horizon %d", h)
+	}
+	// Due dates beyond total work clamp to sum of processing times.
+	if h := Horizon([]Job{{P: 2, D: 100, W: 1}, {P: 3, D: 100, W: 1}}); h != 5 {
+		t.Fatalf("horizon %d, want 5", h)
+	}
+	if h := Horizon([]Job{{P: 50, D: 4, W: 1}}); h != 4 {
+		t.Fatalf("horizon %d, want 4", h)
+	}
+}
+
+func TestLockstepSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts randomly under the race detector")
+	}
+	rng := rand.New(rand.NewSource(31))
+	jobs := randJobs(rng, 16)
+	if _, _, err := Lockstep(jobs); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, _, err := Lockstep(jobs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Lockstep allocates %v per op in steady state, want 0", allocs)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package knapsack
+
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build !race
+
+package matchain
+
+const raceEnabled = false

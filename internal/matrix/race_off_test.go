@@ -1,0 +1,5 @@
+//go:build !race
+
+package matrix
+
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build !race
+
+package nonserial
+
+const raceEnabled = false

@@ -33,9 +33,20 @@ import (
 	"sync"
 	"time"
 
+	"systolicdp/internal/align"
 	"systolicdp/internal/core"
+	"systolicdp/internal/knapsack"
 	"systolicdp/internal/spec"
 )
+
+// UnpricedKind is the calibration bucket for problems with no
+// closed-form pricing arm. Nothing the server can build should land
+// here — TestEstimateCostExhaustive pins every registered spec kind to
+// a real arm — but a Problem type added without pricing still must not
+// sail past admission at ~zero predicted cost: unpriced work is priced
+// pessimistically from its own observed per-solve seconds (see
+// Admitter.Admit) and counted by dpserve_admit_unpriced_total.
+const UnpricedKind = "other"
 
 // EstimateCost returns the closed-form cost model for one problem: a
 // calibration kind and the predicted work in that kind's units.
@@ -67,7 +78,17 @@ func EstimateCost(p core.Problem) (kind string, cycles float64) {
 		return "nodevalued", total + 1
 	case *core.DTWProblem:
 		// The warping lattice has |x|·|y| cells, swept by anti-diagonals.
-		return "dtw", float64(len(p.(*core.DTWProblem).X)*len(p.(*core.DTWProblem).Y)) + 1
+		return "dtw", float64(len(q.X)*len(q.Y)) + 1
+	case *core.AlignProblem:
+		// Three affine-gap layers over the boundary-inclusive lattice.
+		return "align", float64(align.Cells(len(q.X), len(q.Y))) + 1
+	case *core.ViterbiProblem:
+		// One relaxation per trellis edge plus the final fold over the
+		// last stage's states.
+		return "viterbi", float64(q.Trellis.Work()) + 1
+	case *core.KnapsackProblem:
+		// Lawler-Moore: n lockstep waves over a row of Horizon+1 cells.
+		return "knapsack", float64(len(q.Jobs)*(knapsack.Horizon(q.Jobs)+1)) + 1
 	case *core.ChainOrderingProblem:
 		// Equation (6): O(n³) table fill — n³/6 min-plus updates.
 		n := float64(len(q.Dims) - 1)
@@ -88,7 +109,7 @@ func EstimateCost(p core.Problem) (kind string, cycles float64) {
 		}
 		return "matrixstring", total + 1
 	default:
-		return "other", 1
+		return UnpricedKind, 1
 	}
 }
 
@@ -138,8 +159,38 @@ func EstimateCostFile(f *spec.File) (kind string, cycles float64) {
 			total += float64(len(f.Domains[i]) * len(f.Domains[i+1]) * len(f.Domains[i+2]))
 		}
 		return "nonserial", total + 1
+	case "align":
+		return "align", float64(align.Cells(len(f.X), len(f.Y))) + 1
+	case "viterbi":
+		// The trellis wire form reuses Values for per-stage node costs:
+		// edges = sum of adjacent stage-size products, plus the final fold.
+		total := 0.0
+		for k := 0; k+1 < len(f.Values); k++ {
+			total += float64(len(f.Values[k]) * len(f.Values[k+1]))
+		}
+		if n := len(f.Values); n > 0 {
+			total += float64(len(f.Values[n-1]))
+		}
+		return "viterbi", total + 1
+	case "knapsack":
+		// Same horizon closed form as knapsack.Horizon, read off the wire
+		// fields: min(max due, total processing).
+		sumProc, maxDue := 0, 0
+		for _, p := range f.Proc {
+			sumProc += p
+		}
+		for _, d := range f.Due {
+			if d > maxDue {
+				maxDue = d
+			}
+		}
+		horizon := maxDue
+		if sumProc < horizon {
+			horizon = sumProc
+		}
+		return "knapsack", float64(len(f.Proc)*(horizon+1)) + 1
 	default:
-		return "other", 1
+		return UnpricedKind, 1
 	}
 }
 
@@ -157,6 +208,8 @@ func BatchKind(kind string) string {
 	switch kind {
 	case "dtw":
 		return "dtw-batch"
+	case "align":
+		return "align-batch"
 	case "chain":
 		return "chain-batch"
 	case "nonserial":
@@ -228,6 +281,13 @@ type Admitter struct {
 	backlog     float64            // seconds of admitted-but-unfinished predicted work
 	outstanding int                // live reservations backing the backlog
 	rates       map[string]float64 // EWMA units/second per kind; 0 = uncalibrated
+	// unpricedSecs is the EWMA of observed per-solve WALL SECONDS for
+	// UnpricedKind work. Unpriced requests all carry cycles=1, so the
+	// shared units/second rate says nothing about how long one takes —
+	// a single fast unpriced solve would price every later one at ~zero.
+	// Seconds-per-solve is the honest (pessimistic) model when no closed
+	// form exists.
+	unpricedSecs float64
 }
 
 // NewAdmitter builds an Admitter. headroom <= 0 defaults to 1; workers
@@ -257,6 +317,13 @@ func (a *Admitter) Admit(kind string, cycles float64, deadline time.Duration) (*
 	est := 0.0
 	if rate := a.rates[kind]; rate > 0 {
 		est = cycles / rate
+	}
+	if kind == UnpricedKind && a.unpricedSecs > est {
+		// No closed-form pricing arm: the rate-based estimate is
+		// meaningless (every unpriced request carries cycles=1), so take
+		// the observed per-solve seconds instead of sailing past the shed
+		// at ~zero predicted cost.
+		est = a.unpricedSecs
 	}
 	// Predicted completion: the standing backlog drains across the
 	// worker lanes while this request's own solve occupies one of them.
@@ -291,6 +358,13 @@ func (a *Admitter) Observe(kind string, cycles, seconds float64) {
 		a.rates[kind] = 0.7*cur + 0.3*sample
 	} else {
 		a.rates[kind] = sample
+	}
+	if kind == UnpricedKind {
+		if cur := a.unpricedSecs; cur > 0 {
+			a.unpricedSecs = 0.7*cur + 0.3*seconds
+		} else {
+			a.unpricedSecs = seconds
+		}
 	}
 	a.mu.Unlock()
 }

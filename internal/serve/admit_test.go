@@ -280,7 +280,7 @@ func TestAdmitterBacklogReleasesOnAllPaths(t *testing.T) {
 // BatchKind is that kernel's Kind(), and BatchKind never invents a kind
 // no kernel executes.
 func TestBatchKindCoversBatchKernels(t *testing.T) {
-	poolKinds := []string{"graph-stream", "graph", "nodevalued", "dtw", "chain", "nonserial", "other"}
+	poolKinds := []string{"graph-stream", "graph", "nodevalued", "dtw", "align", "viterbi", "knapsack", "chain", "nonserial", "other"}
 	reachable := make(map[string]bool)
 	for _, k := range poolKinds {
 		if bk := BatchKind(k); bk != "" {

@@ -282,6 +282,12 @@ func (s *Server) submit(j *job) error {
 // until the work finishes on any path — success, error, or abandonment.
 func (s *Server) dispatch(ctx context.Context, p core.Problem) (*core.Solution, error) {
 	kind, cycles := EstimateCost(p)
+	if kind == UnpricedKind {
+		// Every servable kind must have a pricing arm (the exhaustiveness
+		// test pins this); anything that still lands here is flying blind
+		// through admission, so make it visible.
+		s.metrics.AdmitUnpriced.Inc()
+	}
 	// Routing decides the admission rate key: a kind's pool-calibrated
 	// service rate describes one-at-a-time solves and goes stale the moment
 	// the kind cuts over to a batch kernel (whose per-request marginal cost

@@ -22,10 +22,13 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"systolicdp/internal/align"
 	"systolicdp/internal/core"
+	"systolicdp/internal/knapsack"
 	"systolicdp/internal/matrix"
 	"systolicdp/internal/multistage"
 	"systolicdp/internal/nonserial"
+	"systolicdp/internal/viterbi"
 )
 
 // File is the JSON shape of a problem specification. Field order here is
@@ -40,8 +43,16 @@ type File struct {
 	Cost    string        `json:"cost,omitempty"`    // named cost function
 	Dims    []int         `json:"dims,omitempty"`    // chain ordering
 	Domains [][]float64   `json:"domains,omitempty"` // nonserial chain
-	X       []float64     `json:"x,omitempty"`       // dtw: query series
-	Y       []float64     `json:"y,omitempty"`       // dtw: template series
+	X       []float64     `json:"x,omitempty"`       // dtw/align: query series
+	Y       []float64     `json:"y,omitempty"`       // dtw/align: template series
+	// New kinds append fields here: wire order is declaration order and
+	// the serving cache hash depends on it, so the seed kinds' encodings
+	// must never shift.
+	GapOpen   float64   `json:"gapopen,omitempty"` // align: affine gap opening penalty
+	GapExtend float64   `json:"gapext,omitempty"`  // align: affine gap extension penalty
+	Proc      []int     `json:"proc,omitempty"`    // knapsack: processing times
+	Due       []int     `json:"due,omitempty"`     // knapsack: due dates
+	Weights   []float64 `json:"weights,omitempty"` // knapsack: late weights
 }
 
 // PairCosts maps cost-function names to binary cost functions for
@@ -164,6 +175,39 @@ func (f *File) Build() (core.Problem, error) {
 			return nil, fmt.Errorf("spec: dtw needs non-empty x and y series")
 		}
 		return &core.DTWProblem{X: f.X, Y: f.Y}, nil
+
+	case "align":
+		// Unlike dtw, empty series are legal: the affine-gap lattice
+		// includes the empty row/column, so align("", y) is a gap run.
+		p := align.Params{Open: f.GapOpen, Ext: f.GapExtend}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("spec: %v", err)
+		}
+		return &core.AlignProblem{X: f.X, Y: f.Y, Params: p}, nil
+
+	case "viterbi":
+		// Reuses the wire fields of the node-valued and graph kinds:
+		// Values[k] holds stage-k node costs, Costs[k] the k->k+1
+		// transition matrix.
+		t := &viterbi.Trellis{Node: f.Values, Trans: f.Costs}
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("spec: %v", err)
+		}
+		return &core.ViterbiProblem{Trellis: t}, nil
+
+	case "knapsack":
+		if len(f.Proc) != len(f.Due) || len(f.Proc) != len(f.Weights) {
+			return nil, fmt.Errorf("spec: knapsack needs equal-length proc/due/weights, have %d/%d/%d",
+				len(f.Proc), len(f.Due), len(f.Weights))
+		}
+		jobs := make([]knapsack.Job, len(f.Proc))
+		for i := range jobs {
+			jobs[i] = knapsack.Job{P: f.Proc[i], D: f.Due[i], W: f.Weights[i]}
+		}
+		if err := knapsack.Validate(jobs); err != nil {
+			return nil, fmt.Errorf("spec: %v", err)
+		}
+		return &core.KnapsackProblem{Jobs: jobs}, nil
 
 	default:
 		return nil, fmt.Errorf("spec: unknown problem kind %q", f.Problem)

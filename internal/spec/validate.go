@@ -17,6 +17,8 @@ const (
 	MaxSpecChainLen = 4096    // entries of a chain-ordering dims vector
 	MaxSpecDim      = 1 << 20 // a single matrix dimension in a chain
 	MaxSpecElems    = 1 << 24 // total numeric payload across all fields
+	MaxSpecJobs     = 4096    // knapsack jobs
+	MaxSpecHorizon  = 1 << 20 // a knapsack due date (bounds the DP row)
 )
 
 // Validate rejects NaN/±Inf weights and absurd dimensions. Decode calls
@@ -113,6 +115,59 @@ func (f *File) Validate() error {
 				return fmt.Errorf("spec: %s[%d]: non-finite sample %v", name, i, w)
 			}
 		}
+	}
+
+	for name, v := range map[string]float64{"gapopen": f.GapOpen, "gapext": f.GapExtend} {
+		if !finite(v) {
+			return fmt.Errorf("spec: %s: non-finite penalty %v", name, v)
+		}
+		if v < 0 {
+			return fmt.Errorf("spec: %s: negative penalty %v", name, v)
+		}
+	}
+
+	for name, n := range map[string]int{"proc": len(f.Proc), "due": len(f.Due), "weights": len(f.Weights)} {
+		if n > MaxSpecJobs {
+			return fmt.Errorf("spec: %s has %d entries, max %d", name, n, MaxSpecJobs)
+		}
+	}
+	sumProc, maxDue := 0, 0
+	for i, p := range f.Proc {
+		if p < 0 {
+			return fmt.Errorf("spec: proc[%d] = %d, must be >= 0", i, p)
+		}
+		if p > MaxSpecHorizon {
+			return fmt.Errorf("spec: proc[%d] = %d, max %d", i, p, MaxSpecHorizon)
+		}
+		sumProc += p
+	}
+	for i, d := range f.Due {
+		if d < 0 {
+			return fmt.Errorf("spec: due[%d] = %d, must be >= 0", i, d)
+		}
+		if d > MaxSpecHorizon {
+			return fmt.Errorf("spec: due[%d] = %d, max %d", i, d, MaxSpecHorizon)
+		}
+		if d > maxDue {
+			maxDue = d
+		}
+	}
+	if err := count(len(f.Weights)); err != nil {
+		return err
+	}
+	for i, w := range f.Weights {
+		if !finite(w) {
+			return fmt.Errorf("spec: weights[%d]: non-finite weight %v", i, w)
+		}
+		if w < 0 {
+			return fmt.Errorf("spec: weights[%d]: negative weight %v", i, w)
+		}
+	}
+	// Bound the DP table the Lawler-Moore row implies: n cells per wave
+	// over a horizon of min(max due, total work) time units.
+	if horizon := min(maxDue, sumProc); len(f.Proc) > 0 && len(f.Proc)*(horizon+1) > MaxSpecElems {
+		return fmt.Errorf("spec: knapsack DP table %d x %d exceeds %d cells",
+			len(f.Proc), horizon+1, MaxSpecElems)
 	}
 	return nil
 }

@@ -1,0 +1,212 @@
+// Package viterbi implements trellis path dynamic programming with node
+// and transition costs — the Viterbi / shortest-trellis-path family
+// (mbl_dyn_prog in the vxl exemplar). A trellis is a multistage graph
+// whose stage-k states each carry a node cost and whose stage-k→k+1
+// moves each carry a transition cost; the objective is the cheapest
+// state sequence.
+//
+// The problem maps directly onto the paper's Design 3 node-valued
+// feedback array: the quantized "values" of stage k are the state
+// INDICES 0..|N_k|-1, and the staged cost function folds both the
+// transition cost and the destination node cost (plus, at stage 0, the
+// source node cost) into one edge weight. Sequential and the
+// StagedNodeValued / fbarray engines all evaluate the shared EdgeCost
+// expression, so every engine is bitwise identical and ties break the
+// same way (strict improvement, first state index wins — PE order).
+package viterbi
+
+import (
+	"fmt"
+	"math"
+
+	"systolicdp/internal/multistage"
+)
+
+// Trellis is the trellis instance: Node[k][i] is the cost of being in
+// state i at stage k, Trans[k][i][j] the cost of moving from state i at
+// stage k to state j at stage k+1. len(Trans) == len(Node)-1; a
+// single-stage trellis (no transitions) is legal and degenerates to
+// picking the cheapest stage-0 state.
+type Trellis struct {
+	Node  [][]float64
+	Trans [][][]float64
+}
+
+// Validate checks shape and finiteness.
+func (t *Trellis) Validate() error {
+	if len(t.Node) == 0 {
+		return fmt.Errorf("viterbi: trellis needs >= 1 stage")
+	}
+	for k, ns := range t.Node {
+		if len(ns) == 0 {
+			return fmt.Errorf("viterbi: stage %d has no states", k)
+		}
+		for i, v := range ns {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("viterbi: non-finite node cost at stage %d state %d", k, i)
+			}
+		}
+	}
+	if len(t.Trans) != len(t.Node)-1 {
+		return fmt.Errorf("viterbi: %d transition blocks for %d stages, want %d",
+			len(t.Trans), len(t.Node), len(t.Node)-1)
+	}
+	for k, blk := range t.Trans {
+		if len(blk) != len(t.Node[k]) {
+			return fmt.Errorf("viterbi: transition block %d has %d rows, stage has %d states",
+				k, len(blk), len(t.Node[k]))
+		}
+		for i, row := range blk {
+			if len(row) != len(t.Node[k+1]) {
+				return fmt.Errorf("viterbi: transition block %d row %d has %d cols, next stage has %d states",
+					k, i, len(row), len(t.Node[k+1]))
+			}
+			for j, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("viterbi: non-finite transition cost %d:%d->%d", k, i, j)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Stages returns the number of trellis stages.
+func (t *Trellis) Stages() int { return len(t.Node) }
+
+// Uniform reports whether every stage has the same number of states —
+// the regularity Design 3's feedback pipeline requires.
+func (t *Trellis) Uniform() (m int, ok bool) {
+	m = len(t.Node[0])
+	for _, ns := range t.Node[1:] {
+		if len(ns) != m {
+			return 0, false
+		}
+	}
+	return m, true
+}
+
+// Work returns the number of edge relaxations plus the final fold —
+// the closed form the admission controller prices viterbi requests
+// with: sum_k |N_k|·|N_k+1| + |N_last|.
+func (t *Trellis) Work() int {
+	if len(t.Node) == 0 {
+		return 0
+	}
+	w := len(t.Node[len(t.Node)-1])
+	for k := range t.Trans {
+		w += len(t.Node[k]) * len(t.Node[k+1])
+	}
+	return w
+}
+
+// EdgeCost is THE canonical edge weight every engine evaluates: the
+// k→k+1 move into state j absorbs the transition cost and the
+// destination node cost, and the first move also absorbs the source
+// node cost (stage-0 states start at h=0 in every engine). Sequential,
+// the StagedNodeValued elimination, and the fbarray PEs all call this
+// one function, which is what makes them bitwise identical.
+func (t *Trellis) EdgeCost(k, i, j int) float64 {
+	if k == 0 {
+		return t.Node[0][i] + (t.Trans[k][i][j] + t.Node[k+1][j])
+	}
+	return t.Trans[k][i][j] + t.Node[k+1][j]
+}
+
+// Staged maps the trellis onto Design 3's node-valued formulation: the
+// stage-k "quantized values" are the state indices 0..|N_k|-1 and the
+// staged cost function is EdgeCost — the order-of-magnitude
+// input-bandwidth reduction of Section 3.2, since the array streams
+// state indices instead of materialized |N_k|×|N_k+1| cost matrices.
+// Requires >= 2 stages (StagedNodeValued's own minimum).
+func (t *Trellis) Staged() *multistage.StagedNodeValued {
+	vals := make([][]float64, len(t.Node))
+	for k, ns := range t.Node {
+		vs := make([]float64, len(ns))
+		for i := range vs {
+			vs[i] = float64(i)
+		}
+		vals[k] = vs
+	}
+	return &multistage.StagedNodeValued{
+		Values: vals,
+		FK: func(k int, x, y float64) float64 {
+			return t.EdgeCost(k, int(x), int(y))
+		},
+	}
+}
+
+// Sequential is the reference trellis sweep: h over stage-k states,
+// relaxed one stage at a time through EdgeCost, ties broken by strict
+// improvement with the first (lowest) state index winning — the same
+// order Design 3's PEs scan predecessors in. It returns the optimal
+// cost and one optimal state sequence.
+func (t *Trellis) Sequential() (cost float64, path []int, err error) {
+	if err := t.Validate(); err != nil {
+		return 0, nil, err
+	}
+	n := len(t.Node)
+	if n == 1 {
+		// Degenerate single-stage trellis: cheapest stage-0 state.
+		best, arg := 0.0, -1
+		for i, v := range t.Node[0] {
+			if arg == -1 || v < best {
+				best, arg = v, i
+			}
+		}
+		return best, []int{arg}, nil
+	}
+	h := make([]float64, len(t.Node[0]))
+	pred := make([][]int, n)
+	for k := 1; k < n; k++ {
+		nh := make([]float64, len(t.Node[k]))
+		pk := make([]int, len(t.Node[k]))
+		for j := range t.Node[k] {
+			best, arg := 0.0, -1
+			for i := range t.Node[k-1] {
+				v := h[i] + t.EdgeCost(k-1, i, j)
+				if arg == -1 || v < best {
+					best, arg = v, i
+				}
+			}
+			nh[j], pk[j] = best, arg
+		}
+		h, pred[k] = nh, pk
+	}
+	best, arg := 0.0, -1
+	for j, v := range h {
+		if arg == -1 || v < best {
+			best, arg = v, j
+		}
+	}
+	path = make([]int, n)
+	path[n-1] = arg
+	for k := n - 1; k >= 1; k-- {
+		path[k-1] = pred[k][path[k]]
+	}
+	return best, path, nil
+}
+
+// PathCost re-derives the cost of an explicit state sequence by summing
+// the SAME EdgeCost terms the solvers minimize over — the metamorphic
+// re-derivation invariant: PathCost(Sequential's path) must equal
+// Sequential's cost bitwise, because it replays the identical addition
+// chain h[i] + EdgeCost(...) along the winning path.
+func (t *Trellis) PathCost(path []int) (float64, error) {
+	if len(path) != len(t.Node) {
+		return 0, fmt.Errorf("viterbi: path length %d for %d stages", len(path), len(t.Node))
+	}
+	for k, s := range path {
+		if s < 0 || s >= len(t.Node[k]) {
+			return 0, fmt.Errorf("viterbi: path state %d out of range at stage %d", s, k)
+		}
+	}
+	if len(path) == 1 {
+		return t.Node[0][path[0]], nil
+	}
+	c := 0.0
+	for k := 1; k < len(path); k++ {
+		c = c + t.EdgeCost(k-1, path[k-1], path[k])
+	}
+	return c, nil
+}
